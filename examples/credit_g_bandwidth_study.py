@@ -1,0 +1,79 @@
+"""Memory-bandwidth study on the Credit-g analogue (Figure 3 of the paper).
+
+Most designs the evolutionary algorithm returns on the single-DDR-bank
+Arria 10 development kit are bandwidth constrained.  This example:
+
+1. runs a short throughput-oriented co-design search on the Credit-g analogue,
+2. takes the highest-throughput design point it found, and
+3. re-evaluates exactly that network + overlay configuration with 1, 2 and 4
+   banks of DDR4, reporting throughput and hardware efficiency for each.
+
+The expected shape (paper section IV-C): throughput scales roughly linearly
+with bank count while efficiency does not improve.
+
+Run with::
+
+    python examples/credit_g_bandwidth_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.config import ECADConfig, OptimizationTargetConfig
+from repro.core.search import CoDesignSearch
+from repro.datasets.registry import load_dataset
+from repro.hardware.device import ARRIA10_GX1150
+from repro.hardware.fpga_model import FPGAPerformanceModel
+from repro.hardware.memory import DDR4_BANK, MemorySystem
+
+
+def main() -> None:
+    dataset = load_dataset("credit-g", seed=0, scale=0.3)
+    print(f"dataset: {dataset}")
+
+    config = ECADConfig.template_for_dataset(
+        dataset,
+        fpga="arria10",
+        optimization=OptimizationTargetConfig.accuracy_and_throughput(),
+        population_size=6,
+        max_evaluations=18,
+        training_epochs=6,
+        num_folds=2,
+        seed=0,
+    )
+    result = CoDesignSearch(dataset, config=config).run()
+
+    best = max(
+        (e for e in result.history.evaluations() if not e.failed),
+        key=lambda e: e.fpga_outputs_per_second,
+    )
+    spec = best.genome.mlp.to_spec(dataset.num_features, dataset.num_classes)
+    grid = best.genome.hardware.grid
+    print()
+    print(f"design point: hidden layers {list(best.genome.mlp.hidden_layers)}, grid {grid}, "
+          f"accuracy {best.accuracy:.4f}")
+
+    rows = []
+    for banks in (1, 2, 4):
+        model = FPGAPerformanceModel(ARRIA10_GX1150, memory=MemorySystem(DDR4_BANK, banks=banks))
+        metrics = model.evaluate(spec, grid, batch_size=best.genome.hardware.batch_size)
+        rows.append(
+            {
+                "ddr_banks": banks,
+                "bandwidth_gb_per_s": round(19.2 * banks, 1),
+                "outputs_per_second": metrics.outputs_per_second,
+                "effective_gflops": round(metrics.effective_gflops, 1),
+                "efficiency": round(metrics.efficiency, 3),
+                "memory_bound": not metrics.compute_bound,
+            }
+        )
+    print()
+    print(format_table(rows, title="Throughput and efficiency vs DDR bank count (Figure 3 shape)"))
+    baseline = rows[0]["outputs_per_second"]
+    print()
+    for row in rows:
+        print(f"  {row['ddr_banks']} bank(s): {row['outputs_per_second'] / baseline:.2f}x the 1-bank throughput")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""HAR co-design study: how FPGA and GPU react to the evolutionary search.
+
+Reproduces the experiment behind Figure 2 of the paper on the HAR analogue:
+run the joint accuracy + throughput search, then look at every evaluated
+candidate's accuracy against its outputs/s on the Arria 10 overlay model and
+on the Quadro M5000 model.  The FPGA's throughput varies wildly from candidate
+to candidate (a different hardware configuration per point) while the GPU's
+barely moves — which is the paper's argument for co-design.
+
+Run with::
+
+    python examples/har_codesign.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import accuracy_throughput_series, ascii_scatter
+from repro.analysis.frontier import accuracy_band_summary, throughput_neuron_correlation
+from repro.analysis.reporting import format_scientific, format_table
+from repro.core.config import ECADConfig, OptimizationTargetConfig
+from repro.core.search import CoDesignSearch
+from repro.datasets.registry import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("har", seed=0, scale=0.03)
+    print(f"dataset: {dataset}")
+
+    config = ECADConfig.template_for_dataset(
+        dataset,
+        fpga="arria10",
+        gpu="m5000",
+        optimization=OptimizationTargetConfig.accuracy_and_throughput(),
+        population_size=8,
+        max_evaluations=28,
+        training_epochs=8,
+        num_folds=2,
+        seed=1,
+    )
+    result = CoDesignSearch(dataset, config=config).run()
+    evaluations = [e for e in result.history.evaluations() if not e.failed]
+
+    fpga_series = accuracy_throughput_series(evaluations, device="fpga", name="HAR on Arria 10 (Fig 2a)")
+    gpu_series = accuracy_throughput_series(evaluations, device="gpu", name="HAR on Quadro M5000 (Fig 2b)")
+    print()
+    print(ascii_scatter(fpga_series, log_y=True))
+    print()
+    print(ascii_scatter(gpu_series, log_y=True))
+
+    print()
+    fpga_low, fpga_high = fpga_series.y_range()
+    gpu_low, gpu_high = gpu_series.y_range()
+    print(f"FPGA outputs/s range: {format_scientific(fpga_low)} .. {format_scientific(fpga_high)} "
+          f"({fpga_high / max(fpga_low, 1e-9):.1f}x spread)")
+    print(f"GPU  outputs/s range: {format_scientific(gpu_low)} .. {format_scientific(gpu_high)} "
+          f"({gpu_high / max(gpu_low, 1e-9):.1f}x spread)")
+    print(f"neuron-count vs throughput correlation: "
+          f"FPGA {throughput_neuron_correlation(evaluations, 'fpga'):+.2f}, "
+          f"GPU {throughput_neuron_correlation(evaluations, 'gpu'):+.2f}")
+
+    bands = accuracy_band_summary(evaluations, band_width=0.01, device="fpga", top_bands=5)
+    rows = [
+        {
+            "accuracy_band": f"({band.accuracy_floor:.3f}, {band.accuracy_ceiling:.3f}]",
+            "candidates": band.count,
+            "min_outputs_per_s": band.min_outputs_per_second,
+            "max_outputs_per_s": band.max_outputs_per_second,
+            "spread": round(band.throughput_spread, 1),
+        }
+        for band in bands
+    ]
+    print()
+    print(format_table(rows, title="FPGA throughput by accuracy band (the 'small sacrifice, giant leap' effect)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim for editable installs in offline environments.
+
+The project metadata lives in ``pyproject.toml``.  This file exists only so
+that ``pip install -e .`` can fall back to the legacy ``setup.py develop``
+path on machines where the ``wheel`` package (needed by PEP 660 editable
+builds with older setuptools) is not available, such as fully offline
+reproduction environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — reproduction of "AutoML for Multilayer Perceptron and FPGA Co-design".
+
+The package implements the ECAD (Evolutionary Cell Aided Design) flow from
+Colangelo et al. (SOCC 2020): a steady-state evolutionary search over the
+joint space of MLP architectures and FPGA systolic-array overlay
+configurations, evaluated by simulation / hardware-database / physical
+workers, with accuracy, throughput, latency and efficiency fitness functions
+and Pareto-frontier analysis.
+
+Subpackages
+-----------
+``repro.core``
+    The evolutionary co-design engine (genomes, operators, fitness, Pareto,
+    cache, engine, configuration files, high-level search front-end).
+``repro.nn``
+    From-scratch numpy MLP substrate (layers, training, k-fold evaluation).
+``repro.datasets``
+    Synthetic analogues of the paper's six datasets plus CSV I/O.
+``repro.hardware``
+    FPGA overlay and GPU performance models, synthesis and power estimation.
+``repro.workers``
+    Simulation / hardware-database / physical workers and the master process.
+``repro.analysis``
+    Frontier analysis, table formatting, figure data series.
+"""
+
+from . import analysis, core, datasets, hardware, nn, workers
+from .core.config import ECADConfig
+from .core.genome import CoDesignGenome, CoDesignSearchSpace, HardwareGenome, MLPGenome
+from .core.search import CoDesignSearch, RandomSearch, SearchResult
+from .datasets.registry import available_datasets, load_dataset
+from .hardware.device import fpga_device, gpu_device
+from .nn.mlp import MLP, MLPSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "datasets",
+    "hardware",
+    "nn",
+    "workers",
+    "ECADConfig",
+    "CoDesignGenome",
+    "CoDesignSearchSpace",
+    "HardwareGenome",
+    "MLPGenome",
+    "CoDesignSearch",
+    "RandomSearch",
+    "SearchResult",
+    "available_datasets",
+    "load_dataset",
+    "fpga_device",
+    "gpu_device",
+    "MLP",
+    "MLPSpec",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Analysis and reporting utilities over search histories and results."""
+
+from .figures import (
+    BandwidthSweepPoint,
+    ScatterSeries,
+    accuracy_throughput_series,
+    ascii_scatter,
+    efficiency_series,
+)
+from .frontier import (
+    AccuracyBand,
+    accuracy_band_summary,
+    accuracy_throughput_frontier,
+    frontier_rows,
+    throughput_neuron_correlation,
+)
+from .reporting import format_scientific, format_table, rows_to_csv, save_rows_csv
+
+__all__ = [
+    "BandwidthSweepPoint",
+    "ScatterSeries",
+    "accuracy_throughput_series",
+    "ascii_scatter",
+    "efficiency_series",
+    "AccuracyBand",
+    "accuracy_band_summary",
+    "accuracy_throughput_frontier",
+    "frontier_rows",
+    "throughput_neuron_correlation",
+    "format_scientific",
+    "format_table",
+    "rows_to_csv",
+    "save_rows_csv",
+]

@@ -1,0 +1,145 @@
+"""Data-series generation for the paper's figures.
+
+No plotting library is available offline, so "figures" are produced as
+structured data series (lists of points / rows) plus an ASCII scatter renderer
+for quick terminal inspection.  Every figure in the paper's evaluation section
+has a corresponding builder here:
+
+* Figure 2a/2b — accuracy vs outputs/s scatter for FPGA and GPU,
+* Figure 3    — throughput and hardware efficiency vs DDR bank count,
+* Figure 4    — hardware efficiency scatter for Stratix 10 vs Titan X.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.candidate import CandidateEvaluation
+
+__all__ = [
+    "ScatterSeries",
+    "accuracy_throughput_series",
+    "efficiency_series",
+    "BandwidthSweepPoint",
+    "ascii_scatter",
+]
+
+
+@dataclass
+class ScatterSeries:
+    """One named scatter series (x, y pairs)."""
+
+    name: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.name!r}: x has {len(self.x)} points but y has {len(self.y)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point."""
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def y_range(self) -> tuple[float, float]:
+        """(min, max) of the y values (nan, nan when empty)."""
+        if not self.y:
+            return float("nan"), float("nan")
+        return min(self.y), max(self.y)
+
+
+def accuracy_throughput_series(
+    evaluations: list[CandidateEvaluation], device: str = "fpga", name: str | None = None
+) -> ScatterSeries:
+    """Figure 2 series: accuracy on x, outputs/s on y, one point per candidate."""
+    if device not in ("fpga", "gpu"):
+        raise ValueError(f"device must be 'fpga' or 'gpu', got {device!r}")
+    series = ScatterSeries(name=name or f"{device}_accuracy_vs_throughput")
+    for evaluation in evaluations:
+        if evaluation.failed:
+            continue
+        throughput = (
+            evaluation.fpga_outputs_per_second
+            if device == "fpga"
+            else evaluation.gpu_outputs_per_second
+        )
+        series.add(evaluation.accuracy, throughput)
+    return series
+
+
+def efficiency_series(
+    evaluations: list[CandidateEvaluation], device: str = "fpga", name: str | None = None
+) -> ScatterSeries:
+    """Figure 4 series: accuracy on x, hardware efficiency on y."""
+    if device not in ("fpga", "gpu"):
+        raise ValueError(f"device must be 'fpga' or 'gpu', got {device!r}")
+    series = ScatterSeries(name=name or f"{device}_efficiency")
+    for evaluation in evaluations:
+        if evaluation.failed:
+            continue
+        metrics = evaluation.fpga_metrics if device == "fpga" else evaluation.gpu_metrics
+        if metrics is None:
+            continue
+        series.add(evaluation.accuracy, metrics.efficiency)
+    return series
+
+
+@dataclass(frozen=True)
+class BandwidthSweepPoint:
+    """One point of the Figure 3 sweep: a bank count with its results."""
+
+    ddr_banks: int
+    outputs_per_second: float
+    efficiency: float
+    effective_gflops: float
+
+    def to_dict(self) -> dict:
+        """Flat dictionary for table formatting."""
+        return {
+            "ddr_banks": self.ddr_banks,
+            "outputs_per_second": self.outputs_per_second,
+            "efficiency": self.efficiency,
+            "effective_gflops": self.effective_gflops,
+        }
+
+
+def ascii_scatter(
+    series: ScatterSeries,
+    width: int = 60,
+    height: int = 18,
+    log_y: bool = False,
+    marker: str = "*",
+) -> str:
+    """Render a scatter series as ASCII art (for terminal / log inspection)."""
+    if len(series) == 0:
+        return f"{series.name}: (no points)"
+    if width < 10 or height < 5:
+        raise ValueError("ascii_scatter needs width >= 10 and height >= 5")
+    xs = np.asarray(series.x, dtype=float)
+    ys = np.asarray(series.y, dtype=float)
+    if log_y:
+        positive = ys > 0
+        if not positive.any():
+            return f"{series.name}: (no positive y values for log scale)"
+        xs, ys = xs[positive], np.log10(ys[positive])
+    x_low, x_high = float(xs.min()), float(xs.max())
+    y_low, y_high = float(ys.min()), float(ys.max())
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = int((x - x_low) / x_span * (width - 1))
+        row = height - 1 - int((y - y_low) / y_span * (height - 1))
+        grid[row][column] = marker
+    lines = [f"{series.name} (y {'log10 ' if log_y else ''}range [{y_low:.3g}, {y_high:.3g}])"]
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"x range [{x_low:.4g}, {x_high:.4g}]")
+    return "\n".join(lines)

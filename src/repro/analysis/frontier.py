@@ -1,0 +1,159 @@
+"""Frontier and trade-off analysis over search histories.
+
+These helpers turn a :class:`~repro.core.callbacks.SearchHistory` (every
+candidate the search evaluated) into the paper's evaluation artifacts:
+
+* the accuracy-vs-throughput Pareto frontier and its representative rows
+  (Table IV),
+* the accuracy-band throughput statistics behind the Figure 2 discussion
+  ("moving down accuracy just 0.1% results in a giant leap" for the FPGA,
+  "hardly changes" for the GPU), and
+* neuron-count vs throughput correlation, which the paper uses to argue that
+  GPU throughput is insensitive to the neuron distribution while FPGA
+  throughput is strongly shaped by it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.callbacks import SearchHistory
+from ..core.candidate import CandidateEvaluation
+from ..core.pareto import ParetoPoint, pareto_frontier, top_tradeoff_points
+
+__all__ = [
+    "accuracy_throughput_frontier",
+    "frontier_rows",
+    "AccuracyBand",
+    "accuracy_band_summary",
+    "throughput_neuron_correlation",
+]
+
+
+def accuracy_throughput_frontier(
+    evaluations: list[CandidateEvaluation], device: str = "fpga"
+) -> list[CandidateEvaluation]:
+    """Pareto frontier over (accuracy, outputs/s) for the chosen device."""
+    if device not in ("fpga", "gpu"):
+        raise ValueError(f"device must be 'fpga' or 'gpu', got {device!r}")
+    valid = [e for e in evaluations if not e.failed]
+    points = [
+        ParetoPoint(
+            values=(
+                e.accuracy,
+                e.fpga_outputs_per_second if device == "fpga" else e.gpu_outputs_per_second,
+            ),
+            payload=e,
+        )
+        for e in valid
+    ]
+    return [point.payload for point in pareto_frontier(points)]
+
+
+def frontier_rows(
+    evaluations: list[CandidateEvaluation], count: int = 2, device: str = "fpga"
+) -> list[CandidateEvaluation]:
+    """Representative rows of the frontier (best accuracy first), Table-IV style."""
+    frontier = accuracy_throughput_frontier(evaluations, device=device)
+    points = [
+        ParetoPoint(
+            values=(
+                e.accuracy,
+                e.fpga_outputs_per_second if device == "fpga" else e.gpu_outputs_per_second,
+            ),
+            payload=e,
+        )
+        for e in frontier
+    ]
+    return [point.payload for point in top_tradeoff_points(points, count=count, primary=0)]
+
+
+@dataclass(frozen=True)
+class AccuracyBand:
+    """Throughput statistics of all candidates within one accuracy band."""
+
+    accuracy_floor: float
+    accuracy_ceiling: float
+    count: int
+    max_outputs_per_second: float
+    min_outputs_per_second: float
+    mean_outputs_per_second: float
+
+    @property
+    def throughput_spread(self) -> float:
+        """Max/min throughput ratio inside the band (1.0 when degenerate)."""
+        if self.min_outputs_per_second <= 0:
+            return float("inf") if self.max_outputs_per_second > 0 else 1.0
+        return self.max_outputs_per_second / self.min_outputs_per_second
+
+
+def accuracy_band_summary(
+    history: SearchHistory | list[CandidateEvaluation],
+    band_width: float = 0.001,
+    device: str = "fpga",
+    top_bands: int = 5,
+) -> list[AccuracyBand]:
+    """Summarize throughput within successive accuracy bands below the best.
+
+    This is the quantitative form of the paper's Figure 2 discussion: starting
+    at the top accuracy, each band of width ``band_width`` below it is
+    summarized by the throughput range achieved inside the band.
+    """
+    evaluations = history.evaluations() if isinstance(history, SearchHistory) else list(history)
+    valid = [e for e in evaluations if not e.failed]
+    if not valid:
+        return []
+    if band_width <= 0:
+        raise ValueError(f"band_width must be positive, got {band_width}")
+
+    def throughput(e: CandidateEvaluation) -> float:
+        return e.fpga_outputs_per_second if device == "fpga" else e.gpu_outputs_per_second
+
+    best_accuracy = max(e.accuracy for e in valid)
+    bands: list[AccuracyBand] = []
+    for index in range(top_bands):
+        ceiling = best_accuracy - index * band_width
+        floor = ceiling - band_width
+        members = [e for e in valid if floor < e.accuracy <= ceiling]
+        if not members:
+            continue
+        values = np.asarray([throughput(e) for e in members], dtype=float)
+        bands.append(
+            AccuracyBand(
+                accuracy_floor=floor,
+                accuracy_ceiling=ceiling,
+                count=len(members),
+                max_outputs_per_second=float(values.max()),
+                min_outputs_per_second=float(values.min()),
+                mean_outputs_per_second=float(values.mean()),
+            )
+        )
+    return bands
+
+
+def throughput_neuron_correlation(
+    evaluations: list[CandidateEvaluation], device: str = "fpga"
+) -> float:
+    """Pearson correlation between total hidden neurons and outputs/s.
+
+    The paper argues this correlation is essentially absent for the GPU and
+    strong (negative) for the FPGA; the Figure 2 benchmark checks exactly
+    that.  Returns ``nan`` when fewer than two valid points exist or when a
+    variable is constant.
+    """
+    valid = [e for e in evaluations if not e.failed]
+    if len(valid) < 2:
+        return float("nan")
+    neurons = np.asarray([e.genome.mlp.total_hidden_neurons for e in valid], dtype=float)
+    throughput = np.asarray(
+        [
+            e.fpga_outputs_per_second if device == "fpga" else e.gpu_outputs_per_second
+            for e in valid
+        ],
+        dtype=float,
+    )
+    if np.std(neurons) < 1e-12 or np.std(throughput) < 1e-12:
+        return float("nan")
+    return float(np.corrcoef(neurons, throughput)[0, 1])

@@ -1,0 +1,89 @@
+"""Text-table reporting of search results (the paper's tables in ASCII).
+
+The benchmarks regenerate the paper's tables as lists of dictionaries; these
+helpers format such rows into aligned plain-text tables so the harness output
+is readable directly in a terminal or a log file, and export them as CSV for
+further processing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "rows_to_csv", "save_rows_csv", "format_scientific"]
+
+
+def format_scientific(value: float, digits: int = 2) -> str:
+    """Format a throughput-style number the way the paper does (e.g. ``2.45E6``)."""
+    if value == 0:
+        return "0"
+    formatted = f"{value:.{digits}E}"
+    mantissa, exponent = formatted.split("E")
+    exponent_value = int(exponent)
+    return f"{mantissa}E{exponent_value}"
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e4 or (0 < abs(value) < 1e-3):
+            return format_scientific(value)
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None, title: str = "") -> str:
+    """Render rows (dicts) as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        The table body; each row is a mapping from column name to value.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional title printed above the table.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(column) for column in columns]
+    body = [[_stringify(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(header))
+    ]
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append(separator)
+    for line in body:
+        lines.append(" | ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Serialize rows to a CSV string."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({column: row.get(column, "") for column in columns})
+    return buffer.getvalue()
+
+
+def save_rows_csv(rows: Sequence[Mapping[str, object]], path: str | Path, columns: Sequence[str] | None = None) -> None:
+    """Write rows to a CSV file, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows, columns))

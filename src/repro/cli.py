@@ -1,0 +1,187 @@
+"""Command-line interface: run an ECAD search from a configuration file.
+
+Mirrors the paper's flow: point the tool at a dataset (a registered synthetic
+dataset or a CSV export) plus an optional JSON configuration file, and it runs
+the evolutionary co-design search, printing the best candidates, the Pareto
+frontier and the run-time statistics.
+
+Examples
+--------
+Run a small accuracy+throughput search on the Credit-g analogue::
+
+    ecad run --dataset credit-g --max-evaluations 60 --scale 0.2
+
+Generate a configuration template from a dataset and save it::
+
+    ecad template --dataset har --output har_config.json
+
+Run from a CSV export and a saved configuration::
+
+    ecad run --csv mydata.csv --config my_config.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .analysis.reporting import format_scientific, format_table
+from .core.callbacks import ProgressLogger
+from .core.config import ECADConfig, OptimizationTargetConfig
+from .core.search import CoDesignSearch
+from .datasets.csv_io import load_dataset_csv
+from .datasets.registry import available_datasets, load_dataset
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``ecad`` command."""
+    parser = argparse.ArgumentParser(
+        prog="ecad",
+        description="Evolutionary co-design of MLPs and FPGA overlay hardware (ECAD reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run a co-design search")
+    _add_dataset_arguments(run_parser)
+    run_parser.add_argument("--config", default="", help="path to a JSON ECAD configuration file")
+    run_parser.add_argument("--population", type=int, default=16, help="population size")
+    run_parser.add_argument("--max-evaluations", type=int, default=80, help="total candidate evaluations")
+    run_parser.add_argument("--seed", type=int, default=0, help="search seed")
+    run_parser.add_argument("--fpga", default="arria10", help="FPGA target (arria10, stratix10)")
+    run_parser.add_argument("--gpu", default="titan_x", help="GPU baseline (titan_x, m5000, radeon_vii, or '' to disable)")
+    run_parser.add_argument(
+        "--objective",
+        choices=("accuracy", "codesign"),
+        default="codesign",
+        help="accuracy-only search or joint accuracy+throughput co-design",
+    )
+    run_parser.add_argument("--epochs", type=int, default=10, help="training epochs per candidate")
+    run_parser.add_argument("--progress-every", type=int, default=10, help="progress print interval (steps)")
+    run_parser.add_argument("--output", default="", help="optional path to write results as JSON")
+
+    template_parser = subparsers.add_parser("template", help="generate a configuration template from a dataset")
+    _add_dataset_arguments(template_parser)
+    template_parser.add_argument("--output", required=True, help="path of the JSON configuration to write")
+    template_parser.add_argument("--fpga", default="arria10", help="FPGA target")
+    template_parser.add_argument("--gpu", default="titan_x", help="GPU baseline")
+
+    subparsers.add_parser("datasets", help="list the registered datasets")
+    return parser
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="", help=f"registered dataset name ({', '.join(available_datasets())})")
+    parser.add_argument("--csv", default="", help="path to a CSV dataset export (last column = label)")
+    parser.add_argument("--test-csv", default="", help="optional pre-split test partition CSV")
+    parser.add_argument("--scale", type=float, default=0.1, help="sample-count scale for synthetic datasets")
+    parser.add_argument("--data-seed", type=int, default=0, help="seed for synthetic dataset generation")
+
+
+def _resolve_dataset(args: argparse.Namespace):
+    if args.csv:
+        return load_dataset_csv(args.csv, test_path=args.test_csv or None)
+    if args.dataset:
+        return load_dataset(args.dataset, seed=args.data_seed, scale=args.scale)
+    raise SystemExit("error: provide either --dataset or --csv")
+
+
+def _command_datasets() -> int:
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def _command_template(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args)
+    config = ECADConfig.template_for_dataset(dataset, fpga=args.fpga, gpu=args.gpu)
+    config.save(args.output)
+    print(f"wrote configuration template for {dataset.name!r} to {args.output}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args)
+    if args.config:
+        config = ECADConfig.load(args.config)
+    else:
+        optimization = (
+            OptimizationTargetConfig.accuracy_only()
+            if args.objective == "accuracy"
+            else OptimizationTargetConfig.accuracy_and_throughput()
+        )
+        config = ECADConfig.template_for_dataset(
+            dataset,
+            fpga=args.fpga,
+            gpu=args.gpu,
+            optimization=optimization,
+            population_size=args.population,
+            max_evaluations=args.max_evaluations,
+            seed=args.seed,
+            training_epochs=args.epochs,
+        )
+
+    search = CoDesignSearch(
+        dataset, config=config, callbacks=[ProgressLogger(interval=args.progress_every)]
+    )
+    result = search.run()
+
+    best = result.best_accuracy_candidate
+    print()
+    print(f"dataset: {dataset.name}  ({dataset.num_samples} samples, "
+          f"{dataset.num_features} features, {dataset.num_classes} classes)")
+    print(f"best accuracy: {result.best_accuracy:.4f}")
+    print(f"  hidden layers: {list(best.genome.mlp.hidden_layers)}")
+    print(f"  activations:   {list(best.genome.mlp.activations)}")
+    print(f"  grid:          {best.genome.hardware.grid}")
+    print(f"  FPGA outputs/s: {format_scientific(best.fpga_outputs_per_second)}")
+    print(f"  GPU outputs/s:  {format_scientific(best.gpu_outputs_per_second)}")
+    print()
+
+    rows = [
+        {
+            "accuracy": candidate.accuracy,
+            "fpga_outputs_per_s": candidate.fpga_outputs_per_second,
+            "gpu_outputs_per_s": candidate.gpu_outputs_per_second,
+            "hidden_layers": "x".join(str(h) for h in candidate.genome.mlp.hidden_layers),
+            "grid": str(candidate.genome.hardware.grid),
+        }
+        for candidate in result.pareto_rows(count=4)
+    ]
+    print(format_table(rows, title="Pareto frontier (best rows)"))
+    print()
+    stats = result.statistics.to_dict()
+    print(format_table([stats], title="Run statistics"))
+
+    if args.output:
+        payload = {
+            "dataset": dataset.name,
+            "best_accuracy": result.best_accuracy,
+            "best_candidate": best.summary(),
+            "pareto_rows": [candidate.summary() for candidate in result.pareto_rows(count=4)],
+            "statistics": stats,
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote results to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``ecad`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "datasets":
+        return _command_datasets()
+    if args.command == "template":
+        return _command_template(args)
+    if args.command == "run":
+        return _command_run(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Evaluation cache keyed by genome parameters.
+
+Table III of the paper notes: *"in order to optimize the search and run time
+of the system, potential NNA/HW candidates are first analyzed for similarities
+to previous evaluations and duplicates are not evaluated twice"* and *"The
+ECAD system caches similar configurations and avoids reevaluating them."*
+
+The cache is an in-memory map from the genome's canonical hash to its
+:class:`~repro.core.candidate.CandidateEvaluation`.  It also keeps hit/miss
+statistics because the run-time table (Table III) distinguishes the number of
+models *generated* from the number actually *evaluated*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .candidate import CandidateEvaluation
+from .genome import CoDesignGenome
+
+__all__ = ["CacheStatistics", "EvaluationCache"]
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups performed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never used)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class EvaluationCache:
+    """In-memory candidate-evaluation cache with optional capacity bound.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional bound on the number of stored evaluations.  When exceeded the
+        oldest entry is evicted (insertion order), which keeps long searches
+        from growing without limit.  ``None`` means unbounded.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(f"max_entries must be positive or None, got {max_entries}")
+        self._entries: dict[str, CandidateEvaluation] = {}
+        self._max_entries = max_entries
+        self.statistics = CacheStatistics()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, genome: CoDesignGenome) -> bool:
+        return genome.cache_key() in self._entries
+
+    def lookup(self, genome: CoDesignGenome) -> CandidateEvaluation | None:
+        """Return the cached evaluation for ``genome`` or ``None`` on a miss.
+
+        Cache hits are returned as copies flagged ``from_cache=True`` so the
+        run-time statistics can distinguish them from fresh evaluations.
+        """
+        key = genome.cache_key()
+        entry = self._entries.get(key)
+        if entry is None:
+            self.statistics.misses += 1
+            return None
+        self.statistics.hits += 1
+        return entry.as_cache_copy()
+
+    def store(self, evaluation: CandidateEvaluation) -> None:
+        """Insert (or refresh) the evaluation of one candidate.
+
+        Failed evaluations are not cached: a transient failure should not
+        permanently poison a genome.
+        """
+        if evaluation.failed:
+            return
+        key = evaluation.genome.cache_key()
+        if key not in self._entries and self._max_entries is not None:
+            while len(self._entries) >= self._max_entries:
+                oldest_key = next(iter(self._entries))
+                del self._entries[oldest_key]
+        self._entries[key] = evaluation
+        self.statistics.stores += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset statistics."""
+        self._entries.clear()
+        self.statistics = CacheStatistics()
+
+    def values(self) -> list[CandidateEvaluation]:
+        """All cached evaluations, in insertion order."""
+        return list(self._entries.values())

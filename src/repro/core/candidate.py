@@ -1,0 +1,139 @@
+"""The evaluated-candidate record exchanged between workers, cache and engine.
+
+A :class:`CandidateEvaluation` is what the master process hands back to the
+evolutionary engine for each co-design genome: the raw measurements from every
+worker that looked at the candidate (training accuracy from the simulation
+worker, FPGA overlay metrics from the hardware database worker, GPU metrics
+from the simulation worker, synthesis metrics from the physical worker).
+Fitness functions consume this record; they never talk to workers directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.results import HardwareMetrics
+from ..hardware.synthesis import SynthesisReport
+from .genome import CoDesignGenome
+
+__all__ = ["CandidateEvaluation"]
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """All raw measurements for one co-design candidate.
+
+    Attributes
+    ----------
+    genome:
+        The candidate that was evaluated.
+    accuracy:
+        Classification accuracy under the experiment's evaluation protocol
+        (10-fold mean or single-fold test accuracy).
+    accuracy_std:
+        Standard deviation across folds (0 for single-fold evaluation).
+    parameter_count:
+        Trainable parameter count of the network.
+    fpga_metrics:
+        Overlay performance estimate from the hardware database worker, or
+        ``None`` when the search does not target an FPGA.
+    gpu_metrics:
+        GPU baseline estimate from the simulation worker, or ``None`` when no
+        GPU baseline was requested.
+    synthesis:
+        Resource/Fmax estimate from the physical worker, or ``None``.
+    train_seconds:
+        Wall-clock time spent training/evaluating the network.
+    evaluation_seconds:
+        End-to-end wall-clock time of the whole candidate evaluation (the
+        quantity averaged in Table III).
+    from_cache:
+        Whether this record was served from the evaluation cache instead of
+        being recomputed.
+    error:
+        Non-empty when the evaluation failed; such candidates receive the
+        worst possible fitness instead of crashing the search.
+    extras:
+        Free-form diagnostics from workers.
+    """
+
+    genome: CoDesignGenome
+    accuracy: float = 0.0
+    accuracy_std: float = 0.0
+    parameter_count: int = 0
+    fpga_metrics: HardwareMetrics | None = None
+    gpu_metrics: HardwareMetrics | None = None
+    synthesis: SynthesisReport | None = None
+    train_seconds: float = 0.0
+    evaluation_seconds: float = 0.0
+    from_cache: bool = False
+    error: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.error:
+            if not 0.0 <= self.accuracy <= 1.0:
+                raise ValueError(f"accuracy must be in [0, 1], got {self.accuracy}")
+            if self.accuracy_std < 0:
+                raise ValueError(f"accuracy_std must be >= 0, got {self.accuracy_std}")
+        if self.parameter_count < 0:
+            raise ValueError(f"parameter_count must be >= 0, got {self.parameter_count}")
+        if self.train_seconds < 0:
+            raise ValueError(f"train_seconds must be >= 0, got {self.train_seconds}")
+        if self.evaluation_seconds < 0:
+            raise ValueError(f"evaluation_seconds must be >= 0, got {self.evaluation_seconds}")
+
+    @property
+    def failed(self) -> bool:
+        """Whether the evaluation failed."""
+        return bool(self.error)
+
+    @property
+    def fpga_outputs_per_second(self) -> float:
+        """FPGA throughput, or 0 when no FPGA metrics are present."""
+        return self.fpga_metrics.outputs_per_second if self.fpga_metrics else 0.0
+
+    @property
+    def gpu_outputs_per_second(self) -> float:
+        """GPU throughput, or 0 when no GPU metrics are present."""
+        return self.gpu_metrics.outputs_per_second if self.gpu_metrics else 0.0
+
+    def as_cache_copy(self) -> "CandidateEvaluation":
+        """Return a copy flagged as served from the cache."""
+        return CandidateEvaluation(
+            genome=self.genome,
+            accuracy=self.accuracy,
+            accuracy_std=self.accuracy_std,
+            parameter_count=self.parameter_count,
+            fpga_metrics=self.fpga_metrics,
+            gpu_metrics=self.gpu_metrics,
+            synthesis=self.synthesis,
+            train_seconds=self.train_seconds,
+            evaluation_seconds=self.evaluation_seconds,
+            from_cache=True,
+            error=self.error,
+            extras=dict(self.extras),
+        )
+
+    def summary(self) -> dict:
+        """Flat dictionary used by reports and the search history."""
+        return {
+            "cache_key": self.genome.cache_key(),
+            "hidden_layers": list(self.genome.mlp.hidden_layers),
+            "activations": list(self.genome.mlp.activations),
+            "use_bias": self.genome.mlp.use_bias,
+            "grid": self.genome.hardware.grid.to_dict(),
+            "fpga_batch": self.genome.hardware.batch_size,
+            "gpu_batch": self.genome.gpu_batch_size,
+            "accuracy": self.accuracy,
+            "accuracy_std": self.accuracy_std,
+            "parameter_count": self.parameter_count,
+            "fpga_outputs_per_second": self.fpga_outputs_per_second,
+            "gpu_outputs_per_second": self.gpu_outputs_per_second,
+            "fpga_efficiency": self.fpga_metrics.efficiency if self.fpga_metrics else 0.0,
+            "gpu_efficiency": self.gpu_metrics.efficiency if self.gpu_metrics else 0.0,
+            "train_seconds": self.train_seconds,
+            "evaluation_seconds": self.evaluation_seconds,
+            "from_cache": self.from_cache,
+            "error": self.error,
+        }

@@ -1,0 +1,324 @@
+"""The ECAD configuration file.
+
+Section III of the paper: once a problem is identified, "a dataset will be
+exported into a Comma Separated Value (CSV) tabular data format, in addition a
+configuration file will be created and will contain information on (a) the
+general NNA structure including input and output sizes, initial number of
+layers and neurons, (b) Hardware target including reconfigurable hardware
+device type, DSP count, memory size and number of blocks, (c) optimization
+targets such as accuracy, throughput, latency, and floating-point operations.
+Note that the configuration file can be generated automatically based on an
+existing template configuration file and the dataset."
+
+:class:`ECADConfig` is that file in object form: it can be loaded from / saved
+to JSON, validated, and turned into the concrete objects the search needs
+(search space, fitness objectives, engine configuration, devices).  The
+``template_for_dataset`` constructor implements the automatic generation from
+a dataset.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..datasets.base import Dataset, DatasetInfo
+from ..hardware.device import FPGADevice, GPUDevice, fpga_device, gpu_device
+from ..nn.training import TrainingConfig
+from .engine import EngineConfig
+from .errors import ConfigurationError
+from .fitness import FitnessObjective
+from .genome import CoDesignSearchSpace, HardwareSearchSpace, MLPSearchSpace
+from .mutation import MutationConfig
+
+__all__ = ["NNAStructureConfig", "HardwareTargetConfig", "OptimizationTargetConfig", "ECADConfig"]
+
+
+@dataclass(frozen=True)
+class NNAStructureConfig:
+    """Section (a) of the configuration file: the NNA structure and bounds."""
+
+    input_size: int
+    output_size: int
+    min_layers: int = 1
+    max_layers: int = 4
+    layer_sizes: tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024)
+    activations: tuple[str, ...] = ("relu", "tanh", "sigmoid", "elu")
+    allow_bias_toggle: bool = True
+
+    def __post_init__(self) -> None:
+        if self.input_size <= 0:
+            raise ConfigurationError(f"input_size must be positive, got {self.input_size}")
+        if self.output_size <= 0:
+            raise ConfigurationError(f"output_size must be positive, got {self.output_size}")
+
+    def to_search_space(self) -> MLPSearchSpace:
+        """Build the network half of the co-design search space."""
+        return MLPSearchSpace(
+            min_layers=self.min_layers,
+            max_layers=self.max_layers,
+            layer_sizes=tuple(self.layer_sizes),
+            activations=tuple(self.activations),
+            allow_bias_toggle=self.allow_bias_toggle,
+        )
+
+
+@dataclass(frozen=True)
+class HardwareTargetConfig:
+    """Section (b) of the configuration file: the hardware targets.
+
+    Attributes
+    ----------
+    fpga:
+        Catalogue name of the FPGA target (e.g. ``"arria10"``, ``"stratix10"``).
+    ddr_banks:
+        DDR banks populated on the board (overrides the catalogue default).
+    clock_mhz:
+        Overlay clock override; 0 keeps the catalogue value.
+    gpu:
+        Catalogue name of the GPU baseline, or empty to skip the GPU model.
+    fpga_batch_sizes / gpu_batch_sizes:
+        Batch-size choices exposed to the search.
+    """
+
+    fpga: str = "arria10"
+    ddr_banks: int = 0
+    clock_mhz: float = 0.0
+    gpu: str = "titan_x"
+    fpga_batch_sizes: tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192)
+    gpu_batch_sizes: tuple[int, ...] = (64, 128, 256, 512, 1024)
+
+    def fpga_device(self) -> FPGADevice:
+        """Resolve the FPGA target, applying bank/clock overrides."""
+        device = fpga_device(self.fpga)
+        if self.ddr_banks > 0:
+            device = device.with_ddr_banks(self.ddr_banks)
+        if self.clock_mhz > 0:
+            device = device.with_clock(self.clock_mhz)
+        return device
+
+    def gpu_device(self) -> GPUDevice | None:
+        """Resolve the GPU baseline, or None when disabled."""
+        if not self.gpu:
+            return None
+        return gpu_device(self.gpu)
+
+    def to_search_space(self) -> HardwareSearchSpace:
+        """Build the hardware half of the co-design search space."""
+        return HardwareSearchSpace(batch_sizes=tuple(self.fpga_batch_sizes))
+
+
+@dataclass(frozen=True)
+class OptimizationTargetConfig:
+    """Section (c) of the configuration file: what the search optimizes.
+
+    Each target is ``(objective name, weight, maximize)``; the default is the
+    joint accuracy + FPGA-throughput search used for Table IV and Figure 2.
+    """
+
+    objectives: tuple[tuple[str, float, bool], ...] = (
+        ("accuracy", 1.0, True),
+        ("fpga_throughput", 1.0, True),
+    )
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ConfigurationError("at least one optimization target is required")
+
+    def to_fitness_objectives(self) -> list[FitnessObjective]:
+        """Build the fitness-objective list for the evaluator."""
+        objectives = []
+        for name, weight, maximize in self.objectives:
+            scale = 1.0 if name == "accuracy" else 0.0
+            objectives.append(
+                FitnessObjective(name=name, weight=float(weight), maximize=bool(maximize), scale=scale)
+            )
+        return objectives
+
+    @classmethod
+    def accuracy_only(cls) -> "OptimizationTargetConfig":
+        """Target used for the Table I / Table II accuracy searches."""
+        return cls(objectives=(("accuracy", 1.0, True),))
+
+    @classmethod
+    def accuracy_and_throughput(cls) -> "OptimizationTargetConfig":
+        """Target used for the Table IV / Figure 2 co-design searches."""
+        return cls(objectives=(("accuracy", 1.0, True), ("fpga_throughput", 1.0, True)))
+
+
+@dataclass(frozen=True)
+class ECADConfig:
+    """The full ECAD configuration file."""
+
+    dataset_name: str
+    nna: NNAStructureConfig
+    hardware: HardwareTargetConfig = field(default_factory=HardwareTargetConfig)
+    optimization: OptimizationTargetConfig = field(default_factory=OptimizationTargetConfig)
+    population_size: int = 24
+    max_evaluations: int = 200
+    seed: int | None = 0
+    evaluation_protocol: str = "1-fold"
+    num_folds: int = 10
+    training_epochs: int = 20
+    training_batch_size: int = 32
+    dataset_csv: str = ""
+    dataset_test_csv: str = ""
+
+    def __post_init__(self) -> None:
+        if self.evaluation_protocol not in ("1-fold", "10-fold"):
+            raise ConfigurationError(
+                f"evaluation_protocol must be '1-fold' or '10-fold', got {self.evaluation_protocol!r}"
+            )
+        if self.num_folds < 2:
+            raise ConfigurationError(f"num_folds must be >= 2, got {self.num_folds}")
+        if self.training_epochs <= 0:
+            raise ConfigurationError(f"training_epochs must be positive, got {self.training_epochs}")
+        if self.training_batch_size <= 0:
+            raise ConfigurationError(
+                f"training_batch_size must be positive, got {self.training_batch_size}"
+            )
+
+    # ----------------------------------------------------------- factories
+    @classmethod
+    def template_for_dataset(
+        cls,
+        dataset: Dataset | DatasetInfo,
+        fpga: str = "arria10",
+        gpu: str = "titan_x",
+        optimization: OptimizationTargetConfig | None = None,
+        **overrides,
+    ) -> "ECADConfig":
+        """Automatically generate a configuration from a dataset.
+
+        Mirrors the paper's note that "the configuration file can be generated
+        automatically based on an existing template configuration file and the
+        dataset": the NNA input/output sizes come from the dataset, the
+        evaluation protocol follows the dataset's pre-split status, and the
+        layer-size menu is clipped to sensible values for the input width.
+        """
+        info = dataset.info() if isinstance(dataset, Dataset) else dataset
+        protocol = overrides.pop(
+            "evaluation_protocol", "1-fold" if info.has_test_split else "10-fold"
+        )
+        nna = NNAStructureConfig(input_size=info.num_features, output_size=info.num_classes)
+        hardware = HardwareTargetConfig(fpga=fpga, gpu=gpu)
+        return cls(
+            dataset_name=info.name,
+            nna=nna,
+            hardware=hardware,
+            optimization=optimization or OptimizationTargetConfig(),
+            evaluation_protocol=protocol,
+            **overrides,
+        )
+
+    # --------------------------------------------------------- conversions
+    def to_search_space(self) -> CoDesignSearchSpace:
+        """Build the joint co-design search space."""
+        return CoDesignSearchSpace(
+            mlp_space=self.nna.to_search_space(),
+            hardware_space=self.hardware.to_search_space(),
+            gpu_batch_sizes=tuple(self.hardware.gpu_batch_sizes),
+        )
+
+    def to_engine_config(self) -> EngineConfig:
+        """Build the evolutionary-engine configuration."""
+        return EngineConfig(
+            population_size=self.population_size,
+            max_evaluations=self.max_evaluations,
+            seed=self.seed,
+        )
+
+    def to_training_config(self) -> TrainingConfig:
+        """Build the candidate-training configuration."""
+        return TrainingConfig(epochs=self.training_epochs, batch_size=self.training_batch_size)
+
+    def to_mutation_config(self) -> MutationConfig:
+        """Build mutation weights appropriate for the optimization targets."""
+        names = {name for name, _, _ in self.optimization.objectives}
+        hardware_objectives = {
+            "fpga_throughput",
+            "fpga_latency",
+            "fpga_efficiency",
+            "fpga_effective_gflops",
+            "gpu_throughput",
+            "dsp_usage",
+        }
+        if names & hardware_objectives:
+            return MutationConfig()
+        return MutationConfig.accuracy_only()
+
+    # ---------------------------------------------------------------- JSON
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        data = asdict(self)
+        data["nna"]["layer_sizes"] = list(self.nna.layer_sizes)
+        data["nna"]["activations"] = list(self.nna.activations)
+        data["hardware"]["fpga_batch_sizes"] = list(self.hardware.fpga_batch_sizes)
+        data["hardware"]["gpu_batch_sizes"] = list(self.hardware.gpu_batch_sizes)
+        data["optimization"]["objectives"] = [list(obj) for obj in self.optimization.objectives]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ECADConfig":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            nna_data = dict(data["nna"])
+            hardware_data = dict(data.get("hardware", {}))
+            optimization_data = dict(data.get("optimization", {}))
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"malformed configuration: {exc}") from exc
+        nna = NNAStructureConfig(
+            input_size=int(nna_data["input_size"]),
+            output_size=int(nna_data["output_size"]),
+            min_layers=int(nna_data.get("min_layers", 1)),
+            max_layers=int(nna_data.get("max_layers", 4)),
+            layer_sizes=tuple(int(v) for v in nna_data.get("layer_sizes", (16, 32, 64, 128, 256, 512, 1024))),
+            activations=tuple(nna_data.get("activations", ("relu", "tanh", "sigmoid", "elu"))),
+            allow_bias_toggle=bool(nna_data.get("allow_bias_toggle", True)),
+        )
+        hardware = HardwareTargetConfig(
+            fpga=str(hardware_data.get("fpga", "arria10")),
+            ddr_banks=int(hardware_data.get("ddr_banks", 0)),
+            clock_mhz=float(hardware_data.get("clock_mhz", 0.0)),
+            gpu=str(hardware_data.get("gpu", "titan_x")),
+            fpga_batch_sizes=tuple(int(v) for v in hardware_data.get("fpga_batch_sizes", (256, 512, 1024, 2048, 4096, 8192))),
+            gpu_batch_sizes=tuple(int(v) for v in hardware_data.get("gpu_batch_sizes", (64, 128, 256, 512, 1024))),
+        )
+        objectives_data = optimization_data.get("objectives", [["accuracy", 1.0, True], ["fpga_throughput", 1.0, True]])
+        optimization = OptimizationTargetConfig(
+            objectives=tuple((str(n), float(w), bool(m)) for n, w, m in objectives_data)
+        )
+        return cls(
+            dataset_name=str(data["dataset_name"]),
+            nna=nna,
+            hardware=hardware,
+            optimization=optimization,
+            population_size=int(data.get("population_size", 24)),
+            max_evaluations=int(data.get("max_evaluations", 200)),
+            seed=data.get("seed", 0),
+            evaluation_protocol=str(data.get("evaluation_protocol", "1-fold")),
+            num_folds=int(data.get("num_folds", 10)),
+            training_epochs=int(data.get("training_epochs", 20)),
+            training_batch_size=int(data.get("training_batch_size", 32)),
+            dataset_csv=str(data.get("dataset_csv", "")),
+            dataset_test_csv=str(data.get("dataset_test_csv", "")),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the configuration to a JSON file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ECADConfig":
+        """Read a configuration from a JSON file."""
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"configuration file not found: {path}")
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"configuration file {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

@@ -1,0 +1,122 @@
+"""Crossover (recombination) operators over co-design genomes.
+
+Crossover in a joint NNA/hardware space is most useful *across* the two
+halves: a child can inherit a strong network from one parent and a strong
+hardware allocation from the other.  Within the network half we implement a
+layer-wise uniform crossover; within the hardware half a field-wise uniform
+crossover over the grid parameters.
+
+Like mutation, operators are pure functions returning new genomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hardware.device import FPGADevice
+from ..hardware.systolic import GridConfig
+from .genome import CoDesignGenome, HardwareGenome, MLPGenome
+
+__all__ = [
+    "crossover_mlp_layers",
+    "crossover_hardware_fields",
+    "crossover_swap_halves",
+    "CoDesignCrossover",
+]
+
+
+def crossover_mlp_layers(
+    parent_a: MLPGenome, parent_b: MLPGenome, rng: np.random.Generator
+) -> MLPGenome:
+    """Layer-wise uniform crossover of two network genomes.
+
+    The child depth is drawn from one of the parents; each layer position then
+    takes its (size, activation) pair from whichever parent has a layer at
+    that position (uniformly when both do).  The bias flag is inherited
+    uniformly.
+    """
+    depth_source = parent_a if rng.random() < 0.5 else parent_b
+    depth = depth_source.num_hidden_layers
+    hidden: list[int] = []
+    activations: list[str] = []
+    for index in range(depth):
+        donors = []
+        if index < parent_a.num_hidden_layers:
+            donors.append(parent_a)
+        if index < parent_b.num_hidden_layers:
+            donors.append(parent_b)
+        donor = donors[int(rng.integers(0, len(donors)))]
+        hidden.append(donor.hidden_layers[index])
+        activations.append(donor.activations[index])
+    use_bias = parent_a.use_bias if rng.random() < 0.5 else parent_b.use_bias
+    return MLPGenome(hidden_layers=tuple(hidden), activations=tuple(activations), use_bias=use_bias)
+
+
+def crossover_hardware_fields(
+    parent_a: HardwareGenome, parent_b: HardwareGenome, rng: np.random.Generator
+) -> HardwareGenome:
+    """Field-wise uniform crossover of two hardware genomes."""
+    fields_a = parent_a.grid.to_dict()
+    fields_b = parent_b.grid.to_dict()
+    child_fields = {
+        key: fields_a[key] if rng.random() < 0.5 else fields_b[key] for key in fields_a
+    }
+    batch = parent_a.batch_size if rng.random() < 0.5 else parent_b.batch_size
+    return HardwareGenome(grid=GridConfig.from_dict(child_fields), batch_size=batch)
+
+
+def crossover_swap_halves(
+    parent_a: CoDesignGenome, parent_b: CoDesignGenome, rng: np.random.Generator
+) -> CoDesignGenome:
+    """Take the full network half from one parent and the hardware half from the other."""
+    if rng.random() < 0.5:
+        return CoDesignGenome(
+            mlp=parent_a.mlp, hardware=parent_b.hardware, gpu_batch_size=parent_a.gpu_batch_size
+        )
+    return CoDesignGenome(
+        mlp=parent_b.mlp, hardware=parent_a.hardware, gpu_batch_size=parent_b.gpu_batch_size
+    )
+
+
+@dataclass
+class CoDesignCrossover:
+    """Composite crossover: per-half recombination or whole-half swap.
+
+    Parameters
+    ----------
+    swap_probability:
+        Probability of using the whole-half swap instead of per-field
+        recombination.
+    device:
+        Optional FPGA device; infeasible children fall back to the fitter
+        hardware half of the parents (parent_a by convention).
+    """
+
+    swap_probability: float = 0.3
+    device: FPGADevice | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.swap_probability <= 1.0:
+            raise ValueError(f"swap_probability must be in [0, 1], got {self.swap_probability}")
+
+    def recombine(
+        self, parent_a: CoDesignGenome, parent_b: CoDesignGenome, rng: np.random.Generator
+    ) -> CoDesignGenome:
+        """Produce one child genome from two parents."""
+        if rng.random() < self.swap_probability:
+            child = crossover_swap_halves(parent_a, parent_b, rng)
+        else:
+            child = CoDesignGenome(
+                mlp=crossover_mlp_layers(parent_a.mlp, parent_b.mlp, rng),
+                hardware=crossover_hardware_fields(parent_a.hardware, parent_b.hardware, rng),
+                gpu_batch_size=(
+                    parent_a.gpu_batch_size if rng.random() < 0.5 else parent_b.gpu_batch_size
+                ),
+            )
+        if self.device is not None and not child.hardware.fits(self.device):
+            child = CoDesignGenome(
+                mlp=child.mlp, hardware=parent_a.hardware, gpu_batch_size=child.gpu_batch_size
+            )
+        return child

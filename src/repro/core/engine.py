@@ -1,0 +1,377 @@
+"""The steady-state evolutionary engine — the heart of the ECAD flow.
+
+Section III-A of the paper: the evolutionary process, "based on a steady-state
+model", generates a population of NNA/hardware co-design candidates, has each
+evaluated by workers, scores them with user-defined fitness functions, and
+iterates by selecting parents, recombining and mutating them, and inserting
+offspring back into the population.
+
+The engine is deliberately decoupled from the evaluation machinery: it only
+needs a callable ``evaluator(genome) -> CandidateEvaluation``.  In the full
+system that callable is the :class:`~repro.workers.master.Master`; in unit
+tests it can be a cheap synthetic function.  Caching, duplicate avoidance and
+run-time statistics (Table III) live here because they are properties of the
+search, not of any individual worker.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..hardware.device import FPGADevice
+from .cache import EvaluationCache
+from .callbacks import Callback, CallbackList, SearchHistory
+from .candidate import CandidateEvaluation
+from .crossover import CoDesignCrossover
+from .errors import SearchError
+from .fitness import FitnessEvaluator
+from .genome import CoDesignGenome, CoDesignSearchSpace
+from .mutation import CoDesignMutator, MutationConfig
+from .population import Individual, Population
+from .selection import SelectionScheme, get_selection
+
+__all__ = ["EngineConfig", "RunStatistics", "EngineResult", "EvolutionaryEngine"]
+
+#: Evaluator signature: maps a genome to its full evaluation record.
+Evaluator = Callable[[CoDesignGenome], CandidateEvaluation]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Hyperparameters of the evolutionary search itself.
+
+    Attributes
+    ----------
+    population_size:
+        Number of individuals retained in the steady-state population.
+    max_evaluations:
+        Total number of candidate evaluations (including the initial
+        population and cache hits) before the search stops.
+    crossover_probability:
+        Probability that an offspring is produced by recombination of two
+        parents (otherwise a single parent is cloned) before mutation.
+    mutation_probability:
+        Probability that the offspring is mutated (applied after crossover;
+        a cloned, unmutated offspring is still possible but will usually be
+        deduplicated by the cache).
+    selection:
+        Name of the parent-selection scheme (``tournament``, ``roulette``,
+        ``rank``).
+    tournament_size:
+        Tournament size when tournament selection is used.
+    steady_state:
+        True for the paper's steady-state replacement; False switches to a
+        generational model (used only by the ablation benchmark).
+    avoid_duplicate_genomes:
+        Skip offspring whose exact parameters are already in the population
+        (the cache still answers repeats across the whole run).
+    seed:
+        RNG seed for the search (initial population, selection, operators).
+    max_stagnation_steps:
+        Stop early when the best fitness has not improved for this many
+        steps; ``0`` disables early stopping.
+    """
+
+    population_size: int = 24
+    max_evaluations: int = 200
+    crossover_probability: float = 0.5
+    mutation_probability: float = 0.9
+    selection: str = "tournament"
+    tournament_size: int = 3
+    steady_state: bool = True
+    avoid_duplicate_genomes: bool = True
+    seed: int | None = None
+    max_stagnation_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise SearchError(f"population_size must be >= 2, got {self.population_size}")
+        if self.max_evaluations < self.population_size:
+            raise SearchError(
+                "max_evaluations must be at least population_size "
+                f"({self.max_evaluations} < {self.population_size})"
+            )
+        if not 0.0 <= self.crossover_probability <= 1.0:
+            raise SearchError(
+                f"crossover_probability must be in [0, 1], got {self.crossover_probability}"
+            )
+        if not 0.0 <= self.mutation_probability <= 1.0:
+            raise SearchError(
+                f"mutation_probability must be in [0, 1], got {self.mutation_probability}"
+            )
+        if self.max_stagnation_steps < 0:
+            raise SearchError(
+                f"max_stagnation_steps must be >= 0, got {self.max_stagnation_steps}"
+            )
+
+
+@dataclass
+class RunStatistics:
+    """Run-time statistics of one search — the rows of Table III.
+
+    Attributes
+    ----------
+    models_generated:
+        Number of candidate genomes produced by the engine (initial population
+        plus offspring), i.e. "Total Models Evaluated" in the paper's wording,
+        which counts generated combinations.
+    models_evaluated:
+        Number of genomes actually sent to workers (cache misses).
+    cache_hits:
+        Number of candidate evaluations answered by the cache.
+    total_evaluation_seconds:
+        Sum of wall-clock evaluation time across all fresh evaluations.
+    wall_clock_seconds:
+        End-to-end search time.
+    """
+
+    models_generated: int = 0
+    models_evaluated: int = 0
+    cache_hits: int = 0
+    total_evaluation_seconds: float = 0.0
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def average_evaluation_seconds(self) -> float:
+        """Mean evaluation time per freshly evaluated model (0 when none)."""
+        if self.models_evaluated == 0:
+            return 0.0
+        return self.total_evaluation_seconds / self.models_evaluated
+
+    def to_dict(self) -> dict:
+        """Flat dictionary used by reports."""
+        return {
+            "models_generated": self.models_generated,
+            "models_evaluated": self.models_evaluated,
+            "cache_hits": self.cache_hits,
+            "total_evaluation_seconds": self.total_evaluation_seconds,
+            "average_evaluation_seconds": self.average_evaluation_seconds,
+            "wall_clock_seconds": self.wall_clock_seconds,
+        }
+
+
+@dataclass
+class EngineResult:
+    """Everything a finished search returns."""
+
+    population: Population
+    history: SearchHistory
+    statistics: RunStatistics
+    best: Individual = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.best = self.population.best
+
+
+class EvolutionaryEngine:
+    """Steady-state evolutionary search over a co-design space.
+
+    Parameters
+    ----------
+    space:
+        The joint NNA/hardware search space.
+    evaluator:
+        Callable mapping a genome to a :class:`CandidateEvaluation` (usually a
+        :class:`~repro.workers.master.Master`).
+    fitness:
+        Multi-objective fitness evaluator used for selection and replacement.
+    config:
+        Engine hyperparameters.
+    device:
+        Optional FPGA device used to keep mutated/crossed genomes feasible.
+    mutation_config:
+        Relative mutation-operator weights.
+    cache:
+        Evaluation cache; a fresh unbounded cache is created when omitted.
+    callbacks:
+        Extra callbacks in addition to the built-in :class:`SearchHistory`.
+    """
+
+    def __init__(
+        self,
+        space: CoDesignSearchSpace,
+        evaluator: Evaluator,
+        fitness: FitnessEvaluator,
+        config: EngineConfig | None = None,
+        device: FPGADevice | None = None,
+        mutation_config: MutationConfig | None = None,
+        cache: EvaluationCache | None = None,
+        callbacks: list[Callback] | None = None,
+        selection: SelectionScheme | None = None,
+    ) -> None:
+        self.space = space
+        self.evaluator = evaluator
+        self.fitness = fitness
+        self.config = config or EngineConfig()
+        self.device = device
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.mutator = CoDesignMutator(
+            space=space, config=mutation_config or MutationConfig(), device=device
+        )
+        self.crossover = CoDesignCrossover(device=device)
+        if selection is not None:
+            self.selection = selection
+        elif self.config.selection == "tournament":
+            self.selection = get_selection("tournament", tournament_size=self.config.tournament_size)
+        else:
+            self.selection = get_selection(self.config.selection)
+        self.history = SearchHistory()
+        self.callbacks = CallbackList([self.history, *(callbacks or [])])
+        self._rng = np.random.default_rng(self.config.seed)
+        self.statistics = RunStatistics()
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> EngineResult:
+        """Execute the search and return the final population, history and stats."""
+        start_time = time.perf_counter()
+        population = self._initialize_population()
+        self.callbacks.on_search_start(population)
+
+        step = len(population)
+        stagnation = 0
+        best_fitness = population.best.fitness_value
+
+        while self.statistics.models_generated < self.config.max_evaluations:
+            if self.config.steady_state:
+                inserted = self._steady_state_step(population, step)
+            else:
+                inserted = self._generational_step(population, step)
+            step += 1
+            self.callbacks.on_step_end(population, step)
+
+            if population.best.fitness_value > best_fitness + 1e-12:
+                best_fitness = population.best.fitness_value
+                stagnation = 0
+            else:
+                stagnation += 1
+            if (
+                self.config.max_stagnation_steps > 0
+                and stagnation >= self.config.max_stagnation_steps
+            ):
+                break
+            if not inserted and not self.config.steady_state:
+                break
+
+        self.statistics.wall_clock_seconds = time.perf_counter() - start_time
+        self.callbacks.on_search_end(population)
+        return EngineResult(population=population, history=self.history, statistics=self.statistics)
+
+    # ------------------------------------------------------------ internals
+    def _initialize_population(self) -> Population:
+        population = Population(capacity=self.config.population_size)
+        attempts = 0
+        max_attempts = self.config.population_size * 20
+        while len(population) < self.config.population_size:
+            if self.statistics.models_generated >= self.config.max_evaluations:
+                break
+            attempts += 1
+            if attempts > max_attempts:
+                raise SearchError(
+                    "failed to build a feasible initial population; "
+                    "check the search space against the target device"
+                )
+            genome = self.space.random_genome(self._rng, device=self.device)
+            if self.config.avoid_duplicate_genomes and population.contains_genome(genome):
+                continue
+            individual = self._evaluate_and_wrap(genome, step=len(population))
+            population.add(individual)
+            self._rescore(population)
+        if len(population) < 2:
+            raise SearchError("initial population has fewer than two members")
+        return population
+
+    def _steady_state_step(self, population: Population, step: int) -> bool:
+        genome = self._make_offspring(population)
+        if genome is None:
+            return False
+        individual = self._evaluate_and_wrap(genome, step)
+        population.add(individual)
+        self._rescore(population)
+        return True
+
+    def _generational_step(self, population: Population, step: int) -> bool:
+        """Replace the whole population each step (ablation mode)."""
+        offspring: list[Individual] = []
+        budget = self.config.max_evaluations - self.statistics.models_generated
+        count = min(self.config.population_size, budget)
+        if count <= 0:
+            return False
+        for _ in range(count):
+            genome = self._make_offspring(population)
+            if genome is None:
+                continue
+            offspring.append(self._evaluate_and_wrap(genome, step))
+        if not offspring:
+            return False
+        # Elitism: keep the best parent.
+        survivors = [population.best, *offspring]
+        survivors = survivors[: self.config.population_size]
+        population.members = survivors
+        self._rescore(population)
+        return True
+
+    def _make_offspring(self, population: Population) -> CoDesignGenome | None:
+        for _ in range(20):
+            if self._rng.random() < self.config.crossover_probability and len(population) >= 2:
+                parent_a, parent_b = self.selection.select_pair(population, self._rng)
+                genome = self.crossover.recombine(parent_a.genome, parent_b.genome, self._rng)
+            else:
+                parent = self.selection.select(population, self._rng)
+                genome = parent.genome
+            if self._rng.random() < self.config.mutation_probability:
+                genome = self.mutator.mutate(genome, self._rng)
+            if self.config.avoid_duplicate_genomes and population.contains_genome(genome):
+                continue
+            return genome
+        # Give up on uniqueness and explore randomly instead.
+        return self.space.random_genome(self._rng, device=self.device)
+
+    def _evaluate_and_wrap(self, genome: CoDesignGenome, step: int) -> Individual:
+        evaluation = self._evaluate(genome)
+        fitness = self.fitness.score(evaluation, reference=self.history.evaluations())
+        self.callbacks.on_evaluation(evaluation, fitness, step)
+        return Individual(genome=genome, evaluation=evaluation, fitness=fitness, birth_step=step)
+
+    def _evaluate(self, genome: CoDesignGenome) -> CandidateEvaluation:
+        self.statistics.models_generated += 1
+        cached = self.cache.lookup(genome)
+        if cached is not None:
+            self.statistics.cache_hits += 1
+            return cached
+        start = time.perf_counter()
+        try:
+            evaluation = self.evaluator(genome)
+        except Exception as exc:  # noqa: BLE001 - worker failures must not kill the search
+            evaluation = CandidateEvaluation(genome=genome, error=str(exc))
+        elapsed = time.perf_counter() - start
+        if evaluation.evaluation_seconds == 0.0 and not evaluation.failed:
+            evaluation = CandidateEvaluation(
+                genome=evaluation.genome,
+                accuracy=evaluation.accuracy,
+                accuracy_std=evaluation.accuracy_std,
+                parameter_count=evaluation.parameter_count,
+                fpga_metrics=evaluation.fpga_metrics,
+                gpu_metrics=evaluation.gpu_metrics,
+                synthesis=evaluation.synthesis,
+                train_seconds=evaluation.train_seconds,
+                evaluation_seconds=elapsed,
+                extras=evaluation.extras,
+            )
+        self.statistics.models_evaluated += 1
+        self.statistics.total_evaluation_seconds += elapsed
+        self.cache.store(evaluation)
+        return evaluation
+
+    def _rescore(self, population: Population) -> None:
+        """Re-normalize fitness across the current population.
+
+        Min-max normalization is population-relative, so after every insertion
+        all members are rescored against the same reference — this keeps the
+        steady-state replacement decisions consistent.
+        """
+        results = self.fitness.score_population(population.evaluations())
+        population.rescore(results)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ECAD core.
+
+Having a dedicated root exception lets callers distinguish ECAD failures
+(configuration mistakes, infeasible genomes, worker errors) from unrelated
+bugs, and lets the master process convert worker-side failures into structured
+results instead of crashing the whole search.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ECADError",
+    "ConfigurationError",
+    "GenomeError",
+    "InfeasibleHardwareError",
+    "EvaluationError",
+    "SearchError",
+]
+
+
+class ECADError(Exception):
+    """Root of all ECAD-specific exceptions."""
+
+
+class ConfigurationError(ECADError):
+    """A configuration file or configuration object is invalid."""
+
+
+class GenomeError(ECADError):
+    """A genome violates its search-space constraints."""
+
+
+class InfeasibleHardwareError(GenomeError):
+    """A hardware genome does not fit the target device's resource budget."""
+
+
+class EvaluationError(ECADError):
+    """A worker failed while evaluating a candidate."""
+
+    def __init__(self, message: str, genome_key: str | None = None) -> None:
+        super().__init__(message)
+        #: Cache key of the genome whose evaluation failed, when known.
+        self.genome_key = genome_key
+
+
+class SearchError(ECADError):
+    """The evolutionary search cannot proceed (e.g. empty population)."""

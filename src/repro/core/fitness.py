@@ -1,0 +1,296 @@
+"""Fitness functions and multi-objective evaluation.
+
+Section III-A: *"Each candidate in the population is evaluated according to
+configurable and potentially multiple criteria, for example accuracy alone or
+accuracy vs throughput.  Result evaluation is done using user defined fitness
+functions ... Simple evaluation functions can be specified in the
+configuration file and more complex ones are written in code and added by
+registering them with the framework."*
+
+This module provides exactly that:
+
+* built-in objectives (accuracy, FPGA/GPU throughput, latency, efficiency,
+  parameter count) registered under stable names,
+* a registry so users can add their own objective by name,
+* :class:`FitnessObjective` — one named objective with direction and optional
+  weight/scaling — and
+* :class:`FitnessEvaluator` — combines several objectives into a scalar
+  selection fitness (weighted sum of min-max-normalized objectives) while
+  keeping the raw per-objective values for Pareto analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .candidate import CandidateEvaluation
+from .errors import ConfigurationError
+
+__all__ = [
+    "ObjectiveFunction",
+    "register_objective",
+    "available_objectives",
+    "get_objective",
+    "FitnessObjective",
+    "FitnessResult",
+    "FitnessEvaluator",
+]
+
+#: An objective maps an evaluated candidate to a raw scalar value.
+ObjectiveFunction = Callable[[CandidateEvaluation], float]
+
+_REGISTRY: dict[str, ObjectiveFunction] = {}
+
+
+def register_objective(name: str, function: ObjectiveFunction, overwrite: bool = False) -> None:
+    """Register a new objective under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier usable from configuration files.
+    function:
+        Callable mapping a :class:`CandidateEvaluation` to a float.
+    overwrite:
+        Allow replacing an existing registration (off by default so typos do
+        not silently shadow built-ins).
+    """
+    key = str(name).strip().lower()
+    if not key:
+        raise ConfigurationError("objective name must not be empty")
+    if key in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"objective {name!r} is already registered")
+    _REGISTRY[key] = function
+
+
+def available_objectives() -> list[str]:
+    """Sorted names of all registered objectives."""
+    return sorted(_REGISTRY)
+
+
+def get_objective(name: str) -> ObjectiveFunction:
+    """Look up a registered objective by name."""
+    key = str(name).strip().lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown objective {name!r}; available: {', '.join(available_objectives())}"
+        )
+    return _REGISTRY[key]
+
+
+# ---------------------------------------------------------------------------
+# Built-in objectives
+# ---------------------------------------------------------------------------
+
+
+def _accuracy(evaluation: CandidateEvaluation) -> float:
+    return evaluation.accuracy
+
+
+def _fpga_throughput(evaluation: CandidateEvaluation) -> float:
+    return evaluation.fpga_outputs_per_second
+
+
+def _gpu_throughput(evaluation: CandidateEvaluation) -> float:
+    return evaluation.gpu_outputs_per_second
+
+
+def _fpga_latency(evaluation: CandidateEvaluation) -> float:
+    return evaluation.fpga_metrics.latency_seconds if evaluation.fpga_metrics else float("inf")
+
+
+def _fpga_efficiency(evaluation: CandidateEvaluation) -> float:
+    return evaluation.fpga_metrics.efficiency if evaluation.fpga_metrics else 0.0
+
+
+def _fpga_effective_gflops(evaluation: CandidateEvaluation) -> float:
+    return evaluation.fpga_metrics.effective_gflops if evaluation.fpga_metrics else 0.0
+
+
+def _parameter_count(evaluation: CandidateEvaluation) -> float:
+    return float(evaluation.parameter_count)
+
+
+def _dsp_usage(evaluation: CandidateEvaluation) -> float:
+    return float(evaluation.genome.hardware.grid.dsp_blocks_used)
+
+
+register_objective("accuracy", _accuracy)
+register_objective("fpga_throughput", _fpga_throughput)
+register_objective("gpu_throughput", _gpu_throughput)
+register_objective("fpga_latency", _fpga_latency)
+register_objective("fpga_efficiency", _fpga_efficiency)
+register_objective("fpga_effective_gflops", _fpga_effective_gflops)
+register_objective("parameter_count", _parameter_count)
+register_objective("dsp_usage", _dsp_usage)
+
+
+# ---------------------------------------------------------------------------
+# Objective configuration and evaluator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FitnessObjective:
+    """One named objective with an optimization direction and a weight.
+
+    Attributes
+    ----------
+    name:
+        Registered objective name.
+    maximize:
+        True to maximize, False to minimize (e.g. latency, parameter count).
+    weight:
+        Relative weight in the scalarized selection fitness.
+    scale:
+        Optional fixed normalization scale.  When > 0, the raw value is
+        divided by this scale instead of being min-max normalized against the
+        current population — useful when the expected magnitude is known
+        (e.g. accuracy is already in [0, 1]).
+    """
+
+    name: str
+    maximize: bool = True
+    weight: float = 1.0
+    scale: float = 0.0
+
+    def __post_init__(self) -> None:
+        get_objective(self.name)  # validate eagerly
+        if self.weight <= 0:
+            raise ConfigurationError(f"objective weight must be positive, got {self.weight}")
+        if self.scale < 0:
+            raise ConfigurationError(f"objective scale must be >= 0, got {self.scale}")
+
+    def raw_value(self, evaluation: CandidateEvaluation) -> float:
+        """The raw objective value for one candidate."""
+        return float(get_objective(self.name)(evaluation))
+
+    @classmethod
+    def accuracy(cls, weight: float = 1.0) -> "FitnessObjective":
+        """Convenience constructor: maximize accuracy (already in [0, 1])."""
+        return cls(name="accuracy", maximize=True, weight=weight, scale=1.0)
+
+    @classmethod
+    def fpga_throughput(cls, weight: float = 1.0) -> "FitnessObjective":
+        """Convenience constructor: maximize FPGA outputs/s."""
+        return cls(name="fpga_throughput", maximize=True, weight=weight)
+
+    @classmethod
+    def gpu_throughput(cls, weight: float = 1.0) -> "FitnessObjective":
+        """Convenience constructor: maximize GPU outputs/s."""
+        return cls(name="gpu_throughput", maximize=True, weight=weight)
+
+    @classmethod
+    def fpga_latency(cls, weight: float = 1.0) -> "FitnessObjective":
+        """Convenience constructor: minimize FPGA latency."""
+        return cls(name="fpga_latency", maximize=False, weight=weight)
+
+
+@dataclass(frozen=True)
+class FitnessResult:
+    """Scalar fitness plus the raw objective values it was derived from."""
+
+    fitness: float
+    objectives: dict[str, float] = field(default_factory=dict)
+
+    def objective(self, name: str) -> float:
+        """Raw value of one objective by name."""
+        key = str(name).strip().lower()
+        if key not in self.objectives:
+            raise KeyError(f"objective {name!r} was not part of this evaluation")
+        return self.objectives[key]
+
+
+class FitnessEvaluator:
+    """Scalarizes multiple objectives for steady-state selection.
+
+    The scalar fitness of a candidate is the weighted sum of its normalized
+    objective values.  Objectives with a fixed ``scale`` are divided by that
+    scale; others are min-max normalized against the *reference population*
+    supplied to :meth:`score_population`, which keeps very differently scaled
+    objectives (accuracy in [0,1], throughput in the millions) comparable.
+    Minimized objectives contribute ``1 - normalized`` so that larger fitness
+    is always better.  Failed evaluations always receive ``-inf``.
+    """
+
+    def __init__(self, objectives: list[FitnessObjective]) -> None:
+        if not objectives:
+            raise ConfigurationError("at least one fitness objective is required")
+        names = [obj.name for obj in objectives]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate objective names in {names}")
+        self.objectives = list(objectives)
+
+    @property
+    def objective_names(self) -> list[str]:
+        """Names of the configured objectives, in order."""
+        return [obj.name for obj in self.objectives]
+
+    # -------------------------------------------------------------- scoring
+    def raw_objectives(self, evaluation: CandidateEvaluation) -> dict[str, float]:
+        """Raw objective values of one candidate."""
+        if evaluation.failed:
+            return {obj.name: float("nan") for obj in self.objectives}
+        return {obj.name: obj.raw_value(evaluation) for obj in self.objectives}
+
+    def score_population(self, evaluations: list[CandidateEvaluation]) -> list[FitnessResult]:
+        """Score every candidate against the population's own value ranges."""
+        if not evaluations:
+            return []
+        raw_matrix = [self.raw_objectives(evaluation) for evaluation in evaluations]
+        results: list[FitnessResult] = []
+        normalizers = self._normalizers(raw_matrix)
+        for evaluation, raw in zip(evaluations, raw_matrix):
+            if evaluation.failed:
+                results.append(FitnessResult(fitness=float("-inf"), objectives=raw))
+                continue
+            fitness = 0.0
+            for objective in self.objectives:
+                value = raw[objective.name]
+                normalized = normalizers[objective.name](value)
+                contribution = normalized if objective.maximize else 1.0 - normalized
+                fitness += objective.weight * contribution
+            results.append(FitnessResult(fitness=fitness, objectives=raw))
+        return results
+
+    def score(self, evaluation: CandidateEvaluation, reference: list[CandidateEvaluation]) -> FitnessResult:
+        """Score one candidate against a reference population (itself included)."""
+        population = list(reference)
+        if evaluation not in population:
+            population.append(evaluation)
+        results = self.score_population(population)
+        return results[population.index(evaluation)]
+
+    # --------------------------------------------------------------- helpers
+    def _normalizers(self, raw_matrix: list[dict[str, float]]) -> dict[str, Callable[[float], float]]:
+        normalizers: dict[str, Callable[[float], float]] = {}
+        for objective in self.objectives:
+            if objective.scale > 0:
+                scale = objective.scale
+                normalizers[objective.name] = lambda value, s=scale: _clip01(value / s)
+                continue
+            values = [
+                row[objective.name]
+                for row in raw_matrix
+                if np.isfinite(row[objective.name])
+            ]
+            if not values:
+                normalizers[objective.name] = lambda value: 0.0
+                continue
+            low, high = min(values), max(values)
+            if high - low < 1e-12:
+                normalizers[objective.name] = lambda value: 0.5
+            else:
+                normalizers[objective.name] = (
+                    lambda value, lo=low, hi=high: _clip01((value - lo) / (hi - lo))
+                )
+        return normalizers
+
+
+def _clip01(value: float) -> float:
+    if not np.isfinite(value):
+        return 0.0
+    return float(min(1.0, max(0.0, value)))

@@ -1,0 +1,158 @@
+"""Pareto-dominance utilities for multi-objective co-design results.
+
+Section III-B: *"the Pareto frontiers that result after parsing the
+evolutionary design space define what the optimal solution is ... Having the
+data to make decisions based on trade-offs is highly valuable."*  Table IV of
+the paper reports, per dataset, two points from the accuracy-vs-throughput
+Pareto frontier.  This module provides dominance tests, frontier extraction
+and the "best trade-off rows" selection that the table uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ParetoPoint",
+    "dominates",
+    "pareto_frontier",
+    "pareto_frontier_indices",
+    "knee_point",
+    "top_tradeoff_points",
+]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate's objective vector plus an arbitrary payload.
+
+    Attributes
+    ----------
+    values:
+        Objective values, all expressed in *maximization* form (callers negate
+        minimized objectives before building points).
+    payload:
+        The underlying object (typically a ``CandidateEvaluation``).
+    """
+
+    values: tuple[float, ...]
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        values = tuple(float(v) for v in self.values)
+        if not values:
+            raise ValueError("a Pareto point needs at least one objective value")
+        object.__setattr__(self, "values", values)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b`` (maximization).
+
+    ``a`` dominates ``b`` when it is at least as good in every objective and
+    strictly better in at least one.
+    """
+    a = tuple(float(x) for x in a)
+    b = tuple(float(x) for x in b)
+    if len(a) != len(b):
+        raise ValueError(f"objective vectors have different lengths: {len(a)} vs {len(b)}")
+    at_least_as_good = all(x >= y for x, y in zip(a, b))
+    strictly_better = any(x > y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def pareto_frontier_indices(points: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated points (maximization in every objective)."""
+    vectors = [tuple(float(v) for v in point) for point in points]
+    frontier: list[int] = []
+    for i, candidate in enumerate(vectors):
+        dominated = False
+        for j, other in enumerate(vectors):
+            if i != j and dominates(other, candidate):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(i)
+    return frontier
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset of ``points``, sorted by the first objective (descending)."""
+    indices = pareto_frontier_indices([point.values for point in points])
+    frontier = [points[i] for i in indices]
+    return sorted(frontier, key=lambda point: point.values[0], reverse=True)
+
+
+def knee_point(frontier: Sequence[ParetoPoint]) -> ParetoPoint:
+    """The frontier point with the best balanced trade-off.
+
+    Objectives are min-max normalized over the frontier; the knee is the point
+    maximizing the minimum normalized objective (the most "balanced" point).
+    Useful as a single-answer summary of a two-objective frontier.
+    """
+    if not frontier:
+        raise ValueError("frontier must not be empty")
+    matrix = np.asarray([point.values for point in frontier], dtype=float)
+    lows = matrix.min(axis=0)
+    highs = matrix.max(axis=0)
+    spans = np.where(highs - lows > 1e-12, highs - lows, 1.0)
+    normalized = (matrix - lows) / spans
+    scores = normalized.min(axis=1)
+    return frontier[int(np.argmax(scores))]
+
+
+def top_tradeoff_points(
+    frontier: Sequence[ParetoPoint],
+    count: int = 2,
+    primary: int = 0,
+) -> list[ParetoPoint]:
+    """Pick ``count`` representative rows from a frontier, Table-IV style.
+
+    The first selected point is the one with the best primary objective
+    (accuracy in the paper's usage); subsequent points are the remaining
+    frontier entries with the best *other* objectives, i.e. the "sacrifice a
+    little accuracy for a big throughput win" rows.
+
+    Parameters
+    ----------
+    frontier:
+        A Pareto frontier (already non-dominated).
+    count:
+        Number of rows to return (fewer if the frontier is smaller).
+    primary:
+        Index of the primary objective inside ``values``.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if not frontier:
+        return []
+    remaining = list(frontier)
+    remaining.sort(key=lambda point: point.values[primary], reverse=True)
+    selected = [remaining.pop(0)]
+    secondary_indices = [i for i in range(len(selected[0].values)) if i != primary]
+    while remaining and len(selected) < count:
+        if secondary_indices:
+            remaining.sort(
+                key=lambda point: tuple(point.values[i] for i in secondary_indices),
+                reverse=True,
+            )
+        selected.append(remaining.pop(0))
+    return selected
+
+
+def make_points(
+    items: Sequence[object],
+    *extractors: Callable[[object], float],
+) -> list[ParetoPoint]:
+    """Build Pareto points from arbitrary objects and value extractors."""
+    if not extractors:
+        raise ValueError("at least one extractor is required")
+    return [
+        ParetoPoint(values=tuple(extract(item) for extract in extractors), payload=item)
+        for item in items
+    ]
+
+
+__all__.append("make_points")

@@ -1,0 +1,146 @@
+"""Population container for the steady-state evolutionary engine.
+
+The ECAD evolutionary process is "based on a steady-state model" (section
+III-A, citing Goldberg & Deb): instead of replacing a whole generation at
+once, offspring are inserted one (or a few) at a time, replacing the worst
+members of the population.  :class:`Population` implements that replacement
+policy, tracks every member's evaluation and fitness, and exposes the views
+the engine and analysis layers need (best member, sorted members, objective
+matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .candidate import CandidateEvaluation
+from .errors import SearchError
+from .fitness import FitnessResult
+from .genome import CoDesignGenome
+
+__all__ = ["Individual", "Population"]
+
+
+@dataclass
+class Individual:
+    """One population member: genome, its evaluation and its fitness."""
+
+    genome: CoDesignGenome
+    evaluation: CandidateEvaluation
+    fitness: FitnessResult
+    birth_step: int = 0
+
+    @property
+    def fitness_value(self) -> float:
+        """Scalar fitness used for selection and replacement."""
+        return self.fitness.fitness
+
+    def objective(self, name: str) -> float:
+        """Raw objective value recorded at evaluation time."""
+        return self.fitness.objective(name)
+
+
+@dataclass
+class Population:
+    """Fixed-capacity, fitness-ordered population with steady-state replacement.
+
+    Attributes
+    ----------
+    capacity:
+        Maximum number of individuals retained.
+    members:
+        Current individuals (kept sorted by descending fitness).
+    """
+
+    capacity: int
+    members: list[Individual] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 2:
+            raise SearchError(f"population capacity must be >= 2, got {self.capacity}")
+        self._sort()
+
+    # ------------------------------------------------------------ accessors
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the population is at capacity."""
+        return len(self.members) >= self.capacity
+
+    @property
+    def best(self) -> Individual:
+        """The fittest individual."""
+        if not self.members:
+            raise SearchError("population is empty")
+        return self.members[0]
+
+    @property
+    def worst(self) -> Individual:
+        """The least fit individual."""
+        if not self.members:
+            raise SearchError("population is empty")
+        return self.members[-1]
+
+    def genomes(self) -> list[CoDesignGenome]:
+        """Genomes of all members, fitness-ordered."""
+        return [member.genome for member in self.members]
+
+    def evaluations(self) -> list[CandidateEvaluation]:
+        """Evaluations of all members, fitness-ordered."""
+        return [member.evaluation for member in self.members]
+
+    def best_by_objective(self, name: str) -> Individual:
+        """The member with the highest raw value of one objective."""
+        if not self.members:
+            raise SearchError("population is empty")
+        return max(self.members, key=lambda member: member.objective(name))
+
+    def mean_fitness(self) -> float:
+        """Mean scalar fitness over finite-fitness members (0 if none)."""
+        finite = [m.fitness_value for m in self.members if m.fitness_value != float("-inf")]
+        if not finite:
+            return 0.0
+        return sum(finite) / len(finite)
+
+    def contains_genome(self, genome: CoDesignGenome) -> bool:
+        """Whether an identical genome is already present."""
+        key = genome.cache_key()
+        return any(member.genome.cache_key() == key for member in self.members)
+
+    # ----------------------------------------------------------- mutation
+    def add(self, individual: Individual) -> Individual | None:
+        """Insert an individual, evicting the worst member when at capacity.
+
+        Returns the evicted individual (or ``None`` when nothing was evicted).
+        When the population is full and the newcomer is no better than the
+        current worst member, the newcomer itself is "evicted" (not inserted),
+        which is the steady-state replacement policy.
+        """
+        if not self.is_full:
+            self.members.append(individual)
+            self._sort()
+            return None
+        current_worst = self.worst
+        if individual.fitness_value <= current_worst.fitness_value:
+            return individual
+        self.members[-1] = individual
+        self._sort()
+        return current_worst
+
+    def rescore(self, fitness_results: list[FitnessResult]) -> None:
+        """Replace every member's fitness (used after population-relative rescoring)."""
+        if len(fitness_results) != len(self.members):
+            raise SearchError(
+                f"got {len(fitness_results)} fitness results for {len(self.members)} members"
+            )
+        for member, result in zip(self.members, fitness_results):
+            member.fitness = result
+        self._sort()
+
+    def _sort(self) -> None:
+        self.members.sort(key=lambda member: member.fitness_value, reverse=True)

@@ -1,0 +1,262 @@
+"""High-level co-design search front-end.
+
+:class:`CoDesignSearch` ties the whole ECAD flow together: given a dataset and
+an :class:`~repro.core.config.ECADConfig` it builds the search space, the
+workers and master, the fitness evaluator and the evolutionary engine, runs
+the search, and returns a :class:`SearchResult` with the best candidates, the
+Pareto frontier, the full history and the run-time statistics (everything the
+paper's tables and figures are derived from).
+
+It also provides :class:`RandomSearch`, the random-search baseline the
+evolutionary algorithm is compared against in the ablation benchmark (the
+paper cites evidence that evolution beats random search [4]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.base import Dataset
+from .cache import EvaluationCache
+from .callbacks import Callback, SearchHistory
+from .candidate import CandidateEvaluation
+from .config import ECADConfig
+from .engine import EngineResult, EvolutionaryEngine, RunStatistics
+from .errors import ConfigurationError
+from .fitness import FitnessEvaluator, FitnessObjective
+from .genome import CoDesignGenome, CoDesignSearchSpace
+from .pareto import ParetoPoint, pareto_frontier, top_tradeoff_points
+
+__all__ = ["SearchResult", "CoDesignSearch", "RandomSearch"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one co-design search.
+
+    Attributes
+    ----------
+    best_accuracy_candidate:
+        The evaluated candidate with the highest accuracy seen anywhere in the
+        search (Table I / Table II rows).
+    best_fitness_candidate:
+        The candidate the engine ranked best under the configured fitness.
+    frontier:
+        The accuracy-vs-FPGA-throughput Pareto frontier over all evaluated
+        candidates (Table IV / Figure 2 material).
+    history:
+        Full evaluation history.
+    statistics:
+        Run-time statistics (Table III).
+    """
+
+    best_accuracy_candidate: CandidateEvaluation
+    best_fitness_candidate: CandidateEvaluation
+    frontier: list[CandidateEvaluation] = field(default_factory=list)
+    history: SearchHistory = field(default_factory=SearchHistory)
+    statistics: RunStatistics = field(default_factory=RunStatistics)
+
+    @property
+    def best_accuracy(self) -> float:
+        """Highest accuracy achieved by any evaluated candidate."""
+        return self.best_accuracy_candidate.accuracy
+
+    def pareto_rows(self, count: int = 2) -> list[CandidateEvaluation]:
+        """Representative frontier rows, Table-IV style (best accuracy first)."""
+        points = [
+            ParetoPoint(values=(c.accuracy, c.fpga_outputs_per_second), payload=c)
+            for c in self.frontier
+        ]
+        rows = top_tradeoff_points(points, count=count, primary=0)
+        return [row.payload for row in rows]
+
+
+def _extract_frontier(evaluations: list[CandidateEvaluation]) -> list[CandidateEvaluation]:
+    """Accuracy-vs-FPGA-throughput Pareto frontier of a set of evaluations."""
+    valid = [e for e in evaluations if not e.failed]
+    if not valid:
+        return []
+    points = [
+        ParetoPoint(values=(e.accuracy, e.fpga_outputs_per_second), payload=e) for e in valid
+    ]
+    return [point.payload for point in pareto_frontier(points)]
+
+
+class CoDesignSearch:
+    """End-to-end ECAD search over one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The problem to co-design for.
+    config:
+        The ECAD configuration file; when omitted a template is generated
+        automatically from the dataset (as the paper describes).
+    callbacks:
+        Extra engine callbacks (progress logging, checkpointing, ...).
+    backend:
+        Execution backend name for the master ("serial" or "threads").
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: ECADConfig | None = None,
+        callbacks: list[Callback] | None = None,
+        backend: str = "serial",
+    ) -> None:
+        self.dataset = dataset
+        self.config = config or ECADConfig.template_for_dataset(dataset)
+        if self.config.nna.input_size != dataset.num_features:
+            raise ConfigurationError(
+                f"configuration expects {self.config.nna.input_size} input features "
+                f"but dataset {dataset.name!r} has {dataset.num_features}"
+            )
+        if self.config.nna.output_size != dataset.num_classes:
+            raise ConfigurationError(
+                f"configuration expects {self.config.nna.output_size} classes "
+                f"but dataset {dataset.name!r} has {dataset.num_classes}"
+            )
+        self.callbacks = list(callbacks or [])
+        self.backend = backend
+        self.cache = EvaluationCache()
+
+    # ----------------------------------------------------------- assembly
+    def build_master(self):
+        """Construct the master with the workers the configuration asks for."""
+        # Imported lazily to keep repro.core free of a package-level
+        # dependency cycle with repro.workers.
+        from ..workers.hardware_db import HardwareDatabaseWorker
+        from ..workers.master import Master
+        from ..workers.physical import PhysicalWorker
+        from ..workers.simulation import SimulationWorker
+
+        fpga = self.config.hardware.fpga_device()
+        gpu = self.config.hardware.gpu_device()
+        workers = [
+            SimulationWorker(gpu=gpu, measure_gpu=gpu is not None),
+            HardwareDatabaseWorker(device=fpga),
+            PhysicalWorker(device=fpga),
+        ]
+        return Master(
+            workers=workers,
+            dataset=self.dataset,
+            evaluation_protocol=self.config.evaluation_protocol,
+            num_folds=self.config.num_folds,
+            training_config=self.config.to_training_config(),
+            backend=self.backend,
+            seed=self.config.seed,
+        )
+
+    def build_engine(self, evaluator=None) -> EvolutionaryEngine:
+        """Construct the evolutionary engine (optionally with a custom evaluator)."""
+        space = self.config.to_search_space()
+        fitness = FitnessEvaluator(self.config.optimization.to_fitness_objectives())
+        if evaluator is None:
+            evaluator = self.build_master()
+        return EvolutionaryEngine(
+            space=space,
+            evaluator=evaluator,
+            fitness=fitness,
+            config=self.config.to_engine_config(),
+            device=self.config.hardware.fpga_device(),
+            mutation_config=self.config.to_mutation_config(),
+            cache=self.cache,
+            callbacks=self.callbacks,
+        )
+
+    # ---------------------------------------------------------------- run
+    def run(self, evaluator=None) -> SearchResult:
+        """Run the full search and package the results."""
+        engine = self.build_engine(evaluator=evaluator)
+        outcome: EngineResult = engine.run()
+        return self._package(outcome)
+
+    def _package(self, outcome: EngineResult) -> SearchResult:
+        evaluations = [e for e in outcome.history.evaluations() if not e.failed]
+        if not evaluations:
+            raise ConfigurationError("the search produced no successful evaluations")
+        best_accuracy = max(evaluations, key=lambda e: e.accuracy)
+        return SearchResult(
+            best_accuracy_candidate=best_accuracy,
+            best_fitness_candidate=outcome.best.evaluation,
+            frontier=_extract_frontier(evaluations),
+            history=outcome.history,
+            statistics=outcome.statistics,
+        )
+
+
+class RandomSearch:
+    """Uniform random search over the same co-design space (baseline).
+
+    Evaluates ``max_evaluations`` genomes drawn uniformly from the search
+    space with the same evaluator and returns the same :class:`SearchResult`
+    structure, so the ablation benchmark can compare it directly with the
+    evolutionary engine.
+    """
+
+    def __init__(
+        self,
+        space: CoDesignSearchSpace,
+        evaluator,
+        objectives: list[FitnessObjective] | None = None,
+        max_evaluations: int = 100,
+        seed: int | None = 0,
+        device=None,
+    ) -> None:
+        if max_evaluations <= 0:
+            raise ConfigurationError(f"max_evaluations must be positive, got {max_evaluations}")
+        self.space = space
+        self.evaluator = evaluator
+        self.fitness = FitnessEvaluator(objectives or [FitnessObjective.accuracy()])
+        self.max_evaluations = int(max_evaluations)
+        self.seed = seed
+        self.device = device
+        self.cache = EvaluationCache()
+
+    def run(self) -> SearchResult:
+        """Draw, evaluate and rank random candidates."""
+        rng = np.random.default_rng(self.seed)
+        history = SearchHistory()
+        statistics = RunStatistics()
+        import time as _time
+
+        start = _time.perf_counter()
+        evaluations: list[CandidateEvaluation] = []
+        for step in range(self.max_evaluations):
+            genome: CoDesignGenome = self.space.random_genome(rng, device=self.device)
+            statistics.models_generated += 1
+            cached = self.cache.lookup(genome)
+            if cached is not None:
+                statistics.cache_hits += 1
+                evaluation = cached
+            else:
+                eval_start = _time.perf_counter()
+                try:
+                    evaluation = self.evaluator(genome)
+                except Exception as exc:  # noqa: BLE001 - mirror the engine's behaviour
+                    evaluation = CandidateEvaluation(genome=genome, error=str(exc))
+                elapsed = _time.perf_counter() - eval_start
+                statistics.models_evaluated += 1
+                statistics.total_evaluation_seconds += elapsed
+                self.cache.store(evaluation)
+            evaluations.append(evaluation)
+            fitness = self.fitness.score(evaluation, reference=evaluations)
+            history.on_evaluation(evaluation, fitness, step)
+        statistics.wall_clock_seconds = _time.perf_counter() - start
+
+        successful = [e for e in evaluations if not e.failed]
+        if not successful:
+            raise ConfigurationError("random search produced no successful evaluations")
+        scored = self.fitness.score_population(successful)
+        best_index = int(np.argmax([result.fitness for result in scored]))
+        best_accuracy = max(successful, key=lambda e: e.accuracy)
+        return SearchResult(
+            best_accuracy_candidate=best_accuracy,
+            best_fitness_candidate=successful[best_index],
+            frontier=_extract_frontier(successful),
+            history=history,
+            statistics=statistics,
+        )

@@ -1,0 +1,143 @@
+"""Parent-selection schemes for the steady-state engine.
+
+The paper cites Goldberg & Deb's comparative analysis of selection schemes
+[16]; the engine defaults to tournament selection (robust, scale-free) but
+roulette-wheel and rank selection are also provided so the ablation benchmark
+can compare them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import SearchError
+from .population import Individual, Population
+
+__all__ = [
+    "SelectionScheme",
+    "TournamentSelection",
+    "RouletteWheelSelection",
+    "RankSelection",
+    "get_selection",
+    "available_selection_schemes",
+]
+
+
+class SelectionScheme:
+    """Base class: picks one parent from a population."""
+
+    name: str = "selection"
+
+    def select(self, population: Population, rng: np.random.Generator) -> Individual:
+        """Return one parent."""
+        raise NotImplementedError
+
+    def select_pair(self, population: Population, rng: np.random.Generator) -> tuple[Individual, Individual]:
+        """Return two parents, distinct whenever the population allows it."""
+        first = self.select(population, rng)
+        if len(population) < 2:
+            return first, first
+        for _ in range(16):
+            second = self.select(population, rng)
+            if second is not first:
+                return first, second
+        return first, second
+
+
+class TournamentSelection(SelectionScheme):
+    """Pick the fittest of ``tournament_size`` uniformly sampled members."""
+
+    name = "tournament"
+
+    def __init__(self, tournament_size: int = 3) -> None:
+        if tournament_size < 2:
+            raise ValueError(f"tournament_size must be >= 2, got {tournament_size}")
+        self.tournament_size = int(tournament_size)
+
+    def select(self, population: Population, rng: np.random.Generator) -> Individual:
+        if len(population) == 0:
+            raise SearchError("cannot select from an empty population")
+        size = min(self.tournament_size, len(population))
+        indices = rng.choice(len(population), size=size, replace=False)
+        contenders = [population.members[int(i)] for i in indices]
+        return max(contenders, key=lambda member: member.fitness_value)
+
+
+class RouletteWheelSelection(SelectionScheme):
+    """Fitness-proportional selection (after shifting fitness to be positive)."""
+
+    name = "roulette"
+
+    def select(self, population: Population, rng: np.random.Generator) -> Individual:
+        if len(population) == 0:
+            raise SearchError("cannot select from an empty population")
+        fitness = np.asarray(
+            [
+                member.fitness_value if np.isfinite(member.fitness_value) else 0.0
+                for member in population.members
+            ],
+            dtype=float,
+        )
+        shifted = fitness - fitness.min()
+        total = shifted.sum()
+        if total <= 0:
+            index = int(rng.integers(0, len(population)))
+        else:
+            probabilities = shifted / total
+            index = int(rng.choice(len(population), p=probabilities))
+        return population.members[index]
+
+
+class RankSelection(SelectionScheme):
+    """Linear rank-based selection (pressure controlled by ``selection_pressure``)."""
+
+    name = "rank"
+
+    def __init__(self, selection_pressure: float = 1.5) -> None:
+        if not 1.0 < selection_pressure <= 2.0:
+            raise ValueError(
+                f"selection_pressure must be in (1, 2], got {selection_pressure}"
+            )
+        self.selection_pressure = float(selection_pressure)
+
+    def select(self, population: Population, rng: np.random.Generator) -> Individual:
+        if len(population) == 0:
+            raise SearchError("cannot select from an empty population")
+        count = len(population)
+        if count == 1:
+            return population.members[0]
+        # members[0] is the best; rank 0 = best.
+        ranks = np.arange(count, dtype=float)
+        pressure = self.selection_pressure
+        probabilities = (2 - pressure) / count + 2 * (count - 1 - ranks) * (pressure - 1) / (
+            count * (count - 1)
+        )
+        probabilities = probabilities / probabilities.sum()
+        index = int(rng.choice(count, p=probabilities))
+        return population.members[index]
+
+
+_REGISTRY: dict[str, type[SelectionScheme]] = {
+    TournamentSelection.name: TournamentSelection,
+    RouletteWheelSelection.name: RouletteWheelSelection,
+    RankSelection.name: RankSelection,
+}
+
+
+def available_selection_schemes() -> list[str]:
+    """Sorted names of all registered selection schemes."""
+    return sorted(_REGISTRY)
+
+
+def get_selection(name: str | SelectionScheme, **kwargs) -> SelectionScheme:
+    """Resolve a selection scheme by name, forwarding keyword arguments."""
+    if isinstance(name, SelectionScheme):
+        if kwargs:
+            raise ValueError("cannot pass keyword arguments together with a scheme instance")
+        return name
+    key = str(name).strip().lower()
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown selection scheme {name!r}; available: {', '.join(available_selection_schemes())}"
+        )
+    return _REGISTRY[key](**kwargs)

@@ -1,0 +1,43 @@
+"""Dataset substrate: containers, synthetic generators, CSV I/O and registry.
+
+The six benchmark datasets from the paper (MNIST, Fashion-MNIST, Credit-g,
+HAR, Phishing, Bioresponse) are represented by synthetic generators with the
+same structural footprint; see :mod:`repro.datasets.synthetic` for the
+substitution rationale.
+"""
+
+from .base import Dataset, DatasetInfo
+from .csv_io import load_dataset_csv, save_dataset_csv
+from .registry import DatasetEntry, available_datasets, dataset_entry, load_dataset, register_dataset
+from .synthetic import (
+    PAPER_DATASET_SPECS,
+    SyntheticSpec,
+    make_bioresponse_like,
+    make_classification,
+    make_credit_g_like,
+    make_fashion_mnist_like,
+    make_har_like,
+    make_mnist_like,
+    make_phishing_like,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetInfo",
+    "load_dataset_csv",
+    "save_dataset_csv",
+    "DatasetEntry",
+    "available_datasets",
+    "dataset_entry",
+    "load_dataset",
+    "register_dataset",
+    "PAPER_DATASET_SPECS",
+    "SyntheticSpec",
+    "make_bioresponse_like",
+    "make_classification",
+    "make_credit_g_like",
+    "make_fashion_mnist_like",
+    "make_har_like",
+    "make_mnist_like",
+    "make_phishing_like",
+]

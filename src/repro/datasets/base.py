@@ -1,0 +1,191 @@
+"""Dataset containers used throughout the ECAD flow.
+
+The paper's flow starts from "a dataset exported into CSV tabular format" with
+well-defined inputs and outputs.  A :class:`Dataset` is the in-memory form of
+that export: a dense feature matrix, integer class labels, and the metadata
+(name, class count, pre-split test partition) the rest of the system needs to
+build configuration files, train candidates, and size hardware workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Dataset", "DatasetInfo"]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Lightweight structural summary of a dataset.
+
+    Workers and hardware models frequently need only the shape of the problem
+    (how wide is the input, how many classes, how many samples) without the
+    data itself; this record carries exactly that and nothing else.
+    """
+
+    name: str
+    num_features: int
+    num_classes: int
+    num_samples: int
+    num_test_samples: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {self.num_features}")
+        if self.num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {self.num_classes}")
+        if self.num_samples <= 0:
+            raise ValueError(f"num_samples must be positive, got {self.num_samples}")
+        if self.num_test_samples < 0:
+            raise ValueError(f"num_test_samples must be >= 0, got {self.num_test_samples}")
+
+    @property
+    def has_test_split(self) -> bool:
+        """Whether a dedicated test partition exists (MNIST-style datasets)."""
+        return self.num_test_samples > 0
+
+
+@dataclass
+class Dataset:
+    """A labelled tabular dataset, optionally carrying a pre-defined test split.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset identifier, e.g. ``"mnist_like"``.
+    features:
+        2-D float matrix of shape ``(num_samples, num_features)``.
+    labels:
+        1-D integer class labels aligned with ``features``.
+    test_features / test_labels:
+        Optional pre-split test partition.  MNIST and Fashion-MNIST in the
+        paper are "standalone pre-split (1-fold) datasets"; the OpenML
+        datasets are not pre-split and are evaluated with 10-fold CV instead.
+    metadata:
+        Free-form provenance (generator parameters, CSV path, etc.).
+    """
+
+    name: str
+    features: np.ndarray
+    labels: np.ndarray
+    test_features: np.ndarray | None = None
+    test_labels: np.ndarray | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=float)
+        self.labels = np.asarray(self.labels).reshape(-1).astype(int)
+        if self.features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {self.features.shape}")
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise ValueError(
+                f"features ({self.features.shape[0]} rows) and labels "
+                f"({self.labels.shape[0]}) disagree in length"
+            )
+        if self.features.shape[0] == 0:
+            raise ValueError("dataset cannot be empty")
+        if self.labels.min() < 0:
+            raise ValueError("labels must be non-negative integers")
+        has_test_features = self.test_features is not None
+        has_test_labels = self.test_labels is not None
+        if has_test_features != has_test_labels:
+            raise ValueError("test_features and test_labels must be provided together")
+        if has_test_features:
+            self.test_features = np.asarray(self.test_features, dtype=float)
+            self.test_labels = np.asarray(self.test_labels).reshape(-1).astype(int)
+            if self.test_features.ndim != 2:
+                raise ValueError(
+                    f"test_features must be 2-D, got shape {self.test_features.shape}"
+                )
+            if self.test_features.shape[1] != self.features.shape[1]:
+                raise ValueError(
+                    "train and test partitions disagree on the number of features "
+                    f"({self.features.shape[1]} vs {self.test_features.shape[1]})"
+                )
+            if self.test_features.shape[0] != self.test_labels.shape[0]:
+                raise ValueError("test_features and test_labels disagree in length")
+
+    # -------------------------------------------------------------- structure
+    @property
+    def num_samples(self) -> int:
+        """Number of training samples."""
+        return int(self.features.shape[0])
+
+    @property
+    def num_features(self) -> int:
+        """Input dimensionality (the first GEMM ``k`` dimension)."""
+        return int(self.features.shape[1])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes across train and test labels."""
+        max_label = int(self.labels.max())
+        if self.test_labels is not None and self.test_labels.size:
+            max_label = max(max_label, int(self.test_labels.max()))
+        return max_label + 1
+
+    @property
+    def has_test_split(self) -> bool:
+        """Whether a dedicated test partition exists."""
+        return self.test_features is not None
+
+    @property
+    def num_test_samples(self) -> int:
+        """Number of samples in the test partition (0 when absent)."""
+        if self.test_labels is None:
+            return 0
+        return int(self.test_labels.shape[0])
+
+    def info(self) -> DatasetInfo:
+        """Return the structural summary of this dataset."""
+        return DatasetInfo(
+            name=self.name,
+            num_features=self.num_features,
+            num_classes=self.num_classes,
+            num_samples=self.num_samples,
+            num_test_samples=self.num_test_samples,
+        )
+
+    # ------------------------------------------------------------- utilities
+    def class_distribution(self) -> np.ndarray:
+        """Per-class sample counts over the training partition."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def subsample(self, max_samples: int, seed: int | None = None) -> "Dataset":
+        """Return a stratified subsample with at most ``max_samples`` training rows.
+
+        The test partition (if any) is carried over unchanged.  Used to keep
+        benchmark runs fast while preserving class balance.
+        """
+        if max_samples <= 0:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
+        if max_samples >= self.num_samples:
+            return self
+        rng = np.random.default_rng(seed)
+        per_class_fraction = max_samples / self.num_samples
+        keep: list[int] = []
+        for class_label in range(self.num_classes):
+            class_indices = np.flatnonzero(self.labels == class_label)
+            if class_indices.size == 0:
+                continue
+            rng.shuffle(class_indices)
+            take = max(1, int(round(per_class_fraction * class_indices.size)))
+            keep.extend(class_indices[:take].tolist())
+        keep_array = np.asarray(sorted(keep), dtype=int)
+        return Dataset(
+            name=self.name,
+            features=self.features[keep_array],
+            labels=self.labels[keep_array],
+            test_features=self.test_features,
+            test_labels=self.test_labels,
+            metadata={**self.metadata, "subsampled_to": int(keep_array.size)},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        test = f", test={self.num_test_samples}" if self.has_test_split else ""
+        return (
+            f"Dataset({self.name!r}, samples={self.num_samples}, "
+            f"features={self.num_features}, classes={self.num_classes}{test})"
+        )

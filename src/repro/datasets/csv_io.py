@@ -1,0 +1,139 @@
+"""CSV import/export — the tabular interchange format of the ECAD flow.
+
+The paper's flow begins with "a dataset exported into a Comma Separated Value
+(CSV) tabular data format".  This module writes datasets into that format and
+reads them back, so the CLI can be pointed at an arbitrary user-provided CSV
+just like the original system.
+
+Format: one header row; every column except the last is a numeric feature, the
+last column (named ``label`` on export) is the integer class label.  A second
+CSV with the same layout may carry a pre-split test partition.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .base import Dataset
+
+__all__ = ["save_dataset_csv", "load_dataset_csv"]
+
+
+def save_dataset_csv(dataset: Dataset, path: str | Path, test_path: str | Path | None = None) -> None:
+    """Write ``dataset`` to ``path`` (and its test split to ``test_path`` if given).
+
+    Raises
+    ------
+    ValueError
+        If a test partition exists but no ``test_path`` was provided, which
+        would silently drop data.
+    """
+    path = Path(path)
+    if dataset.has_test_split and test_path is None:
+        raise ValueError(
+            "dataset has a test split; pass test_path to avoid silently dropping it"
+        )
+    _write_partition(path, dataset.features, dataset.labels)
+    if test_path is not None and dataset.has_test_split:
+        _write_partition(Path(test_path), dataset.test_features, dataset.test_labels)
+
+
+def _write_partition(path: Path, features: np.ndarray, labels: np.ndarray) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    num_features = features.shape[1]
+    header = [f"feature_{i}" for i in range(num_features)] + ["label"]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row, label in zip(features, labels):
+            writer.writerow([f"{value:.8g}" for value in row] + [int(label)])
+
+
+def load_dataset_csv(
+    path: str | Path,
+    test_path: str | Path | None = None,
+    name: str | None = None,
+    label_column: str | int | None = None,
+) -> Dataset:
+    """Load a dataset from a CSV file (plus an optional test-partition CSV).
+
+    Parameters
+    ----------
+    path:
+        Training (or full) partition CSV.
+    test_path:
+        Optional pre-split test partition with identical columns.
+    name:
+        Dataset name; defaults to the file stem.
+    label_column:
+        Column carrying the class label, given as a header name or integer
+        index.  Defaults to the last column.
+    """
+    path = Path(path)
+    features, labels = _read_partition(path, label_column)
+    test_features = test_labels = None
+    if test_path is not None:
+        test_features, test_labels = _read_partition(Path(test_path), label_column)
+    return Dataset(
+        name=name or path.stem,
+        features=features,
+        labels=labels,
+        test_features=test_features,
+        test_labels=test_labels,
+        metadata={"source_csv": str(path)},
+    )
+
+
+def _read_partition(path: Path, label_column: str | int | None) -> tuple[np.ndarray, np.ndarray]:
+    if not path.exists():
+        raise FileNotFoundError(f"dataset CSV not found: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"CSV file {path} is empty") from None
+        rows = [row for row in reader if row]
+
+    if not rows:
+        raise ValueError(f"CSV file {path} has a header but no data rows")
+
+    label_index = _resolve_label_column(header, label_column, path)
+    feature_indices = [i for i in range(len(header)) if i != label_index]
+
+    features = np.empty((len(rows), len(feature_indices)), dtype=float)
+    labels = np.empty(len(rows), dtype=int)
+    for row_number, row in enumerate(rows):
+        if len(row) != len(header):
+            raise ValueError(
+                f"row {row_number + 2} of {path} has {len(row)} columns, expected {len(header)}"
+            )
+        try:
+            features[row_number] = [float(row[i]) for i in feature_indices]
+            labels[row_number] = int(float(row[label_index]))
+        except ValueError as exc:
+            raise ValueError(f"non-numeric value in row {row_number + 2} of {path}: {exc}") from exc
+
+    # Remap labels onto a dense 0..C-1 range in case the CSV used e.g. {1, 2}.
+    unique = np.unique(labels)
+    remap = {int(value): index for index, value in enumerate(unique)}
+    labels = np.asarray([remap[int(value)] for value in labels], dtype=int)
+    return features, labels
+
+
+def _resolve_label_column(header: list[str], label_column: str | int | None, path: Path) -> int:
+    if label_column is None:
+        return len(header) - 1
+    if isinstance(label_column, int):
+        if not -len(header) <= label_column < len(header):
+            raise ValueError(f"label column index {label_column} out of range for {path}")
+        return label_column % len(header)
+    try:
+        return header.index(str(label_column))
+    except ValueError:
+        raise ValueError(
+            f"label column {label_column!r} not found in {path}; columns are {header}"
+        ) from None

@@ -1,0 +1,172 @@
+"""Registry mapping paper dataset names to their synthetic generators.
+
+The benchmarks and the CLI refer to datasets by the names used in the paper
+("mnist", "credit-g", ...); this registry resolves those names (plus the
+explicit ``*_like`` aliases) to generator functions and records which
+evaluation protocol each one uses (10-fold CV vs pre-split single fold),
+matching Tables I and II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .base import Dataset
+from .synthetic import (
+    PAPER_DATASET_SPECS,
+    make_bioresponse_like,
+    make_credit_g_like,
+    make_fashion_mnist_like,
+    make_har_like,
+    make_mnist_like,
+    make_phishing_like,
+)
+
+__all__ = ["DatasetEntry", "available_datasets", "load_dataset", "dataset_entry", "register_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """One registered dataset: its generator plus paper-protocol metadata.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry key.
+    factory:
+        Callable ``(seed, scale) -> Dataset``.
+    evaluation_protocol:
+        Either ``"10-fold"`` (OpenML datasets, Table I) or ``"1-fold"``
+        (pre-split Keras datasets, Table II).
+    paper_top_accuracy_any:
+        Best accuracy reported in the paper by *any* method, for reference in
+        EXPERIMENTS.md comparisons.
+    paper_top_accuracy_mlp:
+        Best previously-published MLP accuracy from the paper's tables.
+    paper_ecad_accuracy:
+        The accuracy the paper's ECAD search achieved.
+    """
+
+    name: str
+    factory: Callable[..., Dataset]
+    evaluation_protocol: str
+    paper_top_accuracy_any: float
+    paper_top_accuracy_mlp: float
+    paper_ecad_accuracy: float
+
+    def load(self, seed: int | None = 0, scale: float = 1.0) -> Dataset:
+        """Instantiate the dataset with the given seed and size scale."""
+        return self.factory(seed=seed, scale=scale)
+
+
+_REGISTRY: dict[str, DatasetEntry] = {}
+
+
+def register_dataset(entry: DatasetEntry, aliases: tuple[str, ...] = ()) -> None:
+    """Add a dataset entry (and optional aliases) to the registry."""
+    for key in (entry.name, *aliases):
+        normalized = _normalize(key)
+        if normalized in _REGISTRY and _REGISTRY[normalized].name != entry.name:
+            raise ValueError(f"dataset name {key!r} is already registered")
+        _REGISTRY[normalized] = entry
+
+
+def _normalize(name: str) -> str:
+    return str(name).strip().lower().replace("-", "_").replace(" ", "_")
+
+
+def available_datasets() -> list[str]:
+    """Canonical names of all registered datasets (aliases excluded)."""
+    return sorted({entry.name for entry in _REGISTRY.values()})
+
+
+def dataset_entry(name: str) -> DatasetEntry:
+    """Look up a dataset entry by name or alias."""
+    key = _normalize(name)
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    return _REGISTRY[key]
+
+
+def load_dataset(name: str, seed: int | None = 0, scale: float = 1.0) -> Dataset:
+    """Instantiate a registered dataset by name."""
+    return dataset_entry(name).load(seed=seed, scale=scale)
+
+
+# --------------------------------------------------------------------------
+# Register the six paper datasets.  Reference accuracies come from Tables I
+# and II of the paper and are used in EXPERIMENTS.md comparisons only.
+# --------------------------------------------------------------------------
+
+register_dataset(
+    DatasetEntry(
+        name="mnist_like",
+        factory=make_mnist_like,
+        evaluation_protocol="1-fold",
+        paper_top_accuracy_any=0.9979,
+        paper_top_accuracy_mlp=0.9840,
+        paper_ecad_accuracy=0.9852,
+    ),
+    aliases=("mnist",),
+)
+register_dataset(
+    DatasetEntry(
+        name="fashion_mnist_like",
+        factory=make_fashion_mnist_like,
+        evaluation_protocol="1-fold",
+        paper_top_accuracy_any=0.8970,
+        paper_top_accuracy_mlp=0.8770,
+        paper_ecad_accuracy=0.8923,
+    ),
+    aliases=("fashion_mnist", "fashion-mnist"),
+)
+register_dataset(
+    DatasetEntry(
+        name="credit_g_like",
+        factory=make_credit_g_like,
+        evaluation_protocol="10-fold",
+        paper_top_accuracy_any=0.7860,
+        paper_top_accuracy_mlp=0.7470,
+        paper_ecad_accuracy=0.7880,
+    ),
+    aliases=("credit_g", "credit-g", "creditg"),
+)
+register_dataset(
+    DatasetEntry(
+        name="har_like",
+        factory=make_har_like,
+        evaluation_protocol="10-fold",
+        paper_top_accuracy_any=0.9957,
+        paper_top_accuracy_mlp=0.1888,
+        paper_ecad_accuracy=0.9909,
+    ),
+    aliases=("har",),
+)
+register_dataset(
+    DatasetEntry(
+        name="phishing_like",
+        factory=make_phishing_like,
+        evaluation_protocol="10-fold",
+        paper_top_accuracy_any=0.9753,
+        paper_top_accuracy_mlp=0.9733,
+        paper_ecad_accuracy=0.9756,
+    ),
+    aliases=("phishing",),
+)
+register_dataset(
+    DatasetEntry(
+        name="bioresponse_like",
+        factory=make_bioresponse_like,
+        evaluation_protocol="10-fold",
+        paper_top_accuracy_any=0.8160,
+        paper_top_accuracy_mlp=0.5423,
+        paper_ecad_accuracy=0.8038,
+    ),
+    aliases=("bioresponse",),
+)
+
+#: Convenience view of the registered paper specs, keyed by canonical name.
+PAPER_SPECS = dict(PAPER_DATASET_SPECS)

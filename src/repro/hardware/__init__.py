@@ -1,0 +1,68 @@
+"""Hardware modeling substrate: devices, memory, the FPGA overlay model,
+the GPU execution model, synthesis estimation, power, and efficiency metrics.
+
+These modules implement the models consumed by the paper's hardware-database
+worker (FPGA overlay), simulation worker (GPU) and physical worker
+(synthesis-level metrics).
+"""
+
+from .device import (
+    ARRIA10_GX1150,
+    QUADRO_M5000,
+    RADEON_VII,
+    STRATIX10_2800,
+    TITAN_X,
+    FPGADevice,
+    GPUDevice,
+    available_fpga_devices,
+    available_gpu_devices,
+    fpga_device,
+    gpu_device,
+)
+from .efficiency import EfficiencyComparison, compare_efficiency, device_efficiency, hardware_efficiency
+from .fpga_model import FPGALayerTiming, FPGAPerformanceModel
+from .gemm import BlockedGemm, block_gemm, mlp_gemm_workload, workload_flops, workload_weight_bytes
+from .gpu_model import GPULayerTiming, GPUPerformanceModel
+from .memory import DDR4_BANK, HBM2_STACK, MemorySpec, MemorySystem
+from .power import FPGAPowerModel, GPUPowerModel
+from .results import HardwareMetrics
+from .synthesis import SynthesisModel, SynthesisReport
+from .systolic import GridConfig, GridSearchSpace
+
+__all__ = [
+    "ARRIA10_GX1150",
+    "QUADRO_M5000",
+    "RADEON_VII",
+    "STRATIX10_2800",
+    "TITAN_X",
+    "FPGADevice",
+    "GPUDevice",
+    "available_fpga_devices",
+    "available_gpu_devices",
+    "fpga_device",
+    "gpu_device",
+    "EfficiencyComparison",
+    "compare_efficiency",
+    "device_efficiency",
+    "hardware_efficiency",
+    "FPGALayerTiming",
+    "FPGAPerformanceModel",
+    "BlockedGemm",
+    "block_gemm",
+    "mlp_gemm_workload",
+    "workload_flops",
+    "workload_weight_bytes",
+    "GPULayerTiming",
+    "GPUPerformanceModel",
+    "DDR4_BANK",
+    "HBM2_STACK",
+    "MemorySpec",
+    "MemorySystem",
+    "FPGAPowerModel",
+    "GPUPowerModel",
+    "HardwareMetrics",
+    "SynthesisModel",
+    "SynthesisReport",
+    "GridConfig",
+    "GridSearchSpace",
+]

@@ -1,0 +1,242 @@
+"""Analytical performance model of the FPGA systolic-array overlay.
+
+This is the "hardware database worker" model from sections III-B/III-C of the
+paper.  Given
+
+* an :class:`~repro.hardware.device.FPGADevice` (DSP/M20K budget, clock, DDR
+  banks),
+* a :class:`~repro.hardware.systolic.GridConfig` (rows, columns, interleaving,
+  vector width), and
+* an MLP described by its per-layer GEMM shapes,
+
+the model follows the paper's recipe:
+
+1. *Baseline / potential performance* — "the utilization of DSPs is the
+   product of the grid dimensions and vector width"; multiplied by the clock
+   and 2 FLOPs per MAC this gives the compute roofline of the configuration.
+2. *Bandwidth derating* — "using the DRAM specs from the configuration, we can
+   determine the ratio of how much bandwidth is available to how much we
+   need.  Cycles per block of data divided into the size of a block in bytes
+   are used to calculate bandwidth needs."  If the grid needs more bytes per
+   cycle than the memory system provides, the potential performance is scaled
+   by the available/needed ratio.
+3. *Effective performance* — "the grid configuration is used to break the ANN
+   up into a series of blocked matrix multiplications"; each layer's blocked
+   GEMM contributes compute cycles, memory traffic and pipeline-fill latency,
+   from which total time, outputs/s, latency and efficiency follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.layers import GemmShape
+from ..nn.mlp import MLPSpec
+from .device import FPGADevice
+from .gemm import BlockedGemm, block_gemm
+from .memory import DDR4_BANK, MemorySystem
+from .power import FPGAPowerModel
+from .results import HardwareMetrics
+from .systolic import GridConfig
+
+__all__ = ["FPGALayerTiming", "FPGAPerformanceModel"]
+
+#: Fixed overlay overheads, expressed in clock cycles.
+_PIPELINE_FILL_CYCLES = 256       # drain/fill of the systolic array per tile column
+_KERNEL_ENQUEUE_CYCLES = 2_000    # OpenCL kernel enqueue + DMA descriptor setup per layer
+
+
+@dataclass(frozen=True)
+class FPGALayerTiming:
+    """Per-layer breakdown produced by the FPGA model.
+
+    Attributes
+    ----------
+    blocked:
+        The blocked decomposition of this layer's GEMM.
+    compute_seconds:
+        Time the systolic array spends computing (including padding waste).
+    memory_seconds:
+        Time required to move the layer's DRAM traffic at the available
+        bandwidth.
+    layer_seconds:
+        The layer's contribution to total run time: the maximum of compute
+        and memory time (double buffering overlaps them) plus fixed
+        per-layer overheads.
+    first_result_seconds:
+        Time until this layer's first output tile is available, used for the
+        latency metric.
+    """
+
+    blocked: BlockedGemm
+    compute_seconds: float
+    memory_seconds: float
+    layer_seconds: float
+    first_result_seconds: float
+
+    @property
+    def memory_bound(self) -> bool:
+        """Whether DRAM traffic (rather than compute) limits this layer."""
+        return self.memory_seconds > self.compute_seconds
+
+
+class FPGAPerformanceModel:
+    """Estimates overlay performance for (MLP, grid configuration) pairs."""
+
+    def __init__(
+        self,
+        device: FPGADevice,
+        memory: MemorySystem | None = None,
+        power_model: FPGAPowerModel | None = None,
+    ) -> None:
+        self.device = device
+        if memory is None:
+            memory = MemorySystem(DDR4_BANK, banks=device.ddr_banks)
+        self.memory = memory
+        self.power_model = power_model or FPGAPowerModel()
+
+    # ----------------------------------------------------------- rooflines
+    def potential_gflops(self, config: GridConfig) -> float:
+        """Configuration roofline after the bandwidth derating of step 2.
+
+        The compute roofline is ``2 * rows * columns * vector_width * clock``.
+        The bandwidth need of the configuration is taken from its steady-state
+        blocked-GEMM traffic (bytes per block over cycles per block); when the
+        memory system cannot supply it, the roofline is scaled by the
+        available/required ratio.
+        """
+        config.validate_for(self.device)
+        compute_gflops = config.peak_gflops(self.device)
+
+        # Steady-state traffic of one output tile with a deep k dimension:
+        # stream a B tile and write a C tile every `cycles_per_tile` cycles.
+        reference_k = max(config.block_k, 512)
+        k_steps = -(-reference_k // config.block_k)
+        cycles_per_tile = config.interleave_rows * config.interleave_columns * k_steps
+        bytes_per_tile = 4 * (config.block_k * k_steps * config.block_n + config.block_m * config.block_n)
+        required_bytes_per_second = (
+            bytes_per_tile / cycles_per_tile * self.device.clock_hz
+        )
+        ratio = self.memory.bandwidth_ratio(required_bytes_per_second)
+        if ratio >= 1.0:
+            return compute_gflops
+        return compute_gflops * ratio
+
+    def device_peak_gflops(self) -> float:
+        """Device-level roofline (all DSPs at the configured clock)."""
+        return self.device.peak_gflops
+
+    # ------------------------------------------------------------- timing
+    def layer_timing(self, shape: GemmShape, config: GridConfig) -> FPGALayerTiming:
+        """Timing of a single layer's blocked GEMM on the overlay."""
+        blocked = block_gemm(shape, config)
+        clock_hz = self.device.clock_hz
+
+        compute_cycles = blocked.compute_cycles + blocked.tiles_n * _PIPELINE_FILL_CYCLES
+        compute_seconds = compute_cycles / clock_hz
+        memory_seconds = self.memory.transfer_seconds(blocked.dram_bytes, streams=blocked.total_tiles)
+        overhead_seconds = _KERNEL_ENQUEUE_CYCLES / clock_hz
+        layer_seconds = max(compute_seconds, memory_seconds) + overhead_seconds
+
+        # First result: one tile of work (compute or memory bound) plus fill.
+        first_tile_compute = (blocked.cycles_per_tile + _PIPELINE_FILL_CYCLES) / clock_hz
+        first_tile_memory = self.memory.transfer_seconds(
+            blocked.tile_a_bytes + blocked.tile_b_bytes + blocked.tile_c_bytes, streams=1
+        )
+        first_result_seconds = max(first_tile_compute, first_tile_memory) + overhead_seconds
+
+        return FPGALayerTiming(
+            blocked=blocked,
+            compute_seconds=compute_seconds,
+            memory_seconds=memory_seconds,
+            layer_seconds=layer_seconds,
+            first_result_seconds=first_result_seconds,
+        )
+
+    # ------------------------------------------------------------ evaluate
+    def evaluate_shapes(self, shapes: list[GemmShape], config: GridConfig, batch_size: int) -> HardwareMetrics:
+        """Full-model evaluation of an already-extracted GEMM workload."""
+        if not shapes:
+            raise ValueError("cannot evaluate an empty GEMM workload")
+        config.validate_for(self.device)
+
+        timings = [self.layer_timing(shape, config) for shape in shapes]
+        total_time = sum(t.layer_seconds for t in timings)
+        useful_flops = sum(t.blocked.useful_flops for t in timings)
+        dram_bytes = sum(t.blocked.dram_bytes for t in timings)
+
+        # Latency: the run is layer-sequential, so the first final result
+        # appears after all but the last layer finish plus the last layer's
+        # first-tile time.
+        latency = sum(t.layer_seconds for t in timings[:-1]) + timings[-1].first_result_seconds
+
+        potential = self.potential_gflops(config)
+        effective = useful_flops / total_time / 1e9
+        efficiency = min(1.0, effective / potential) if potential > 0 else 0.0
+        outputs_per_second = batch_size / total_time
+        compute_bound = all(not t.memory_bound for t in timings)
+        power = self.power_model.estimate(self.device, config)
+
+        return HardwareMetrics(
+            device_name=self.device.name,
+            batch_size=batch_size,
+            potential_gflops=potential,
+            effective_gflops=effective,
+            total_time_seconds=total_time,
+            outputs_per_second=outputs_per_second,
+            latency_seconds=latency,
+            efficiency=efficiency,
+            dram_bytes=float(dram_bytes),
+            power_watts=power,
+            compute_bound=compute_bound,
+            extras={
+                "layer_seconds": [t.layer_seconds for t in timings],
+                "layer_memory_bound": [t.memory_bound for t in timings],
+                "padding_efficiency": [t.blocked.padding_efficiency for t in timings],
+                "dsp_blocks_used": config.dsp_blocks_used,
+                "device_peak_gflops": self.device_peak_gflops(),
+            },
+        )
+
+    def evaluate(self, spec: MLPSpec, config: GridConfig, batch_size: int = 1024) -> HardwareMetrics:
+        """Evaluate an MLP specification on this device with the given grid.
+
+        ``batch_size`` is the number of samples resident in DRAM for one run
+        (the paper measures total time from kernel enqueue until the last
+        result lands back in DRAM).  The overlay tiles the run into small
+        ``rows x interleave_rows`` blocks internally — the paper's point that
+        the FPGA "does not need to increase batching" to fill its PEs — so
+        latency stays low even for large runs.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        shapes = spec.gemm_shapes(batch_size)
+        return self.evaluate_shapes(shapes, config, batch_size)
+
+    # ------------------------------------------------------------ utilities
+    def best_grid_for(
+        self,
+        spec: MLPSpec,
+        candidates: list[GridConfig],
+        batch_size: int = 16,
+        objective: str = "outputs_per_second",
+    ) -> tuple[GridConfig, HardwareMetrics]:
+        """Exhaustively pick the best grid from ``candidates`` for one MLP.
+
+        Used by tests and the greedy baseline; the evolutionary engine instead
+        mutates grid parameters as part of the genome.
+        """
+        if not candidates:
+            raise ValueError("candidates must not be empty")
+        best_config: GridConfig | None = None
+        best_metrics: HardwareMetrics | None = None
+        for config in candidates:
+            if not config.fits(self.device):
+                continue
+            metrics = self.evaluate(spec, config, batch_size)
+            value = getattr(metrics, objective)
+            if best_metrics is None or value > getattr(best_metrics, objective):
+                best_config, best_metrics = config, metrics
+        if best_config is None or best_metrics is None:
+            raise ValueError("no candidate grid configuration fits the device")
+        return best_config, best_metrics

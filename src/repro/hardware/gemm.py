@@ -1,0 +1,173 @@
+"""GEMM workload extraction and blocked decomposition.
+
+Section III-D of the paper describes how an MLP maps onto hardware: every
+layer is one GEMM ``C[m, n] = A[m, k] @ B[k, n]`` where ``m`` is the batch,
+``k`` the layer input width and ``n`` the neuron count.  The hardware database
+worker "breaks the ANN up into a series of blocked matrix multiplications"
+using the grid configuration.  This module implements both steps:
+
+* :func:`mlp_gemm_workload` turns an MLP specification + batch size into the
+  ordered list of layer GEMMs, and
+* :func:`block_gemm` decomposes one GEMM into the tile grid a
+  :class:`~repro.hardware.systolic.GridConfig` would execute, including the
+  padding waste when a dimension does not divide evenly into tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.layers import GemmShape
+from ..nn.mlp import MLPSpec
+from .systolic import GridConfig
+
+__all__ = ["BlockedGemm", "block_gemm", "mlp_gemm_workload", "workload_flops", "workload_weight_bytes"]
+
+
+@dataclass(frozen=True)
+class BlockedGemm:
+    """The tiling of one GEMM onto a systolic grid.
+
+    Attributes
+    ----------
+    shape:
+        The original (unpadded) GEMM shape.
+    config:
+        The grid configuration performing the GEMM.
+    tiles_m / tiles_n:
+        Number of output tiles along each dimension (ceiling division).
+    k_steps:
+        Number of ``vector_width`` chunks needed to accumulate the full ``k``
+        dimension (ceiling division).
+    """
+
+    shape: GemmShape
+    config: GridConfig
+    tiles_m: int
+    tiles_n: int
+    k_steps: int
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def total_tiles(self) -> int:
+        """Number of output tiles the grid must produce."""
+        return self.tiles_m * self.tiles_n
+
+    @property
+    def padded_m(self) -> int:
+        """Batch dimension after padding up to a whole number of tiles."""
+        return self.tiles_m * self.config.block_m
+
+    @property
+    def padded_n(self) -> int:
+        """Neuron dimension after padding up to a whole number of tiles."""
+        return self.tiles_n * self.config.block_n
+
+    @property
+    def padded_k(self) -> int:
+        """Accumulation dimension after padding to a whole number of vector chunks."""
+        return self.k_steps * self.config.block_k
+
+    # -------------------------------------------------------------- compute
+    @property
+    def cycles_per_tile(self) -> int:
+        """Clock cycles to compute one output tile.
+
+        The grid retires ``rows * columns * vector_width`` MACs per cycle; a
+        tile holds ``block_m * block_n`` outputs each needing ``padded_k``
+        MACs, so the tile takes ``interleave_rows * interleave_columns *
+        k_steps`` cycles.  This matches the paper's "cycles per block of
+        data" quantity.
+        """
+        return self.config.interleave_rows * self.config.interleave_columns * self.k_steps
+
+    @property
+    def compute_cycles(self) -> int:
+        """Total cycles for the whole GEMM, ignoring memory stalls and fill."""
+        return self.total_tiles * self.cycles_per_tile
+
+    @property
+    def useful_flops(self) -> int:
+        """FLOPs of the original (unpadded) problem."""
+        return self.shape.flops
+
+    @property
+    def padded_flops(self) -> int:
+        """FLOPs including the padding waste (what the hardware actually executes)."""
+        return 2 * self.padded_m * self.padded_k * self.padded_n
+
+    @property
+    def padding_efficiency(self) -> float:
+        """Fraction of executed work that is useful (``useful / padded``)."""
+        return self.useful_flops / self.padded_flops
+
+    # --------------------------------------------------------------- traffic
+    @property
+    def tile_a_bytes(self) -> int:
+        """DRAM bytes of the A (activation) operand tile streamed per output tile."""
+        return 4 * self.config.block_m * self.padded_k
+
+    @property
+    def tile_b_bytes(self) -> int:
+        """DRAM bytes of the B (weight) operand tile streamed per output tile."""
+        return 4 * self.padded_k * self.config.block_n
+
+    @property
+    def tile_c_bytes(self) -> int:
+        """DRAM bytes of the C (result) tile written back per output tile."""
+        return 4 * self.config.block_m * self.config.block_n
+
+    @property
+    def dram_bytes(self) -> int:
+        """Total DRAM traffic for the GEMM under tile-level reuse.
+
+        The A tile is loaded once per tile row and reused across the ``n``
+        tiles in that row (it stays in the interleave double buffer); the B
+        tile must be streamed for every output tile; every C tile is written
+        once.  This is the traffic pattern of the Intel SGEMM overlay the
+        paper builds on.
+        """
+        a_traffic = self.tiles_m * self.tile_a_bytes
+        b_traffic = self.total_tiles * self.tile_b_bytes
+        c_traffic = self.total_tiles * self.tile_c_bytes
+        return a_traffic + b_traffic + c_traffic
+
+    @property
+    def bytes_per_cycle_required(self) -> float:
+        """Average DRAM bytes per clock the grid needs to avoid stalling."""
+        if self.compute_cycles == 0:
+            return 0.0
+        return self.dram_bytes / self.compute_cycles
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    return -(-numerator // denominator)
+
+
+def block_gemm(shape: GemmShape, config: GridConfig) -> BlockedGemm:
+    """Decompose one GEMM onto a grid configuration."""
+    tiles_m = _ceil_div(shape.m, config.block_m)
+    tiles_n = _ceil_div(shape.n, config.block_n)
+    k_steps = _ceil_div(shape.k, config.block_k)
+    return BlockedGemm(shape=shape, config=config, tiles_m=tiles_m, tiles_n=tiles_n, k_steps=k_steps)
+
+
+def mlp_gemm_workload(spec: MLPSpec, batch_size: int) -> list[GemmShape]:
+    """The ordered per-layer GEMM shapes for one inference batch.
+
+    ``m`` is the batch size for every layer; ``k`` of layer *i+1* equals ``n``
+    of layer *i* (the paper: "N dimension is the number of neurons that also
+    defines a subsequent layer k; the size of the dataset defines the first
+    layer k").
+    """
+    return spec.gemm_shapes(batch_size)
+
+
+def workload_flops(shapes: list[GemmShape]) -> int:
+    """Total useful FLOPs of a GEMM workload."""
+    return sum(shape.flops for shape in shapes)
+
+
+def workload_weight_bytes(shapes: list[GemmShape]) -> int:
+    """Total bytes of weight matrices (the B operands) at FP32."""
+    return sum(4 * shape.k * shape.n for shape in shapes)

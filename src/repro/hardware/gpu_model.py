@@ -1,0 +1,177 @@
+"""Analytical GPU execution model for the simulation worker.
+
+The paper profiles GPU runs through TensorFlow trace files; its timing
+"considers matrix multiplication, activation, and vector addition routines,
+but it does not appear to take into account DRAM transfers".  Two properties
+of that measurement drive the shape of the paper's GPU results and are
+reproduced here:
+
+* **Per-operation dispatch overhead.**  Every layer issues a GEMM kernel, an
+  activation kernel and (with bias) a vector-add kernel through the framework;
+  for the small GEMMs of MLP inference the fixed dispatch cost dominates, so
+  GPU throughput is largely *independent of the network's neuron distribution*
+  (section IV-B: "for GPU, there is roughly no relationship between the number
+  of neurons and the throughput").
+* **Low effective utilization.**  A small GEMM cannot fill the device — the
+  paper measures 0.3% GPU efficiency on MNIST-sized layers at equal
+  throughput to a 41.5%-efficient FPGA (section IV-D).  Utilization is modeled
+  from how many thread tiles the GEMM offers relative to what the device needs
+  to be saturated.
+
+The GPU is a fixed architecture, so unlike the FPGA model there is no hardware
+configuration to mutate — only the batch size is a free parameter (GPUs
+"typically batch with a larger M dimension to fill up compute cores").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.layers import GemmShape
+from ..nn.mlp import MLPSpec
+from .device import GPUDevice
+from .power import GPUPowerModel
+from .results import HardwareMetrics
+
+__all__ = ["GPULayerTiming", "GPUPerformanceModel"]
+
+#: Output-tile footprint of one thread block in the modeled GEMM kernel.
+_TILE_M = 64
+_TILE_N = 64
+#: Thread blocks per SM needed to hide latency (occupancy target).
+_BLOCKS_PER_SM_FOR_SATURATION = 8
+#: Kernels launched per MLP layer: GEMM + activation (+ bias add).
+_KERNELS_PER_LAYER_WITH_BIAS = 3
+_KERNELS_PER_LAYER_NO_BIAS = 2
+#: Minimum wall-clock time of any kernel, regardless of size.
+_MIN_KERNEL_SECONDS = 3e-6
+
+
+@dataclass(frozen=True)
+class GPULayerTiming:
+    """Per-layer breakdown produced by the GPU model."""
+
+    shape: GemmShape
+    utilization: float
+    gemm_seconds: float
+    elementwise_seconds: float
+    dispatch_seconds: float
+    layer_seconds: float
+
+
+class GPUPerformanceModel:
+    """Estimates framework-level GPU execution time for MLP inference."""
+
+    def __init__(self, device: GPUDevice, power_model: GPUPowerModel | None = None) -> None:
+        self.device = device
+        self.power_model = power_model or GPUPowerModel()
+
+    # --------------------------------------------------------- utilization
+    def utilization(self, shape: GemmShape) -> float:
+        """Fraction of peak FLOP/s a single GEMM of this shape can extract.
+
+        The kernel tiles the output into ``_TILE_M x _TILE_N`` blocks; the
+        device needs ``SMs * _BLOCKS_PER_SM_FOR_SATURATION`` resident blocks to
+        reach peak.  Small ``k`` further limits pipeline efficiency within a
+        block.
+        """
+        tiles = max(1, -(-shape.m // _TILE_M)) * max(1, -(-shape.n // _TILE_N))
+        saturation_tiles = self.device.streaming_multiprocessors * _BLOCKS_PER_SM_FOR_SATURATION
+        occupancy = min(1.0, tiles / saturation_tiles)
+        k_efficiency = min(1.0, shape.k / 512.0)
+        return max(1e-4, occupancy * k_efficiency)
+
+    # -------------------------------------------------------------- timing
+    def layer_timing(self, shape: GemmShape, use_bias: bool = True) -> GPULayerTiming:
+        """Timing of one dense layer (GEMM + activation + optional bias add)."""
+        utilization = self.utilization(shape)
+        achievable_flops = self.device.peak_flops * utilization
+        gemm_seconds = max(_MIN_KERNEL_SECONDS, shape.flops / achievable_flops)
+
+        # Element-wise kernels (activation, bias add) are bandwidth-bound over
+        # the m x n output held in device memory / cache.
+        elementwise_passes = 2 if use_bias else 1
+        elementwise_bytes = elementwise_passes * 2 * shape.output_bytes  # read + write
+        elementwise_seconds = max(
+            _MIN_KERNEL_SECONDS,
+            elementwise_bytes / self.device.memory_bandwidth_bytes_per_second,
+        )
+
+        kernels = _KERNELS_PER_LAYER_WITH_BIAS if use_bias else _KERNELS_PER_LAYER_NO_BIAS
+        dispatch_seconds = kernels * self.device.kernel_launch_overhead_us * 1e-6
+        layer_seconds = gemm_seconds + elementwise_seconds + dispatch_seconds
+        return GPULayerTiming(
+            shape=shape,
+            utilization=utilization,
+            gemm_seconds=gemm_seconds,
+            elementwise_seconds=elementwise_seconds,
+            dispatch_seconds=dispatch_seconds,
+            layer_seconds=layer_seconds,
+        )
+
+    # ------------------------------------------------------------ evaluate
+    def evaluate_shapes(
+        self, shapes: list[GemmShape], batch_size: int, use_bias: bool = True
+    ) -> HardwareMetrics:
+        """Full-model evaluation of an already-extracted GEMM workload."""
+        if not shapes:
+            raise ValueError("cannot evaluate an empty GEMM workload")
+        timings = [self.layer_timing(shape, use_bias) for shape in shapes]
+        total_time = sum(t.layer_seconds for t in timings)
+        useful_flops = sum(t.shape.flops for t in timings)
+
+        potential = self.device.peak_gflops
+        effective = useful_flops / total_time / 1e9
+        efficiency = min(1.0, effective / potential) if potential > 0 else 0.0
+        outputs_per_second = batch_size / total_time
+        # Latency: the whole batch must pass through every layer before the
+        # first result of the run is available at the framework level.
+        latency = total_time
+        mean_utilization = sum(t.utilization for t in timings) / len(timings)
+        power = self.power_model.estimate(self.device, mean_utilization)
+
+        return HardwareMetrics(
+            device_name=self.device.name,
+            batch_size=batch_size,
+            potential_gflops=potential,
+            effective_gflops=effective,
+            total_time_seconds=total_time,
+            outputs_per_second=outputs_per_second,
+            latency_seconds=latency,
+            efficiency=efficiency,
+            dram_bytes=0.0,  # framework timing excludes DRAM transfers
+            power_watts=power,
+            compute_bound=False,
+            extras={
+                "layer_seconds": [t.layer_seconds for t in timings],
+                "layer_utilization": [t.utilization for t in timings],
+                "dispatch_seconds": [t.dispatch_seconds for t in timings],
+            },
+        )
+
+    def evaluate(self, spec: MLPSpec, batch_size: int = 256) -> HardwareMetrics:
+        """Evaluate an MLP specification at the given batch size.
+
+        ``batch_size`` defaults to a larger value than the FPGA model uses:
+        GPUs batch with a larger ``m`` dimension to fill their compute cores
+        (section III-D).
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        shapes = spec.gemm_shapes(batch_size)
+        return self.evaluate_shapes(shapes, batch_size, use_bias=spec.use_bias)
+
+    def best_batch_size(
+        self, spec: MLPSpec, candidates: tuple[int, ...] = (64, 128, 256, 512, 1024, 2048)
+    ) -> tuple[int, HardwareMetrics]:
+        """Pick the batch size maximizing outputs/s (the GPU's only knob)."""
+        if not candidates:
+            raise ValueError("candidates must not be empty")
+        best_batch: int | None = None
+        best_metrics: HardwareMetrics | None = None
+        for batch in candidates:
+            metrics = self.evaluate(spec, batch_size=int(batch))
+            if best_metrics is None or metrics.outputs_per_second > best_metrics.outputs_per_second:
+                best_batch, best_metrics = int(batch), metrics
+        assert best_batch is not None and best_metrics is not None
+        return best_batch, best_metrics

@@ -1,0 +1,131 @@
+"""External-memory (DRAM) system model for the FPGA overlay.
+
+Most of the designs the evolutionary search returned on the Arria 10
+development kit were *bandwidth constrained* — the board has a single bank of
+DDR4 providing 19.2 GB/s (section IV).  This module models that constraint:
+a :class:`MemorySystem` exposes achievable bandwidth given the bank count and
+an efficiency factor (real DDR controllers do not sustain their peak), and
+computes transfer times for the blocked GEMM traffic the overlay generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemorySpec", "MemorySystem", "DDR4_BANK", "HBM2_STACK"]
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """One memory channel/bank technology description.
+
+    Attributes
+    ----------
+    name:
+        Technology name, e.g. ``"DDR4-2400 x64"``.
+    peak_bandwidth_gbps:
+        Theoretical peak bandwidth of one bank in GB/s.
+    efficiency:
+        Fraction of peak sustainable for streaming access patterns
+        (command/refresh overhead, row misses).  Applied to all transfers.
+    access_latency_ns:
+        First-word latency of a new burst, added once per request stream.
+    """
+
+    name: str
+    peak_bandwidth_gbps: float
+    efficiency: float = 0.85
+    access_latency_ns: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth_gbps <= 0:
+            raise ValueError(
+                f"peak_bandwidth_gbps must be positive, got {self.peak_bandwidth_gbps}"
+            )
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1], got {self.efficiency}")
+        if self.access_latency_ns < 0:
+            raise ValueError(f"access_latency_ns must be >= 0, got {self.access_latency_ns}")
+
+
+#: DDR4 bank as populated on the Arria 10 development kit (19.2 GB/s peak).
+DDR4_BANK = MemorySpec(name="DDR4-2400 x64", peak_bandwidth_gbps=19.2, efficiency=0.85)
+
+#: One HBM2 stack (for completeness; Stratix 10 MX-style configurations).
+HBM2_STACK = MemorySpec(name="HBM2 stack", peak_bandwidth_gbps=256.0, efficiency=0.80)
+
+
+class MemorySystem:
+    """A set of identical memory banks feeding the accelerator.
+
+    The overlay interleaves traffic across banks, so aggregate bandwidth
+    scales linearly with the bank count — which is exactly the behaviour the
+    paper observes ("mostly a linear scaling going from 1 to 4" banks,
+    section IV-C).
+    """
+
+    def __init__(self, spec: MemorySpec = DDR4_BANK, banks: int = 1) -> None:
+        if banks <= 0:
+            raise ValueError(f"banks must be positive, got {banks}")
+        self.spec = spec
+        self.banks = int(banks)
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Aggregate theoretical peak bandwidth in GB/s."""
+        return self.spec.peak_bandwidth_gbps * self.banks
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        """Aggregate sustainable bandwidth in GB/s (peak x efficiency)."""
+        return self.peak_bandwidth_gbps * self.spec.efficiency
+
+    @property
+    def effective_bandwidth_bytes_per_second(self) -> float:
+        """Aggregate sustainable bandwidth in bytes/s."""
+        return self.effective_bandwidth_gbps * 1e9
+
+    def transfer_seconds(self, num_bytes: float, streams: int = 1) -> float:
+        """Time to move ``num_bytes`` of streaming traffic.
+
+        Parameters
+        ----------
+        num_bytes:
+            Total bytes transferred (reads plus writes).
+        streams:
+            Number of distinct burst streams; each pays the first-word access
+            latency once.
+        """
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+        if streams < 1:
+            raise ValueError(f"streams must be >= 1, got {streams}")
+        if num_bytes == 0:
+            return 0.0
+        latency = streams * self.spec.access_latency_ns * 1e-9
+        return latency + num_bytes / self.effective_bandwidth_bytes_per_second
+
+    def bandwidth_ratio(self, required_bytes_per_second: float) -> float:
+        """Ratio of available to required bandwidth (``>= 1`` means not bound).
+
+        This is the "ratio of how much bandwidth is available to how much we
+        need" the paper uses to derate the potential performance of a
+        configuration (section III-C).
+        """
+        if required_bytes_per_second < 0:
+            raise ValueError(
+                f"required_bytes_per_second must be >= 0, got {required_bytes_per_second}"
+            )
+        if required_bytes_per_second == 0:
+            return float("inf")
+        return self.effective_bandwidth_bytes_per_second / required_bytes_per_second
+
+    def with_banks(self, banks: int) -> "MemorySystem":
+        """Return a copy of this memory system with a different bank count."""
+        return MemorySystem(self.spec, banks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemorySystem({self.spec.name!r} x {self.banks}, "
+            f"{self.effective_bandwidth_gbps:.1f} GB/s effective)"
+        )

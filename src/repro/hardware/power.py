@@ -1,0 +1,86 @@
+"""Power estimation models for the FPGA overlay and the GPU baselines.
+
+Section IV of the paper: across the many Arria 10 designs compiled, chip power
+ranged from 22.5 W (minimum) to 31.89 W (maximum) with an average of 27 W,
+estimated with the Quartus Power Analyzer; the GPUs averaged about 50 W of
+board power (out of a 150 W budget) measured with ``nvidia-smi``.  The paper
+explicitly leaves power out of its conclusions because chip power and board
+power are not comparable, but the workers still report it — so we model it.
+
+Both models are simple affine functions of resource activity, calibrated so
+their outputs fall inside the ranges the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import FPGADevice, GPUDevice
+from .systolic import GridConfig
+
+__all__ = ["FPGAPowerModel", "GPUPowerModel"]
+
+
+@dataclass(frozen=True)
+class FPGAPowerModel:
+    """Chip-power estimate for an overlay configuration on an FPGA.
+
+    ``power = static + dsp_active_fraction * dynamic_range`` — the smallest
+    grids land near the paper's 22.5 W minimum and a full-device grid near the
+    31.89 W maximum (on the Arria 10 reference device).
+
+    Attributes
+    ----------
+    static_watts:
+        Idle/static power of the configured device.
+    dynamic_range_watts:
+        Additional power when every DSP on the device is active.
+    clock_reference_mhz:
+        Clock at which the calibration holds; dynamic power scales linearly
+        with clock frequency relative to this reference.
+    """
+
+    static_watts: float = 22.5
+    dynamic_range_watts: float = 9.4
+    clock_reference_mhz: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.static_watts <= 0:
+            raise ValueError(f"static_watts must be positive, got {self.static_watts}")
+        if self.dynamic_range_watts < 0:
+            raise ValueError(f"dynamic_range_watts must be >= 0, got {self.dynamic_range_watts}")
+        if self.clock_reference_mhz <= 0:
+            raise ValueError(f"clock_reference_mhz must be positive, got {self.clock_reference_mhz}")
+
+    def estimate(self, device: FPGADevice, config: GridConfig) -> float:
+        """Estimated chip power (watts) for ``config`` running on ``device``."""
+        active_fraction = min(1.0, config.dsp_blocks_used / device.dsp_count)
+        clock_scale = device.clock_mhz / self.clock_reference_mhz
+        return self.static_watts + self.dynamic_range_watts * active_fraction * clock_scale
+
+
+@dataclass(frozen=True)
+class GPUPowerModel:
+    """Board-power estimate for a GPU running a (mostly idle) MLP workload.
+
+    The paper observes that GPU power management keeps draw low when effective
+    utilization is low — roughly 50 W on a 150 W part.  We model board power
+    as ``idle + utilization * (board_max - idle)``.
+
+    Attributes
+    ----------
+    idle_fraction:
+        Idle power as a fraction of the board maximum.
+    """
+
+    idle_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.idle_fraction < 1.0:
+            raise ValueError(f"idle_fraction must be in [0, 1), got {self.idle_fraction}")
+
+    def estimate(self, device: GPUDevice, utilization: float) -> float:
+        """Estimated board power (watts) at the given compute utilization."""
+        utilization = min(1.0, max(0.0, float(utilization)))
+        idle = self.idle_fraction * device.board_power_watts
+        return idle + utilization * (device.board_power_watts - idle)

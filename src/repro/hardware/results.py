@@ -1,0 +1,102 @@
+"""Common result record returned by the hardware performance models.
+
+Section III-C: *"Our model returns values we deemed fundamental, including
+potential and effective performance, total time, outputs per second, and
+latency."*  :class:`HardwareMetrics` carries exactly those values (plus the
+supporting quantities the analysis layer needs), regardless of whether they
+came from the FPGA overlay model, the GPU model, or a physical measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HardwareMetrics"]
+
+
+@dataclass(frozen=True)
+class HardwareMetrics:
+    """Performance metrics of one (network, hardware configuration) pair.
+
+    Attributes
+    ----------
+    device_name:
+        The device the metrics refer to.
+    batch_size:
+        Batch (GEMM ``m`` dimension) used for the run.
+    potential_gflops:
+        Roofline of the *configuration* — what the allocated compute could
+        sustain given the available memory bandwidth, before mapping the
+        actual network ("the marketed performance that defines the roofline
+        of the configuration").
+    effective_gflops:
+        Useful FLOPs divided by total run time — "the actual or real
+        performance of the configuration under a workload".
+    total_time_seconds:
+        One full run: all layers of the network over one batch, including
+        DRAM traffic for the FPGA model (the paper's FPGA timing includes
+        DRAM because "memory buffering is an active component in the design").
+    outputs_per_second:
+        ``batch_size / total_time_seconds`` — the generalized "images per
+        second" metric.
+    latency_seconds:
+        Time from the start of a run until the first result is stored to
+        DRAM.
+    efficiency:
+        ``effective / potential`` — the hardware-efficiency metric of
+        Figure 4.
+    dram_bytes:
+        Total external-memory traffic for one run (0 for models that do not
+        account for DRAM, e.g. the GPU timing path).
+    power_watts:
+        Estimated power draw during the run.
+    compute_bound:
+        True when the run time is dominated by compute rather than memory.
+    extras:
+        Model-specific diagnostics (per-layer times, stall fractions, ...).
+    """
+
+    device_name: str
+    batch_size: int
+    potential_gflops: float
+    effective_gflops: float
+    total_time_seconds: float
+    outputs_per_second: float
+    latency_seconds: float
+    efficiency: float
+    dram_bytes: float = 0.0
+    power_watts: float = 0.0
+    compute_bound: bool = True
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.potential_gflops < 0:
+            raise ValueError(f"potential_gflops must be >= 0, got {self.potential_gflops}")
+        if self.effective_gflops < 0:
+            raise ValueError(f"effective_gflops must be >= 0, got {self.effective_gflops}")
+        if self.total_time_seconds <= 0:
+            raise ValueError(f"total_time_seconds must be positive, got {self.total_time_seconds}")
+        if self.outputs_per_second < 0:
+            raise ValueError(f"outputs_per_second must be >= 0, got {self.outputs_per_second}")
+        if self.latency_seconds < 0:
+            raise ValueError(f"latency_seconds must be >= 0, got {self.latency_seconds}")
+        if not 0.0 <= self.efficiency <= 1.0 + 1e-9:
+            raise ValueError(f"efficiency must be in [0, 1], got {self.efficiency}")
+
+    def to_dict(self) -> dict:
+        """Flat dictionary form used by reports and CSV exports."""
+        return {
+            "device_name": self.device_name,
+            "batch_size": self.batch_size,
+            "potential_gflops": self.potential_gflops,
+            "effective_gflops": self.effective_gflops,
+            "total_time_seconds": self.total_time_seconds,
+            "outputs_per_second": self.outputs_per_second,
+            "latency_seconds": self.latency_seconds,
+            "efficiency": self.efficiency,
+            "dram_bytes": self.dram_bytes,
+            "power_watts": self.power_watts,
+            "compute_bound": self.compute_bound,
+        }

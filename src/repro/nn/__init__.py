@@ -1,0 +1,80 @@
+"""From-scratch numpy MLP substrate.
+
+This subpackage replaces the TensorFlow/Keras training stack used in the
+original ECAD experiments: dense layers, activations, losses, optimizers, a
+mini-batch trainer, and the single-fold / 10-fold evaluation protocols the
+paper's tables rely on.
+"""
+
+from .activations import (
+    Activation,
+    ELU,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Softplus,
+    Tanh,
+    available_activations,
+    get_activation,
+)
+from .evaluation import EvaluationResult, evaluate_kfold, evaluate_single_fold, kfold_indices
+from .initializers import available_initializers, default_initializer_for, get_initializer
+from .layers import DenseLayer, GemmShape
+from .losses import BinaryCrossEntropy, CategoricalCrossEntropy, MeanSquaredError, get_loss
+from .metrics import accuracy, confusion_matrix, error_rate, macro_f1, precision_recall_f1, top_k_accuracy
+from .mlp import MLP, MLPSpec
+from .optimizers import SGD, Adam, MomentumSGD, Optimizer, RMSProp, available_optimizers, get_optimizer
+from .preprocessing import MinMaxScaler, OneHotEncoder, StandardScaler, one_hot, train_test_split
+from .training import Trainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "Activation",
+    "ELU",
+    "Identity",
+    "LeakyReLU",
+    "ReLU",
+    "Sigmoid",
+    "Softmax",
+    "Softplus",
+    "Tanh",
+    "available_activations",
+    "get_activation",
+    "EvaluationResult",
+    "evaluate_kfold",
+    "evaluate_single_fold",
+    "kfold_indices",
+    "available_initializers",
+    "default_initializer_for",
+    "get_initializer",
+    "DenseLayer",
+    "GemmShape",
+    "BinaryCrossEntropy",
+    "CategoricalCrossEntropy",
+    "MeanSquaredError",
+    "get_loss",
+    "accuracy",
+    "confusion_matrix",
+    "error_rate",
+    "macro_f1",
+    "precision_recall_f1",
+    "top_k_accuracy",
+    "MLP",
+    "MLPSpec",
+    "SGD",
+    "Adam",
+    "MomentumSGD",
+    "Optimizer",
+    "RMSProp",
+    "available_optimizers",
+    "get_optimizer",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "StandardScaler",
+    "one_hot",
+    "train_test_split",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+]

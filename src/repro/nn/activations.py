@@ -1,0 +1,232 @@
+"""Activation functions for the from-scratch MLP substrate.
+
+The ECAD search space mutates the activation function of every hidden layer, so
+activations are first-class objects here: each one knows how to compute its
+forward value and the derivative used during backpropagation, and each one has a
+stable string name so genomes can be serialized and hashed for the evaluation
+cache.
+
+All activations operate element-wise on numpy arrays and never modify their
+input in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "ELU",
+    "Softplus",
+    "Softmax",
+    "get_activation",
+    "available_activations",
+]
+
+
+class Activation:
+    """Base class for element-wise activation functions.
+
+    Subclasses implement :meth:`forward` and :meth:`derivative`.  The
+    derivative is expressed as a function of the *pre-activation* input ``z``
+    (not the activated output), which keeps the backpropagation code in
+    :mod:`repro.nn.layers` uniform across activations.
+    """
+
+    #: Stable identifier used in genomes, configuration files and caches.
+    name: str = "activation"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        """Return the activation applied element-wise to ``z``."""
+        raise NotImplementedError
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        """Return d(activation)/dz evaluated element-wise at ``z``."""
+        raise NotImplementedError
+
+    def __call__(self, z: np.ndarray) -> np.ndarray:
+        return self.forward(z)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Activation) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class Identity(Activation):
+    """Linear activation ``f(z) = z`` (used for output layers in regression)."""
+
+    name = "identity"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.asarray(z, dtype=float)
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        return np.ones_like(np.asarray(z, dtype=float))
+
+
+class ReLU(Activation):
+    """Rectified linear unit ``f(z) = max(z, 0)``."""
+
+    name = "relu"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.maximum(z, 0.0)
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        return (z > 0.0).astype(float)
+
+
+class LeakyReLU(Activation):
+    """Leaky rectified linear unit with configurable negative slope."""
+
+    name = "leaky_relu"
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = float(alpha)
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=float)
+        return np.where(z > 0.0, z, self.alpha * z)
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=float)
+        return np.where(z > 0.0, 1.0, self.alpha)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid ``f(z) = 1 / (1 + exp(-z))``, numerically stabilized."""
+
+    name = "sigmoid"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=float)
+        out = np.empty_like(z)
+        positive = z >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+        exp_z = np.exp(z[~positive])
+        out[~positive] = exp_z / (1.0 + exp_z)
+        return out
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        s = self.forward(z)
+        return s * (1.0 - s)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent activation."""
+
+    name = "tanh"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.tanh(z)
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        t = np.tanh(z)
+        return 1.0 - t * t
+
+
+class ELU(Activation):
+    """Exponential linear unit with configurable ``alpha``."""
+
+    name = "elu"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = float(alpha)
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=float)
+        return np.where(z > 0.0, z, self.alpha * (np.exp(np.minimum(z, 0.0)) - 1.0))
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=float)
+        return np.where(z > 0.0, 1.0, self.alpha * np.exp(np.minimum(z, 0.0)))
+
+
+class Softplus(Activation):
+    """Smooth approximation of ReLU: ``f(z) = log(1 + exp(z))``."""
+
+    name = "softplus"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=float)
+        return np.logaddexp(0.0, z)
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        return Sigmoid().forward(z)
+
+
+class Softmax(Activation):
+    """Row-wise softmax used on the output layer for classification.
+
+    The derivative returned here is the diagonal approximation; the training
+    loop pairs softmax with cross-entropy, whose combined gradient is computed
+    analytically in :mod:`repro.nn.losses`, so the full Jacobian is never
+    required.
+    """
+
+    name = "softmax"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        z = np.asarray(z, dtype=float)
+        shifted = z - np.max(z, axis=-1, keepdims=True)
+        exp_z = np.exp(shifted)
+        return exp_z / np.sum(exp_z, axis=-1, keepdims=True)
+
+    def derivative(self, z: np.ndarray) -> np.ndarray:
+        s = self.forward(z)
+        return s * (1.0 - s)
+
+
+_REGISTRY: dict[str, type[Activation]] = {
+    Identity.name: Identity,
+    ReLU.name: ReLU,
+    LeakyReLU.name: LeakyReLU,
+    Sigmoid.name: Sigmoid,
+    Tanh.name: Tanh,
+    ELU.name: ELU,
+    Softplus.name: Softplus,
+    Softmax.name: Softmax,
+}
+
+
+def available_activations() -> list[str]:
+    """Return the sorted names of all registered activation functions."""
+    return sorted(_REGISTRY)
+
+
+def get_activation(name: str | Activation) -> Activation:
+    """Resolve an activation by name (or pass an instance through).
+
+    Parameters
+    ----------
+    name:
+        Either an :class:`Activation` instance (returned unchanged) or one of
+        the names reported by :func:`available_activations`.
+
+    Raises
+    ------
+    ValueError
+        If the name is not registered.
+    """
+    if isinstance(name, Activation):
+        return name
+    key = str(name).strip().lower()
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown activation {name!r}; available: {', '.join(available_activations())}"
+        )
+    return _REGISTRY[key]()

@@ -1,0 +1,198 @@
+"""Candidate evaluation: single-fold and k-fold accuracy measurement.
+
+The paper reports two evaluation protocols:
+
+* **10-fold cross-validation** following the OpenML estimation procedure for
+  Credit-g, HAR, Phishing and Bioresponse (Table I), and
+* **single fold** (pre-split train/test) for MNIST and Fashion-MNIST
+  (Table II) and for the Pareto-frontier searches (Table IV).
+
+Both are implemented here on top of the trainer, and both return an
+:class:`EvaluationResult` whose fields map directly onto the metrics the ECAD
+fitness functions consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .metrics import accuracy
+from .mlp import MLP, MLPSpec
+from .preprocessing import StandardScaler
+from .training import Trainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "EvaluationResult",
+    "kfold_indices",
+    "evaluate_single_fold",
+    "evaluate_kfold",
+]
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of training + testing one MLP specification.
+
+    Attributes
+    ----------
+    accuracy:
+        Mean test accuracy over folds (single value for 1-fold evaluation).
+    fold_accuracies:
+        Per-fold accuracies, length 1 for single-fold evaluation.
+    train_seconds:
+        Total wall-clock seconds spent training and evaluating all folds.
+    parameter_count:
+        Trainable parameter count of the evaluated specification.
+    histories:
+        Per-fold training histories (convergence curves, early stopping info).
+    """
+
+    accuracy: float
+    fold_accuracies: list[float] = field(default_factory=list)
+    train_seconds: float = 0.0
+    parameter_count: int = 0
+    histories: list[TrainingHistory] = field(default_factory=list)
+
+    @property
+    def accuracy_std(self) -> float:
+        """Standard deviation of per-fold accuracy (0 for a single fold)."""
+        if len(self.fold_accuracies) < 2:
+            return 0.0
+        return float(np.std(self.fold_accuracies))
+
+
+def kfold_indices(num_samples: int, num_folds: int, seed: int | None = None) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return ``num_folds`` (train_indices, test_indices) pairs.
+
+    Folds are contiguous slices of a shuffled permutation, matching the
+    standard cross-validation estimation procedure the paper cites.  Every
+    sample appears in exactly one test fold.
+    """
+    if num_folds < 2:
+        raise ValueError(f"num_folds must be >= 2, got {num_folds}")
+    if num_samples < num_folds:
+        raise ValueError(
+            f"cannot split {num_samples} samples into {num_folds} folds"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_samples)
+    fold_sizes = np.full(num_folds, num_samples // num_folds, dtype=int)
+    fold_sizes[: num_samples % num_folds] += 1
+    folds: list[tuple[np.ndarray, np.ndarray]] = []
+    start = 0
+    for size in fold_sizes:
+        test_idx = order[start : start + size]
+        train_idx = np.concatenate([order[:start], order[start + size :]])
+        folds.append((train_idx, test_idx))
+        start += size
+    return folds
+
+
+def _train_and_score(
+    spec: MLPSpec,
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    test_x: np.ndarray,
+    test_y: np.ndarray,
+    training_config: TrainingConfig,
+    seed: int | None,
+    standardize: bool,
+) -> tuple[float, TrainingHistory]:
+    """Train one model on one fold and return (test accuracy, history)."""
+    if standardize:
+        scaler = StandardScaler().fit(train_x)
+        train_x = scaler.transform(train_x)
+        test_x = scaler.transform(test_x)
+    model = MLP(spec, seed=seed)
+    trainer = Trainer(training_config, seed=seed)
+    history = trainer.fit(model, train_x, train_y)
+    score = accuracy(model.predict(test_x), test_y)
+    return score, history
+
+
+def evaluate_single_fold(
+    spec: MLPSpec,
+    train_features: np.ndarray,
+    train_labels: np.ndarray,
+    test_features: np.ndarray,
+    test_labels: np.ndarray,
+    training_config: TrainingConfig | None = None,
+    seed: int | None = None,
+    standardize: bool = True,
+) -> EvaluationResult:
+    """Train on the given train split and report accuracy on the test split.
+
+    This is the protocol used for MNIST / Fashion-MNIST (Table II) and the
+    Pareto-frontier searches (Table IV).
+    """
+    training_config = training_config or TrainingConfig()
+    start = time.perf_counter()
+    score, history = _train_and_score(
+        spec,
+        np.asarray(train_features, dtype=float),
+        np.asarray(train_labels).reshape(-1),
+        np.asarray(test_features, dtype=float),
+        np.asarray(test_labels).reshape(-1),
+        training_config,
+        seed,
+        standardize,
+    )
+    elapsed = time.perf_counter() - start
+    return EvaluationResult(
+        accuracy=score,
+        fold_accuracies=[score],
+        train_seconds=elapsed,
+        parameter_count=spec.parameter_count,
+        histories=[history],
+    )
+
+
+def evaluate_kfold(
+    spec: MLPSpec,
+    features: np.ndarray,
+    labels: np.ndarray,
+    num_folds: int = 10,
+    training_config: TrainingConfig | None = None,
+    seed: int | None = None,
+    standardize: bool = True,
+) -> EvaluationResult:
+    """k-fold cross-validated accuracy of one MLP specification.
+
+    This is the OpenML 10-fold protocol used for Table I.  The same
+    specification is retrained from scratch on every fold; the reported
+    accuracy is the mean over folds.
+    """
+    training_config = training_config or TrainingConfig()
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels).reshape(-1)
+    folds = kfold_indices(features.shape[0], num_folds, seed=seed)
+
+    start = time.perf_counter()
+    fold_accuracies: list[float] = []
+    histories: list[TrainingHistory] = []
+    for fold_number, (train_idx, test_idx) in enumerate(folds):
+        fold_seed = None if seed is None else seed + fold_number
+        score, history = _train_and_score(
+            spec,
+            features[train_idx],
+            labels[train_idx],
+            features[test_idx],
+            labels[test_idx],
+            training_config,
+            fold_seed,
+            standardize,
+        )
+        fold_accuracies.append(score)
+        histories.append(history)
+    elapsed = time.perf_counter() - start
+
+    return EvaluationResult(
+        accuracy=float(np.mean(fold_accuracies)),
+        fold_accuracies=fold_accuracies,
+        train_seconds=elapsed,
+        parameter_count=spec.parameter_count,
+        histories=histories,
+    )

@@ -1,0 +1,172 @@
+"""Weight initialization schemes for dense layers.
+
+Initialization matters for the ECAD search: candidate networks are trained for a
+small number of epochs during fitness evaluation, so a poor initialization can
+make a good architecture look bad.  The default follows the activation-aware
+convention (He initialization for rectifier-family activations, Glorot/Xavier
+otherwise), mirroring what Keras/TensorFlow would have used in the original
+paper's training loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Initializer",
+    "Zeros",
+    "RandomNormal",
+    "RandomUniform",
+    "GlorotUniform",
+    "GlorotNormal",
+    "HeUniform",
+    "HeNormal",
+    "get_initializer",
+    "default_initializer_for",
+    "available_initializers",
+]
+
+
+class Initializer:
+    """Base class: produces a weight matrix given a shape and an RNG."""
+
+    name: str = "initializer"
+
+    def __call__(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Zeros(Initializer):
+    """All-zero initialization (used for bias vectors)."""
+
+    name = "zeros"
+
+    def __call__(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(shape, dtype=float)
+
+
+class RandomNormal(Initializer):
+    """Gaussian initialization with configurable standard deviation."""
+
+    name = "random_normal"
+
+    def __init__(self, stddev: float = 0.05) -> None:
+        if stddev <= 0:
+            raise ValueError(f"stddev must be positive, got {stddev}")
+        self.stddev = float(stddev)
+
+    def __call__(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, self.stddev, size=shape)
+
+
+class RandomUniform(Initializer):
+    """Uniform initialization on ``[-limit, limit]``."""
+
+    name = "random_uniform"
+
+    def __init__(self, limit: float = 0.05) -> None:
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        self.limit = float(limit)
+
+    def __call__(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(-self.limit, self.limit, size=shape)
+
+
+def _fans(shape: tuple[int, int]) -> tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a 2-D weight shape."""
+    if len(shape) != 2:
+        raise ValueError(f"expected a 2-D shape (fan_in, fan_out), got {shape}")
+    fan_in, fan_out = int(shape[0]), int(shape[1])
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"shape dimensions must be positive, got {shape}")
+    return fan_in, fan_out
+
+
+class GlorotUniform(Initializer):
+    """Glorot/Xavier uniform initialization: ``U(-sqrt(6/(fi+fo)), +...)``."""
+
+    name = "glorot_uniform"
+
+    def __call__(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+        fan_in, fan_out = _fans(shape)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class GlorotNormal(Initializer):
+    """Glorot/Xavier normal initialization: ``N(0, 2/(fi+fo))``."""
+
+    name = "glorot_normal"
+
+    def __call__(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+        fan_in, fan_out = _fans(shape)
+        stddev = np.sqrt(2.0 / (fan_in + fan_out))
+        return rng.normal(0.0, stddev, size=shape)
+
+
+class HeUniform(Initializer):
+    """He uniform initialization: ``U(-sqrt(6/fi), +sqrt(6/fi))``."""
+
+    name = "he_uniform"
+
+    def __call__(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+        fan_in, _ = _fans(shape)
+        limit = np.sqrt(6.0 / fan_in)
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class HeNormal(Initializer):
+    """He normal initialization: ``N(0, 2/fi)``."""
+
+    name = "he_normal"
+
+    def __call__(self, shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+        fan_in, _ = _fans(shape)
+        stddev = np.sqrt(2.0 / fan_in)
+        return rng.normal(0.0, stddev, size=shape)
+
+
+_REGISTRY: dict[str, type[Initializer]] = {
+    Zeros.name: Zeros,
+    RandomNormal.name: RandomNormal,
+    RandomUniform.name: RandomUniform,
+    GlorotUniform.name: GlorotUniform,
+    GlorotNormal.name: GlorotNormal,
+    HeUniform.name: HeUniform,
+    HeNormal.name: HeNormal,
+}
+
+#: Activations whose layers default to He initialization.
+_RECTIFIER_ACTIVATIONS = frozenset({"relu", "leaky_relu", "elu", "softplus"})
+
+
+def available_initializers() -> list[str]:
+    """Return the sorted names of all registered initializers."""
+    return sorted(_REGISTRY)
+
+
+def get_initializer(name: str | Initializer) -> Initializer:
+    """Resolve an initializer by name (or pass an instance through)."""
+    if isinstance(name, Initializer):
+        return name
+    key = str(name).strip().lower()
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown initializer {name!r}; available: {', '.join(available_initializers())}"
+        )
+    return _REGISTRY[key]()
+
+
+def default_initializer_for(activation_name: str) -> Initializer:
+    """Return the conventional initializer for a given activation.
+
+    Rectifier-family activations (relu, leaky_relu, elu, softplus) get
+    :class:`HeUniform`; everything else gets :class:`GlorotUniform`.
+    """
+    if str(activation_name).strip().lower() in _RECTIFIER_ACTIVATIONS:
+        return HeUniform()
+    return GlorotUniform()

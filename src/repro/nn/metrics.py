@@ -1,0 +1,103 @@
+"""Classification metrics used during fitness evaluation.
+
+The paper reports *accuracy* (Tables I and II); we additionally implement a few
+standard companions (error rate, per-class precision/recall/F1, confusion
+matrix, top-k accuracy) which the analysis and tests use to validate that the
+training substrate behaves sensibly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "macro_f1",
+]
+
+
+def _to_labels(values: np.ndarray) -> np.ndarray:
+    """Convert probabilities / one-hot / label arrays into integer labels."""
+    values = np.asarray(values)
+    if values.ndim == 2 and values.shape[1] > 1:
+        return np.argmax(values, axis=1)
+    return values.reshape(-1).astype(int)
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of samples whose predicted class matches the target class.
+
+    Both arguments may be given as integer labels, one-hot matrices, or
+    probability matrices; mixed forms are fine.
+    """
+    pred_labels = _to_labels(predictions)
+    true_labels = _to_labels(targets)
+    if pred_labels.shape != true_labels.shape:
+        raise ValueError(
+            f"predictions ({pred_labels.shape}) and targets ({true_labels.shape}) disagree in length"
+        )
+    if pred_labels.size == 0:
+        raise ValueError("cannot compute accuracy of an empty prediction set")
+    return float(np.mean(pred_labels == true_labels))
+
+
+def error_rate(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """``1 - accuracy``."""
+    return 1.0 - accuracy(predictions, targets)
+
+
+def top_k_accuracy(probabilities: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true class is within the top ``k`` predictions."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    if probabilities.ndim != 2:
+        raise ValueError("top_k_accuracy requires a 2-D probability matrix")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, probabilities.shape[1])
+    true_labels = _to_labels(targets)
+    top_k = np.argsort(-probabilities, axis=1)[:, :k]
+    hits = np.any(top_k == true_labels.reshape(-1, 1), axis=1)
+    return float(np.mean(hits))
+
+
+def confusion_matrix(predictions: np.ndarray, targets: np.ndarray, num_classes: int | None = None) -> np.ndarray:
+    """Return the ``num_classes x num_classes`` confusion matrix.
+
+    Rows index the true class, columns the predicted class.
+    """
+    pred_labels = _to_labels(predictions)
+    true_labels = _to_labels(targets)
+    if num_classes is None:
+        num_classes = int(max(pred_labels.max(initial=0), true_labels.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    for true, pred in zip(true_labels, pred_labels):
+        matrix[int(true), int(pred)] += 1
+    return matrix
+
+
+def precision_recall_f1(predictions: np.ndarray, targets: np.ndarray, num_classes: int | None = None) -> dict[str, np.ndarray]:
+    """Per-class precision, recall and F1 computed from the confusion matrix.
+
+    Classes with no predicted (or no true) samples get a score of 0 for the
+    affected metric rather than a division-by-zero warning.
+    """
+    matrix = confusion_matrix(predictions, targets, num_classes)
+    true_positive = np.diag(matrix).astype(float)
+    predicted_totals = matrix.sum(axis=0).astype(float)
+    actual_totals = matrix.sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted_totals > 0, true_positive / predicted_totals, 0.0)
+        recall = np.where(actual_totals > 0, true_positive / actual_totals, 0.0)
+        denominator = precision + recall
+        f1 = np.where(denominator > 0, 2.0 * precision * recall / denominator, 0.0)
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def macro_f1(predictions: np.ndarray, targets: np.ndarray, num_classes: int | None = None) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    scores = precision_recall_f1(predictions, targets, num_classes)
+    return float(np.mean(scores["f1"]))

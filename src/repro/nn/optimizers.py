@@ -1,0 +1,204 @@
+"""Gradient-descent optimizers for MLP training.
+
+The paper's training loop (TensorFlow) would have used Adam by default; we
+implement SGD, SGD with momentum, RMSProp and Adam so the training substrate
+can be configured per experiment.  Optimizers keep their own per-parameter
+state keyed by the parameter's position in the model, so the same optimizer
+instance must not be shared across models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "MomentumSGD",
+    "RMSProp",
+    "Adam",
+    "get_optimizer",
+    "available_optimizers",
+]
+
+
+class Optimizer:
+    """Base class: applies parameter updates in place given gradients."""
+
+    name: str = "optimizer"
+
+    def __init__(self, learning_rate: float = 0.01) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self._step_count = 0
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        """Update ``parameters`` in place using ``gradients``."""
+        if len(parameters) != len(gradients):
+            raise ValueError(
+                f"got {len(parameters)} parameters but {len(gradients)} gradients"
+            )
+        self._step_count += 1
+        for index, (param, grad) in enumerate(zip(parameters, gradients)):
+            if param.shape != grad.shape:
+                raise ValueError(
+                    f"parameter {index} shape {param.shape} does not match gradient shape {grad.shape}"
+                )
+            self._update(index, param, grad)
+
+    def _update(self, index: int, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    @property
+    def step_count(self) -> int:
+        """Number of times :meth:`step` has been called."""
+        return self._step_count
+
+    def reset(self) -> None:
+        """Forget all accumulated state (moments, velocities, step count)."""
+        self._step_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(learning_rate={self.learning_rate})"
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    name = "sgd"
+
+    def _update(self, index: int, param: np.ndarray, grad: np.ndarray) -> None:
+        param -= self.learning_rate * grad
+
+
+class MomentumSGD(Optimizer):
+    """SGD with classical momentum."""
+
+    name = "momentum"
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.9) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocities: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: np.ndarray, grad: np.ndarray) -> None:
+        velocity = self._velocities.get(index)
+        if velocity is None or velocity.shape != param.shape:
+            velocity = np.zeros_like(param)
+        velocity = self.momentum * velocity - self.learning_rate * grad
+        self._velocities[index] = velocity
+        param += velocity
+
+    def reset(self) -> None:
+        super().reset()
+        self._velocities.clear()
+
+
+class RMSProp(Optimizer):
+    """RMSProp: per-parameter learning rates from a moving average of squares."""
+
+    name = "rmsprop"
+
+    def __init__(self, learning_rate: float = 0.001, decay: float = 0.9, epsilon: float = 1e-8) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.decay = float(decay)
+        self.epsilon = float(epsilon)
+        self._mean_squares: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: np.ndarray, grad: np.ndarray) -> None:
+        mean_square = self._mean_squares.get(index)
+        if mean_square is None or mean_square.shape != param.shape:
+            mean_square = np.zeros_like(param)
+        mean_square = self.decay * mean_square + (1.0 - self.decay) * grad * grad
+        self._mean_squares[index] = mean_square
+        param -= self.learning_rate * grad / (np.sqrt(mean_square) + self.epsilon)
+
+    def reset(self) -> None:
+        super().reset()
+        self._mean_squares.clear()
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias-corrected first and second moments."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0:
+            raise ValueError(f"beta1 must be in [0, 1), got {beta1}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"beta2 must be in [0, 1), got {beta2}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._first_moments: dict[int, np.ndarray] = {}
+        self._second_moments: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: np.ndarray, grad: np.ndarray) -> None:
+        first = self._first_moments.get(index)
+        second = self._second_moments.get(index)
+        if first is None or first.shape != param.shape:
+            first = np.zeros_like(param)
+        if second is None or second.shape != param.shape:
+            second = np.zeros_like(param)
+        first = self.beta1 * first + (1.0 - self.beta1) * grad
+        second = self.beta2 * second + (1.0 - self.beta2) * grad * grad
+        self._first_moments[index] = first
+        self._second_moments[index] = second
+        bias_correction1 = 1.0 - self.beta1 ** self._step_count
+        bias_correction2 = 1.0 - self.beta2 ** self._step_count
+        corrected_first = first / bias_correction1
+        corrected_second = second / bias_correction2
+        param -= self.learning_rate * corrected_first / (np.sqrt(corrected_second) + self.epsilon)
+
+    def reset(self) -> None:
+        super().reset()
+        self._first_moments.clear()
+        self._second_moments.clear()
+
+
+_REGISTRY: dict[str, type[Optimizer]] = {
+    SGD.name: SGD,
+    MomentumSGD.name: MomentumSGD,
+    RMSProp.name: RMSProp,
+    Adam.name: Adam,
+}
+
+
+def available_optimizers() -> list[str]:
+    """Return the sorted names of all registered optimizers."""
+    return sorted(_REGISTRY)
+
+
+def get_optimizer(name: str | Optimizer, **kwargs) -> Optimizer:
+    """Resolve an optimizer by name, forwarding keyword arguments.
+
+    Passing an :class:`Optimizer` instance returns it unchanged (keyword
+    arguments are then rejected to avoid silently ignoring them).
+    """
+    if isinstance(name, Optimizer):
+        if kwargs:
+            raise ValueError("cannot pass keyword arguments together with an optimizer instance")
+        return name
+    key = str(name).strip().lower()
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown optimizer {name!r}; available: {', '.join(available_optimizers())}"
+        )
+    return _REGISTRY[key](**kwargs)

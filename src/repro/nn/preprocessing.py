@@ -1,0 +1,201 @@
+"""Feature and label preprocessing used before training candidate MLPs.
+
+The ECAD flow ingests raw CSV tabular data; before it reaches a worker the
+features are standardized (or min-max scaled) and labels are one-hot encoded.
+Both transforms are fitted on training data only and then applied to test
+folds, so no information leaks across the fold boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "StandardScaler",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "one_hot",
+    "train_test_split",
+]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling fitted on training data."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(f"expected a 2-D feature matrix, got shape {features.shape}")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty feature matrix")
+        self.mean_ = features.mean(axis=0)
+        scale = features.std(axis=0)
+        # Constant features would divide by zero; leave them centred at 0.
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the learned standardization."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform()")
+        features = np.asarray(features, dtype=float)
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on ``features`` and return the transformed matrix."""
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        """Undo the standardization."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before inverse_transform()")
+        return np.asarray(features, dtype=float) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each feature into ``[0, 1]`` based on the training-set range."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "MinMaxScaler":
+        """Learn per-feature minimum and range."""
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(f"expected a 2-D feature matrix, got shape {features.shape}")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty feature matrix")
+        self.min_ = features.min(axis=0)
+        feature_range = features.max(axis=0) - self.min_
+        feature_range[feature_range == 0.0] = 1.0
+        self.range_ = feature_range
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the learned min-max scaling."""
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted before transform()")
+        return (np.asarray(features, dtype=float) - self.min_) / self.range_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on ``features`` and return the transformed matrix."""
+        return self.fit(features).transform(features)
+
+
+class OneHotEncoder:
+    """Map integer class labels to one-hot rows (and back)."""
+
+    def __init__(self, num_classes: int | None = None) -> None:
+        self.num_classes = num_classes
+
+    def fit(self, labels: np.ndarray) -> "OneHotEncoder":
+        """Infer the number of classes from the training labels if not given."""
+        labels = np.asarray(labels).reshape(-1).astype(int)
+        if labels.size == 0:
+            raise ValueError("cannot fit an encoder on an empty label array")
+        inferred = int(labels.max()) + 1
+        if self.num_classes is None:
+            self.num_classes = inferred
+        elif inferred > self.num_classes:
+            raise ValueError(
+                f"labels contain class {inferred - 1} but encoder was built for {self.num_classes} classes"
+            )
+        return self
+
+    def transform(self, labels: np.ndarray) -> np.ndarray:
+        """Return the one-hot matrix for ``labels``."""
+        if self.num_classes is None:
+            raise RuntimeError("OneHotEncoder must be fitted (or given num_classes) before transform()")
+        return one_hot(labels, self.num_classes)
+
+    def fit_transform(self, labels: np.ndarray) -> np.ndarray:
+        """Fit on ``labels`` and return the one-hot matrix."""
+        return self.fit(labels).transform(labels)
+
+    def inverse_transform(self, encoded: np.ndarray) -> np.ndarray:
+        """Return the integer labels for a one-hot (or probability) matrix."""
+        encoded = np.asarray(encoded)
+        if encoded.ndim != 2:
+            raise ValueError(f"expected a 2-D one-hot matrix, got shape {encoded.shape}")
+        return np.argmax(encoded, axis=1)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels into a ``(len(labels), num_classes)`` matrix."""
+    labels = np.asarray(labels).reshape(-1).astype(int)
+    if num_classes <= 0:
+        raise ValueError(f"num_classes must be positive, got {num_classes}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes - 1}], got range [{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.size, num_classes), dtype=float)
+    encoded[np.arange(labels.size), labels] = 1.0
+    return encoded
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int | None = None,
+    stratify: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split features/labels into train and test partitions.
+
+    Parameters
+    ----------
+    test_fraction:
+        Fraction of samples assigned to the test partition (0 < f < 1).
+    seed:
+        Seed for the shuffling RNG; pass a value for reproducible splits.
+    stratify:
+        When true (default) the split preserves per-class proportions, which
+        keeps small datasets such as the Credit-g equivalent balanced.
+
+    Returns
+    -------
+    (train_features, test_features, train_labels, test_labels)
+    """
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels).reshape(-1)
+    if features.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"features ({features.shape[0]} rows) and labels ({labels.shape[0]}) disagree in length"
+        )
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    num_samples = features.shape[0]
+    if num_samples < 2:
+        raise ValueError("need at least two samples to split")
+
+    if stratify:
+        test_indices: list[int] = []
+        for class_label in np.unique(labels):
+            class_indices = np.flatnonzero(labels == class_label)
+            rng.shuffle(class_indices)
+            take = max(1, int(round(test_fraction * class_indices.size)))
+            take = min(take, class_indices.size - 1) if class_indices.size > 1 else take
+            test_indices.extend(class_indices[:take].tolist())
+        test_mask = np.zeros(num_samples, dtype=bool)
+        test_mask[np.asarray(test_indices, dtype=int)] = True
+    else:
+        order = rng.permutation(num_samples)
+        test_count = max(1, int(round(test_fraction * num_samples)))
+        test_mask = np.zeros(num_samples, dtype=bool)
+        test_mask[order[:test_count]] = True
+
+    return (
+        features[~test_mask],
+        features[test_mask],
+        labels[~test_mask],
+        labels[test_mask],
+    )

@@ -1,0 +1,28 @@
+"""Worker/master evaluation substrate.
+
+Implements the paper's three worker types (simulation, hardware database,
+physical) and the master process that distributes candidate evaluations and
+merges the results, plus the execution backends used for single-machine
+parallelism.
+"""
+
+from .backends import ExecutionBackend, SerialBackend, ThreadPoolBackend, resolve_backend
+from .base import EvaluationRequest, Worker, WorkerReport
+from .hardware_db import HardwareDatabaseWorker
+from .master import Master
+from .physical import PhysicalWorker
+from .simulation import SimulationWorker
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "resolve_backend",
+    "EvaluationRequest",
+    "Worker",
+    "WorkerReport",
+    "HardwareDatabaseWorker",
+    "Master",
+    "PhysicalWorker",
+    "SimulationWorker",
+]

@@ -1,0 +1,101 @@
+"""Execution backends: how the master fans worker calls out.
+
+The original ECAD system distributes candidate evaluation across machines (the
+master "orchestrates the evaluation process by distributing the co-design
+population").  This module abstracts the dispatch mechanism so the same master
+can run:
+
+* **serially** in-process (deterministic, best for tests and small searches),
+* **in a thread pool** (overlaps numpy training compute, which releases the
+  GIL inside BLAS, with model evaluation; best-effort parallelism on one
+  machine).
+
+Both backends present the same ``map`` interface over request batches.  A
+process-pool backend would slot in behind the same interface but is not
+provided because candidate training closures capture non-picklable state.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["ExecutionBackend", "SerialBackend", "ThreadPoolBackend"]
+
+RequestT = TypeVar("RequestT")
+ResultT = TypeVar("ResultT")
+
+
+class ExecutionBackend:
+    """Base class: maps a function over a batch of work items."""
+
+    name: str = "backend"
+
+    def map(self, function: Callable[[RequestT], ResultT], items: Sequence[RequestT]) -> list[ResultT]:
+        """Apply ``function`` to every item, preserving order."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release any resources held by the backend (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+
+class SerialBackend(ExecutionBackend):
+    """Evaluates work items one at a time on the calling thread."""
+
+    name = "serial"
+
+    def map(self, function: Callable[[RequestT], ResultT], items: Sequence[RequestT]) -> list[ResultT]:
+        return [function(item) for item in items]
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Evaluates work items concurrently on a bounded thread pool.
+
+    Numpy's BLAS kernels release the GIL, so candidate training and hardware
+    modeling overlap reasonably well across threads on a multi-core machine.
+    """
+
+    name = "thread_pool"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = int(max_workers)
+        self._executor: ThreadPoolExecutor | None = None
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def map(self, function: Callable[[RequestT], ResultT], items: Sequence[RequestT]) -> list[ResultT]:
+        executor = self._ensure_executor()
+        return list(executor.map(function, items))
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def resolve_backend(backend: str | ExecutionBackend | None, max_workers: int = 4) -> ExecutionBackend:
+    """Resolve a backend by name ('serial', 'threads') or pass an instance through."""
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    key = str(backend).strip().lower()
+    if key in ("serial", "sync", "none"):
+        return SerialBackend()
+    if key in ("threads", "thread", "thread_pool", "threadpool"):
+        return ThreadPoolBackend(max_workers=max_workers)
+    raise ValueError(f"unknown execution backend {backend!r}; use 'serial' or 'threads'")
+
+
+__all__.append("resolve_backend")

@@ -1,0 +1,102 @@
+"""Worker protocol and shared request/report types.
+
+Section III-B of the paper describes three kinds of workers the evolutionary
+engine can query:
+
+* the **simulation worker** for instruction-set architectures (CPU/GPU) — it
+  also performs the network training that produces accuracy,
+* the **hardware database worker** for modeled FPGA overlays, and
+* the **physical worker** for synthesis-level metrics (ALM/M20K/DSP, Fmax,
+  power).
+
+All workers implement the same small protocol: ``evaluate(request) ->
+WorkerReport``.  Requests carry the genome plus the dataset/evaluation context
+so workers stay stateless with respect to the search and can be distributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.genome import CoDesignGenome
+from ..datasets.base import Dataset
+from ..nn.training import TrainingConfig
+
+__all__ = ["EvaluationRequest", "WorkerReport", "Worker"]
+
+
+@dataclass(frozen=True)
+class EvaluationRequest:
+    """One unit of work handed to a worker.
+
+    Attributes
+    ----------
+    genome:
+        The co-design candidate to evaluate.
+    dataset:
+        The dataset the candidate's network is trained/evaluated on.  Workers
+        that do not need data (hardware database, physical) ignore it.
+    evaluation_protocol:
+        ``"1-fold"`` or ``"10-fold"``, matching the paper's two protocols.
+    num_folds:
+        Fold count for the 10-fold protocol.
+    training_config:
+        Hyperparameters of the per-candidate training loop.
+    seed:
+        Seed controlling training and fold shuffling, for reproducibility.
+    """
+
+    genome: CoDesignGenome
+    dataset: Dataset | None = None
+    evaluation_protocol: str = "1-fold"
+    num_folds: int = 10
+    training_config: TrainingConfig = field(default_factory=TrainingConfig)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.evaluation_protocol not in ("1-fold", "10-fold"):
+            raise ValueError(
+                f"evaluation_protocol must be '1-fold' or '10-fold', got {self.evaluation_protocol!r}"
+            )
+        if self.num_folds < 2:
+            raise ValueError(f"num_folds must be >= 2, got {self.num_folds}")
+
+
+@dataclass
+class WorkerReport:
+    """The raw measurements one worker produced for one request.
+
+    Only the fields a given worker knows about are populated; the master
+    merges reports from all workers into a single
+    :class:`~repro.core.candidate.CandidateEvaluation`.
+    """
+
+    worker_name: str
+    accuracy: float | None = None
+    accuracy_std: float | None = None
+    parameter_count: int | None = None
+    train_seconds: float = 0.0
+    fpga_metrics: object | None = None
+    gpu_metrics: object | None = None
+    synthesis: object | None = None
+    error: str = ""
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        """Whether this worker failed on the request."""
+        return bool(self.error)
+
+
+class Worker:
+    """Base class for all workers."""
+
+    #: Stable identifier used in reports and diagnostics.
+    name: str = "worker"
+
+    def evaluate(self, request: EvaluationRequest) -> WorkerReport:
+        """Evaluate one request and return the raw measurements."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

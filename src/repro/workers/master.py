@@ -1,0 +1,157 @@
+"""The master process: orchestrates workers and merges their reports.
+
+Section III-A: *"The Worker returns the raw evaluation information to a Master
+process.  The Master process orchestrates the evaluation process by
+distributing the co-design population and by evaluating the results."*
+
+The :class:`Master` owns a set of workers (simulation, hardware database,
+physical), fans each candidate's evaluation out to all of them through an
+execution backend, and merges the individual
+:class:`~repro.workers.base.WorkerReport` records into a single
+:class:`~repro.core.candidate.CandidateEvaluation` the engine and fitness
+functions consume.  It is also a plain callable ``genome -> CandidateEvaluation``
+so it plugs directly into the engine's ``evaluator`` slot.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.candidate import CandidateEvaluation
+from ..core.genome import CoDesignGenome
+from ..datasets.base import Dataset
+from ..nn.training import TrainingConfig
+from .backends import ExecutionBackend, SerialBackend, resolve_backend
+from .base import EvaluationRequest, Worker, WorkerReport
+
+__all__ = ["Master"]
+
+
+class Master:
+    """Distributes candidate evaluations to workers and merges their reports.
+
+    Parameters
+    ----------
+    workers:
+        The workers to consult for every candidate.  Order does not matter;
+        reports are merged field-wise (last non-None wins per field, errors
+        are concatenated).
+    dataset:
+        Dataset attached to every evaluation request.
+    evaluation_protocol / num_folds:
+        The accuracy-evaluation protocol ("1-fold" or "10-fold").
+    training_config:
+        Per-candidate training hyperparameters.
+    backend:
+        Execution backend for fanning a *population* out
+        (:meth:`evaluate_population`); single-candidate calls always run
+        serially in the calling thread.
+    seed:
+        Base seed; each request derives its own seed from the genome hash so
+        repeated evaluations of the same genome are reproducible.
+    """
+
+    def __init__(
+        self,
+        workers: list[Worker],
+        dataset: Dataset | None = None,
+        evaluation_protocol: str = "1-fold",
+        num_folds: int = 10,
+        training_config: TrainingConfig | None = None,
+        backend: str | ExecutionBackend | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if not workers:
+            raise ValueError("the master needs at least one worker")
+        self.workers = list(workers)
+        self.dataset = dataset
+        self.evaluation_protocol = evaluation_protocol
+        self.num_folds = num_folds
+        self.training_config = training_config or TrainingConfig()
+        self.backend = resolve_backend(backend)
+        self.seed = seed
+
+    # ------------------------------------------------------------- requests
+    def build_request(self, genome: CoDesignGenome) -> EvaluationRequest:
+        """Build the evaluation request for one genome."""
+        derived_seed = None
+        if self.seed is not None:
+            derived_seed = (self.seed + int(genome.cache_key()[:8], 16)) % (2**32)
+        return EvaluationRequest(
+            genome=genome,
+            dataset=self.dataset,
+            evaluation_protocol=self.evaluation_protocol,
+            num_folds=self.num_folds,
+            training_config=self.training_config,
+            seed=derived_seed,
+        )
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate(self, genome: CoDesignGenome) -> CandidateEvaluation:
+        """Evaluate one candidate with every worker and merge the reports."""
+        request = self.build_request(genome)
+        start = time.perf_counter()
+        reports = [worker.evaluate(request) for worker in self.workers]
+        elapsed = time.perf_counter() - start
+        return self._merge(genome, reports, elapsed)
+
+    # The engine expects a plain callable evaluator.
+    __call__ = evaluate
+
+    def evaluate_population(self, genomes: list[CoDesignGenome]) -> list[CandidateEvaluation]:
+        """Evaluate a batch of candidates through the execution backend."""
+        return self.backend.map(self.evaluate, list(genomes))
+
+    # --------------------------------------------------------------- merging
+    def _merge(
+        self, genome: CoDesignGenome, reports: list[WorkerReport], elapsed: float
+    ) -> CandidateEvaluation:
+        accuracy = 0.0
+        accuracy_std = 0.0
+        parameter_count = 0
+        train_seconds = 0.0
+        fpga_metrics = None
+        gpu_metrics = None
+        synthesis = None
+        errors: list[str] = []
+        extras: dict = {}
+
+        for report in reports:
+            if report.accuracy is not None:
+                accuracy = report.accuracy
+                accuracy_std = report.accuracy_std or 0.0
+            if report.parameter_count is not None:
+                parameter_count = report.parameter_count
+            if report.fpga_metrics is not None:
+                fpga_metrics = report.fpga_metrics
+            if report.gpu_metrics is not None:
+                gpu_metrics = report.gpu_metrics
+            if report.synthesis is not None:
+                synthesis = report.synthesis
+            train_seconds += report.train_seconds
+            if report.error:
+                errors.append(f"{report.worker_name}: {report.error}")
+            if report.extras:
+                extras[report.worker_name] = dict(report.extras)
+
+        return CandidateEvaluation(
+            genome=genome,
+            accuracy=accuracy,
+            accuracy_std=accuracy_std,
+            parameter_count=parameter_count,
+            fpga_metrics=fpga_metrics,
+            gpu_metrics=gpu_metrics,
+            synthesis=synthesis,
+            train_seconds=train_seconds,
+            evaluation_seconds=elapsed,
+            error="; ".join(errors),
+            extras=extras,
+        )
+
+    def shutdown(self) -> None:
+        """Release the execution backend's resources."""
+        self.backend.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        worker_names = ", ".join(worker.name for worker in self.workers)
+        return f"Master(workers=[{worker_names}], backend={self.backend.name})"

@@ -1,0 +1,42 @@
+"""Physical worker: synthesis-level fitness of the hardware design itself.
+
+Section III-B: *"Physical workers can be used to synthesize and evaluate
+hardware designs.  While the hardware database worker provides fitness of the
+overall application with metrics such as throughput, the physical worker aims
+to provide the fitness of the hardware design itself through metrics such as
+power, logic utilization, and operation frequency.  In the case of Intel
+FPGAs, the physical worker responds with ALM, M20K, and DSP utilization, power
+estimations, and clock frequency (Fmax)."*
+
+Running Quartus is replaced by the analytical
+:class:`~repro.hardware.synthesis.SynthesisModel`; the report interface is the
+same, so a real synthesis backend could be substituted without touching the
+master or the engine.
+"""
+
+from __future__ import annotations
+
+from ..hardware.device import ARRIA10_GX1150, FPGADevice
+from ..hardware.synthesis import SynthesisModel
+from .base import EvaluationRequest, Worker, WorkerReport
+
+__all__ = ["PhysicalWorker"]
+
+
+class PhysicalWorker(Worker):
+    """Estimates synthesis-level metrics (ALM/M20K/DSP, Fmax, power)."""
+
+    name = "physical"
+
+    def __init__(self, device: FPGADevice = ARRIA10_GX1150, model: SynthesisModel | None = None) -> None:
+        self.device = device
+        self.model = model or SynthesisModel()
+
+    def evaluate(self, request: EvaluationRequest) -> WorkerReport:
+        """Estimate the synthesis outcome of the candidate's grid configuration."""
+        report = WorkerReport(worker_name=self.name)
+        try:
+            report.synthesis = self.model.estimate(request.genome.hardware.grid, self.device)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the master
+            report.error = f"synthesis model failed: {exc}"
+        return report

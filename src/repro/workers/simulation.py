@@ -1,0 +1,119 @@
+"""Simulation worker: trains candidate networks and models GPU execution.
+
+In the paper the simulation worker handles "instruction-set based
+architectures such as CPU and GPU": it converts the ANN description into a
+runnable form, executes it on the target, and returns throughput/latency/power
+metrics.  In this reproduction the simulation worker does two things:
+
+* **Accuracy measurement** — it trains the candidate MLP from scratch on the
+  request's dataset (single fold or k-fold, per the request protocol).  This
+  replaces the TensorFlow training runs of the original system.
+* **GPU performance modeling** — it runs the
+  :class:`~repro.hardware.gpu_model.GPUPerformanceModel` for the configured
+  GPU baseline, replacing the TensorFlow-trace profiling of the original
+  system.
+
+The two concerns are kept in one worker because that is how the original flow
+behaves (the GPU path both trains and measures); a ``measure_gpu=False`` flag
+turns the worker into a pure training worker for accuracy-only searches.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..hardware.device import GPUDevice, TITAN_X
+from ..hardware.gpu_model import GPUPerformanceModel
+from ..nn.evaluation import evaluate_kfold, evaluate_single_fold
+from ..nn.preprocessing import train_test_split
+from .base import EvaluationRequest, Worker, WorkerReport
+
+__all__ = ["SimulationWorker"]
+
+
+class SimulationWorker(Worker):
+    """Trains candidates and models the GPU baseline.
+
+    Parameters
+    ----------
+    gpu:
+        The GPU device to model; defaults to the Titan X used for the paper's
+        Stratix 10 comparisons.
+    measure_gpu:
+        When false, only accuracy is measured (no GPU metrics in the report).
+    holdout_fraction:
+        Test fraction used when the dataset has no pre-split test partition
+        but the request still asks for single-fold evaluation.
+    """
+
+    name = "simulation"
+
+    def __init__(
+        self,
+        gpu: GPUDevice | None = TITAN_X,
+        measure_gpu: bool = True,
+        holdout_fraction: float = 0.25,
+    ) -> None:
+        if not 0.0 < holdout_fraction < 1.0:
+            raise ValueError(f"holdout_fraction must be in (0, 1), got {holdout_fraction}")
+        self.gpu = gpu
+        self.measure_gpu = measure_gpu and gpu is not None
+        self.holdout_fraction = float(holdout_fraction)
+
+    def evaluate(self, request: EvaluationRequest) -> WorkerReport:
+        """Train the candidate network and (optionally) model GPU execution."""
+        report = WorkerReport(worker_name=self.name)
+        if request.dataset is None:
+            report.error = "simulation worker requires a dataset"
+            return report
+
+        dataset = request.dataset
+        spec = request.genome.mlp.to_spec(dataset.num_features, dataset.num_classes)
+        report.parameter_count = spec.parameter_count
+
+        start = time.perf_counter()
+        try:
+            if request.evaluation_protocol == "10-fold":
+                result = evaluate_kfold(
+                    spec,
+                    dataset.features,
+                    dataset.labels,
+                    num_folds=request.num_folds,
+                    training_config=request.training_config,
+                    seed=request.seed,
+                )
+            else:
+                train_x, train_y, test_x, test_y = self._single_fold_partitions(dataset, request.seed)
+                result = evaluate_single_fold(
+                    spec,
+                    train_x,
+                    train_y,
+                    test_x,
+                    test_y,
+                    training_config=request.training_config,
+                    seed=request.seed,
+                )
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the master
+            report.error = f"training failed: {exc}"
+            return report
+        report.accuracy = result.accuracy
+        report.accuracy_std = result.accuracy_std
+        report.train_seconds = time.perf_counter() - start
+        report.extras["fold_accuracies"] = list(result.fold_accuracies)
+
+        if self.measure_gpu:
+            try:
+                model = GPUPerformanceModel(self.gpu)
+                report.gpu_metrics = model.evaluate(spec, batch_size=request.genome.gpu_batch_size)
+            except Exception as exc:  # noqa: BLE001
+                report.error = f"GPU model failed: {exc}"
+        return report
+
+    def _single_fold_partitions(self, dataset, seed):
+        """Return (train_x, train_y, test_x, test_y) for single-fold evaluation."""
+        if dataset.has_test_split:
+            return dataset.features, dataset.labels, dataset.test_features, dataset.test_labels
+        train_x, test_x, train_y, test_y = train_test_split(
+            dataset.features, dataset.labels, test_fraction=self.holdout_fraction, seed=seed
+        )
+        return train_x, train_y, test_x, test_y

@@ -1,0 +1,223 @@
+"""Unit tests for repro.analysis and the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    ScatterSeries,
+    accuracy_throughput_series,
+    ascii_scatter,
+    efficiency_series,
+)
+from repro.analysis.frontier import (
+    accuracy_band_summary,
+    accuracy_throughput_frontier,
+    frontier_rows,
+    throughput_neuron_correlation,
+)
+from repro.analysis.reporting import format_scientific, format_table, rows_to_csv, save_rows_csv
+from repro.cli import build_parser, main
+from repro.core.genome import CoDesignGenome, HardwareGenome, MLPGenome
+from repro.hardware.systolic import GridConfig
+
+from tests.conftest import make_fake_evaluation
+
+
+def _evaluation(neurons: int, accuracy: float, fpga: float, gpu: float):
+    genome = CoDesignGenome(
+        mlp=MLPGenome(hidden_layers=(neurons,), activations=("relu",)),
+        hardware=HardwareGenome(grid=GridConfig(4, 4, 2, 2, 2), batch_size=512),
+    )
+    return make_fake_evaluation(genome, accuracy=accuracy, fpga_outputs=fpga, gpu_outputs=gpu)
+
+
+@pytest.fixture
+def evaluations():
+    return [
+        _evaluation(16, 0.99, 1e5, 9e5),
+        _evaluation(32, 0.98, 1.5e6, 1.0e6),
+        _evaluation(64, 0.97, 2.5e6, 1.1e6),
+        _evaluation(128, 0.90, 4.0e6, 1.0e6),
+        _evaluation(256, 0.80, 6.0e6, 9.5e5),
+    ]
+
+
+class TestReporting:
+    def test_format_scientific(self):
+        assert format_scientific(2.45e6) == "2.45E6"
+        assert format_scientific(0) == "0"
+        assert format_scientific(8.19e3) == "8.19E3"
+
+    def test_format_table_alignment_and_title(self):
+        rows = [{"name": "a", "value": 1.0}, {"name": "bb", "value": 123456.0}]
+        text = format_table(rows, title="My Table")
+        assert "My Table" in text
+        assert "name" in text and "value" in text
+        assert "1.23E5" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="Empty")
+
+    def test_rows_to_csv_and_save(self, tmp_path):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        text = rows_to_csv(rows)
+        assert text.splitlines()[0] == "a,b"
+        path = tmp_path / "out" / "rows.csv"
+        save_rows_csv(rows, path)
+        assert path.exists()
+        assert rows_to_csv([]) == ""
+
+
+class TestFrontierAnalysis:
+    def test_frontier_is_non_dominated(self, evaluations):
+        frontier = accuracy_throughput_frontier(evaluations, device="fpga")
+        assert len(frontier) == len(evaluations)  # monotone trade-off: all points on frontier
+        dominated = accuracy_throughput_frontier(
+            evaluations + [_evaluation(48, 0.90, 1e5, 1e5)], device="fpga"
+        )
+        assert len(dominated) == len(evaluations)
+
+    def test_frontier_rows_order(self, evaluations):
+        rows = frontier_rows(evaluations, count=2, device="fpga")
+        assert rows[0].accuracy == pytest.approx(0.99)
+        assert rows[1].fpga_outputs_per_second >= rows[0].fpga_outputs_per_second
+
+    def test_accuracy_band_summary_shows_throughput_spread(self, evaluations):
+        bands = accuracy_band_summary(evaluations, band_width=0.01, device="fpga", top_bands=3)
+        assert bands
+        assert bands[0].accuracy_ceiling == pytest.approx(0.99)
+        assert all(band.count >= 1 for band in bands)
+        assert bands[0].max_outputs_per_second >= bands[0].min_outputs_per_second
+        with pytest.raises(ValueError):
+            accuracy_band_summary(evaluations, band_width=0.0)
+
+    def test_neuron_throughput_correlation_signs(self, evaluations):
+        fpga_corr = throughput_neuron_correlation(evaluations, device="fpga")
+        gpu_corr = throughput_neuron_correlation(evaluations, device="gpu")
+        assert fpga_corr > 0.8  # constructed to rise with neurons here
+        assert abs(gpu_corr) < abs(fpga_corr)
+        assert np.isnan(throughput_neuron_correlation([], device="fpga"))
+
+    def test_invalid_device_rejected(self, evaluations):
+        with pytest.raises(ValueError):
+            accuracy_throughput_frontier(evaluations, device="tpu")
+
+
+class TestFigures:
+    def test_accuracy_throughput_series(self, evaluations):
+        series = accuracy_throughput_series(evaluations, device="fpga")
+        assert len(series) == len(evaluations)
+        low, high = series.y_range()
+        assert low == pytest.approx(1e5)
+        assert high == pytest.approx(6e6)
+
+    def test_efficiency_series(self, evaluations):
+        series = efficiency_series(evaluations, device="gpu")
+        assert len(series) == len(evaluations)
+        assert all(0 <= value <= 1 for value in series.y)
+
+    def test_scatter_series_validation(self):
+        with pytest.raises(ValueError):
+            ScatterSeries(name="bad", x=[1.0], y=[])
+        series = ScatterSeries(name="ok")
+        series.add(1.0, 2.0)
+        assert len(series) == 1
+
+    def test_ascii_scatter_renders(self, evaluations):
+        series = accuracy_throughput_series(evaluations, device="fpga")
+        art = ascii_scatter(series, width=40, height=10, log_y=True)
+        assert "*" in art
+        assert series.name in art
+        assert "(no points)" in ascii_scatter(ScatterSeries(name="empty"))
+        with pytest.raises(ValueError):
+            ascii_scatter(series, width=5, height=2)
+
+
+class TestCLI:
+    def test_parser_builds_and_lists_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["datasets"])
+        assert args.command == "datasets"
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "credit_g_like" in out
+        assert "mnist_like" in out
+
+    def test_template_command_writes_config(self, tmp_path, capsys):
+        output = tmp_path / "config.json"
+        code = main(
+            [
+                "template",
+                "--dataset",
+                "credit-g",
+                "--scale",
+                "0.05",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert data["nna"]["input_size"] == 20
+        assert data["evaluation_protocol"] == "10-fold"
+
+    def test_run_command_end_to_end(self, tmp_path, capsys):
+        """A very small real run through the CLI (accuracy-only to keep it fast)."""
+        results_path = tmp_path / "results.json"
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "credit-g",
+                "--scale",
+                "0.08",
+                "--population",
+                "4",
+                "--max-evaluations",
+                "8",
+                "--epochs",
+                "2",
+                "--objective",
+                "codesign",
+                "--output",
+                str(results_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best accuracy" in out
+        assert "Pareto frontier" in out
+        payload = json.loads(results_path.read_text())
+        assert 0 <= payload["best_accuracy"] <= 1
+        assert payload["statistics"]["models_generated"] == 8
+
+    def test_run_requires_a_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_run_from_csv(self, tiny_dataset, tmp_path, capsys):
+        from repro.datasets.csv_io import save_dataset_csv
+
+        csv_path = tmp_path / "tiny.csv"
+        save_dataset_csv(tiny_dataset, csv_path)
+        code = main(
+            [
+                "run",
+                "--csv",
+                str(csv_path),
+                "--population",
+                "4",
+                "--max-evaluations",
+                "6",
+                "--epochs",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "best accuracy" in capsys.readouterr().out

@@ -1,0 +1,362 @@
+"""Unit and integration tests for the evolutionary engine, configuration file
+and the high-level CoDesignSearch / RandomSearch front-ends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cache import EvaluationCache
+from repro.core.callbacks import Callback, ProgressLogger, SearchHistory
+from repro.core.candidate import CandidateEvaluation
+from repro.core.config import ECADConfig, HardwareTargetConfig, NNAStructureConfig, OptimizationTargetConfig
+from repro.core.engine import EngineConfig, EvolutionaryEngine
+from repro.core.errors import ConfigurationError, SearchError
+from repro.core.fitness import FitnessEvaluator, FitnessObjective
+from repro.core.search import CoDesignSearch, RandomSearch
+from repro.hardware.device import ARRIA10_GX1150
+
+
+def _fitness() -> FitnessEvaluator:
+    return FitnessEvaluator([FitnessObjective.accuracy(), FitnessObjective.fpga_throughput()])
+
+
+class TestEngineConfig:
+    def test_defaults_are_valid(self):
+        EngineConfig()
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            EngineConfig(population_size=1)
+        with pytest.raises(SearchError):
+            EngineConfig(population_size=10, max_evaluations=5)
+        with pytest.raises(SearchError):
+            EngineConfig(crossover_probability=1.5)
+        with pytest.raises(SearchError):
+            EngineConfig(max_stagnation_steps=-1)
+
+
+class TestEvolutionaryEngine:
+    def _engine(self, small_search_space, fake_evaluator, **overrides) -> EvolutionaryEngine:
+        config = EngineConfig(
+            population_size=overrides.pop("population_size", 6),
+            max_evaluations=overrides.pop("max_evaluations", 40),
+            seed=overrides.pop("seed", 0),
+            **overrides,
+        )
+        return EvolutionaryEngine(
+            space=small_search_space,
+            evaluator=fake_evaluator,
+            fitness=_fitness(),
+            config=config,
+            device=ARRIA10_GX1150,
+        )
+
+    def test_run_produces_full_population_and_history(self, small_search_space, fake_evaluator):
+        engine = self._engine(small_search_space, fake_evaluator)
+        result = engine.run()
+        assert len(result.population) == 6
+        assert len(result.history) == result.statistics.models_generated
+        assert result.statistics.models_generated == 40
+        assert result.statistics.models_evaluated + result.statistics.cache_hits == 40
+        assert result.best.fitness_value >= result.population.worst.fitness_value
+
+    def test_search_improves_over_initial_population(self, small_search_space, fake_evaluator):
+        """Scored in one common reference frame, the final population's best must
+        not be worse than the best of the random initial population."""
+        engine = self._engine(small_search_space, fake_evaluator, max_evaluations=60)
+        result = engine.run()
+        fitness = _fitness()
+        all_evaluations = result.history.evaluations()
+        scores = fitness.score_population(all_evaluations)
+        initial_best = max(score.fitness for score in scores[:6])
+        final_keys = {member.genome.cache_key() for member in result.population}
+        final_best = max(
+            score.fitness
+            for evaluation, score in zip(all_evaluations, scores)
+            if evaluation.genome.cache_key() in final_keys
+        )
+        assert final_best >= initial_best - 1e-9
+
+    def test_same_seed_reproduces_search(self, small_search_space, fake_evaluator):
+        result_a = self._engine(small_search_space, fake_evaluator, seed=7).run()
+        result_b = self._engine(small_search_space, fake_evaluator, seed=7).run()
+        keys_a = [r.evaluation.genome.cache_key() for r in result_a.history.records]
+        keys_b = [r.evaluation.genome.cache_key() for r in result_b.history.records]
+        assert keys_a == keys_b
+
+    def test_cache_hits_counted_for_duplicate_candidates(self, small_search_space, fake_evaluator):
+        engine = self._engine(
+            small_search_space,
+            fake_evaluator,
+            max_evaluations=80,
+            avoid_duplicate_genomes=False,
+        )
+        result = engine.run()
+        # with duplicates allowed in a tiny space, the cache must be exercised
+        assert result.statistics.cache_hits > 0
+        assert result.statistics.models_evaluated < result.statistics.models_generated
+
+    def test_evaluator_failures_do_not_crash_the_search(self, small_search_space):
+        calls = {"count": 0}
+
+        def flaky_evaluator(genome):
+            calls["count"] += 1
+            if calls["count"] % 3 == 0:
+                raise RuntimeError("simulated worker failure")
+            from tests.conftest import make_fake_evaluation
+
+            return make_fake_evaluation(genome, accuracy=0.7, fpga_outputs=1e6, gpu_outputs=1e6)
+
+        engine = EvolutionaryEngine(
+            space=small_search_space,
+            evaluator=flaky_evaluator,
+            fitness=_fitness(),
+            config=EngineConfig(population_size=4, max_evaluations=20, seed=0),
+            device=ARRIA10_GX1150,
+        )
+        result = engine.run()
+        failed = [r for r in result.history.records if r.evaluation.failed]
+        assert failed  # failures were recorded...
+        assert not result.best.evaluation.failed  # ...but never became the best candidate
+
+    def test_generational_mode_runs(self, small_search_space, fake_evaluator):
+        engine = self._engine(small_search_space, fake_evaluator, steady_state=False, max_evaluations=30)
+        result = engine.run()
+        assert result.statistics.models_generated <= 30
+        assert len(result.population) >= 2
+
+    def test_stagnation_early_stop(self, small_search_space):
+        def constant_evaluator(genome):
+            from tests.conftest import make_fake_evaluation
+
+            return make_fake_evaluation(genome, accuracy=0.5, fpga_outputs=1e5, gpu_outputs=1e5)
+
+        engine = EvolutionaryEngine(
+            space=small_search_space,
+            evaluator=constant_evaluator,
+            fitness=_fitness(),
+            config=EngineConfig(
+                population_size=4, max_evaluations=200, seed=0, max_stagnation_steps=5
+            ),
+            device=ARRIA10_GX1150,
+        )
+        result = engine.run()
+        assert result.statistics.models_generated < 200
+
+    def test_custom_callback_hooks_invoked(self, small_search_space, fake_evaluator):
+        events = {"start": 0, "evaluations": 0, "steps": 0, "end": 0}
+
+        class Recorder(Callback):
+            def on_search_start(self, population):
+                events["start"] += 1
+
+            def on_evaluation(self, evaluation, fitness, step):
+                events["evaluations"] += 1
+
+            def on_step_end(self, population, step):
+                events["steps"] += 1
+
+            def on_search_end(self, population):
+                events["end"] += 1
+
+        engine = EvolutionaryEngine(
+            space=small_search_space,
+            evaluator=fake_evaluator,
+            fitness=_fitness(),
+            config=EngineConfig(population_size=4, max_evaluations=12, seed=0),
+            device=ARRIA10_GX1150,
+            callbacks=[Recorder()],
+        )
+        engine.run()
+        assert events["start"] == 1
+        assert events["end"] == 1
+        assert events["evaluations"] == 12
+        assert events["steps"] == 8  # 12 evaluations - 4 initial population members
+
+    def test_progress_logger_prints(self, small_search_space, fake_evaluator, capsys):
+        engine = EvolutionaryEngine(
+            space=small_search_space,
+            evaluator=fake_evaluator,
+            fitness=_fitness(),
+            config=EngineConfig(population_size=4, max_evaluations=12, seed=0),
+            device=ARRIA10_GX1150,
+            callbacks=[ProgressLogger(interval=1)],
+        )
+        engine.run()
+        assert "best fitness" in capsys.readouterr().out
+
+
+class TestSearchHistory:
+    def test_series_and_queries(self, small_search_space, fake_evaluator):
+        engine = EvolutionaryEngine(
+            space=small_search_space,
+            evaluator=fake_evaluator,
+            fitness=_fitness(),
+            config=EngineConfig(population_size=4, max_evaluations=16, seed=0),
+            device=ARRIA10_GX1150,
+        )
+        result = engine.run()
+        history: SearchHistory = result.history
+        pairs = history.accuracy_throughput_series(device="fpga")
+        assert len(pairs) == 16
+        assert all(0 <= accuracy <= 1 for accuracy, _ in pairs)
+        assert history.best_accuracy() == max(a for a, _ in pairs)
+        assert len(history.unique_evaluations()) <= len(history)
+        assert len(history.best_fitness_trace) > 0
+        with pytest.raises(ValueError):
+            history.accuracy_throughput_series(device="tpu")
+
+
+class TestECADConfig:
+    def test_template_from_dataset_sets_dimensions_and_protocol(self, tiny_dataset, tiny_presplit_dataset):
+        config = ECADConfig.template_for_dataset(tiny_dataset)
+        assert config.nna.input_size == tiny_dataset.num_features
+        assert config.nna.output_size == tiny_dataset.num_classes
+        assert config.evaluation_protocol == "10-fold"
+        presplit = ECADConfig.template_for_dataset(tiny_presplit_dataset)
+        assert presplit.evaluation_protocol == "1-fold"
+
+    def test_round_trip_json_file(self, tiny_dataset, tmp_path):
+        config = ECADConfig.template_for_dataset(tiny_dataset, population_size=10, max_evaluations=50)
+        path = tmp_path / "config.json"
+        config.save(path)
+        loaded = ECADConfig.load(path)
+        assert loaded == config
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ECADConfig.load(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            ECADConfig.load(bad)
+        incomplete = tmp_path / "incomplete.json"
+        incomplete.write_text('{"dataset_name": "x"}')
+        with pytest.raises(ConfigurationError):
+            ECADConfig.load(incomplete)
+
+    def test_to_search_space_and_engine_config(self, tiny_dataset):
+        config = ECADConfig.template_for_dataset(tiny_dataset, population_size=7, max_evaluations=21, seed=3)
+        space = config.to_search_space()
+        assert space.mlp_space.layer_sizes == config.nna.layer_sizes
+        engine_config = config.to_engine_config()
+        assert engine_config.population_size == 7
+        assert engine_config.max_evaluations == 21
+        assert engine_config.seed == 3
+
+    def test_mutation_config_follows_objectives(self, tiny_dataset):
+        accuracy_only = ECADConfig.template_for_dataset(
+            tiny_dataset, optimization=OptimizationTargetConfig.accuracy_only()
+        )
+        assert accuracy_only.to_mutation_config().grid_dimension == 0.0
+        codesign = ECADConfig.template_for_dataset(
+            tiny_dataset, optimization=OptimizationTargetConfig.accuracy_and_throughput()
+        )
+        assert codesign.to_mutation_config().grid_dimension > 0.0
+
+    def test_hardware_target_resolution(self):
+        target = HardwareTargetConfig(fpga="stratix10", ddr_banks=2, clock_mhz=300.0, gpu="m5000")
+        device = target.fpga_device()
+        assert device.ddr_banks == 2
+        assert device.clock_mhz == 300.0
+        assert target.gpu_device().name == "NVIDIA Quadro M5000"
+        assert HardwareTargetConfig(gpu="").gpu_device() is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NNAStructureConfig(input_size=0, output_size=2)
+        with pytest.raises(ConfigurationError):
+            OptimizationTargetConfig(objectives=())
+        with pytest.raises(ConfigurationError):
+            ECADConfig(
+                dataset_name="x",
+                nna=NNAStructureConfig(input_size=4, output_size=2),
+                evaluation_protocol="5-fold",
+            )
+
+
+class TestCoDesignSearchFrontEnd:
+    def test_full_search_with_fake_evaluator(self, tiny_dataset, fake_evaluator):
+        config = ECADConfig.template_for_dataset(
+            tiny_dataset, population_size=5, max_evaluations=20, seed=0, training_epochs=2
+        )
+        search = CoDesignSearch(tiny_dataset, config=config)
+        result = search.run(evaluator=fake_evaluator)
+        assert 0 <= result.best_accuracy <= 1
+        assert result.frontier
+        assert result.statistics.models_generated == 20
+        rows = result.pareto_rows(count=2)
+        assert rows[0].accuracy >= rows[-1].accuracy
+
+    def test_configuration_dataset_mismatch_rejected(self, tiny_dataset, tiny_presplit_dataset):
+        config = ECADConfig.template_for_dataset(tiny_presplit_dataset)
+        with pytest.raises(ConfigurationError):
+            CoDesignSearch(tiny_dataset, config=config)
+
+    def test_real_end_to_end_search_on_tiny_dataset(self, tiny_dataset):
+        """Slowest test in the suite: the full master/worker pipeline, few evaluations."""
+        config = ECADConfig.template_for_dataset(
+            tiny_dataset,
+            population_size=4,
+            max_evaluations=8,
+            seed=0,
+            training_epochs=3,
+            evaluation_protocol="1-fold",
+        )
+        result = CoDesignSearch(tiny_dataset, config=config).run()
+        assert result.best_accuracy > 0.5
+        best = result.best_accuracy_candidate
+        assert best.fpga_metrics is not None
+        assert best.gpu_metrics is not None
+        assert best.synthesis is not None
+        assert result.statistics.average_evaluation_seconds > 0
+
+
+class TestRandomSearch:
+    def test_random_search_baseline(self, small_search_space, fake_evaluator):
+        search = RandomSearch(
+            space=small_search_space,
+            evaluator=fake_evaluator,
+            objectives=[FitnessObjective.accuracy(), FitnessObjective.fpga_throughput()],
+            max_evaluations=30,
+            seed=0,
+            device=ARRIA10_GX1150,
+        )
+        result = search.run()
+        assert len(result.history) == 30
+        assert result.frontier
+        assert result.statistics.models_generated == 30
+
+    def test_random_search_validation(self, small_search_space, fake_evaluator):
+        with pytest.raises(ConfigurationError):
+            RandomSearch(small_search_space, fake_evaluator, max_evaluations=0)
+
+    def test_evolution_at_least_matches_random_on_fake_landscape(
+        self, small_search_space, fake_evaluator
+    ):
+        """The steady-state engine should not lose to random search on the same budget."""
+        objectives = [FitnessObjective.accuracy(), FitnessObjective.fpga_throughput()]
+        random_result = RandomSearch(
+            small_search_space,
+            fake_evaluator,
+            objectives=objectives,
+            max_evaluations=40,
+            seed=1,
+            device=ARRIA10_GX1150,
+        ).run()
+        engine = EvolutionaryEngine(
+            space=small_search_space,
+            evaluator=fake_evaluator,
+            fitness=FitnessEvaluator(objectives),
+            config=EngineConfig(population_size=6, max_evaluations=40, seed=1),
+            device=ARRIA10_GX1150,
+        )
+        evolved = engine.run()
+        evolved_best_throughput = max(
+            r.evaluation.fpga_outputs_per_second for r in evolved.history.records
+        )
+        random_best_throughput = max(
+            r.evaluation.fpga_outputs_per_second for r in random_result.history.records
+        )
+        assert evolved_best_throughput >= 0.8 * random_best_throughput

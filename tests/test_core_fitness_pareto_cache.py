@@ -1,0 +1,352 @@
+"""Unit tests for fitness evaluation, Pareto analysis, the evaluation cache,
+population management and selection schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cache import EvaluationCache
+from repro.core.candidate import CandidateEvaluation
+from repro.core.errors import ConfigurationError, SearchError
+from repro.core.fitness import (
+    FitnessEvaluator,
+    FitnessObjective,
+    available_objectives,
+    get_objective,
+    register_objective,
+)
+from repro.core.genome import CoDesignGenome, HardwareGenome, MLPGenome
+from repro.core.pareto import (
+    ParetoPoint,
+    dominates,
+    knee_point,
+    make_points,
+    pareto_frontier,
+    pareto_frontier_indices,
+    top_tradeoff_points,
+)
+from repro.core.population import Individual, Population
+from repro.core.selection import (
+    RankSelection,
+    RouletteWheelSelection,
+    TournamentSelection,
+    available_selection_schemes,
+    get_selection,
+)
+from repro.hardware.systolic import GridConfig
+
+from tests.conftest import make_fake_evaluation
+
+
+def _genome(neurons: int = 16, rows: int = 4) -> CoDesignGenome:
+    return CoDesignGenome(
+        mlp=MLPGenome(hidden_layers=(neurons,), activations=("relu",)),
+        hardware=HardwareGenome(grid=GridConfig(rows, 4, 2, 2, 2), batch_size=512),
+    )
+
+
+class TestObjectives:
+    def test_builtin_objectives_registered(self):
+        names = available_objectives()
+        for expected in ("accuracy", "fpga_throughput", "gpu_throughput", "fpga_latency", "fpga_efficiency"):
+            assert expected in names
+
+    def test_objective_values_from_evaluation(self):
+        evaluation = make_fake_evaluation(_genome(), accuracy=0.9, fpga_outputs=2e6, gpu_outputs=1e6)
+        assert get_objective("accuracy")(evaluation) == pytest.approx(0.9)
+        assert get_objective("fpga_throughput")(evaluation) == pytest.approx(2e6)
+        assert get_objective("gpu_throughput")(evaluation) == pytest.approx(1e6)
+        assert get_objective("dsp_usage")(evaluation) == evaluation.genome.hardware.grid.dsp_blocks_used
+
+    def test_missing_metrics_give_neutral_values(self):
+        evaluation = make_fake_evaluation(_genome(), accuracy=0.5)
+        assert get_objective("fpga_throughput")(evaluation) == 0.0
+        assert get_objective("fpga_latency")(evaluation) == float("inf")
+        assert get_objective("fpga_efficiency")(evaluation) == 0.0
+
+    def test_register_custom_objective(self):
+        register_objective("test_neurons", lambda e: float(e.genome.mlp.total_hidden_neurons), overwrite=True)
+        evaluation = make_fake_evaluation(_genome(neurons=24), accuracy=0.5)
+        assert get_objective("test_neurons")(evaluation) == 24.0
+        with pytest.raises(ConfigurationError):
+            register_objective("test_neurons", lambda e: 0.0)
+        with pytest.raises(ConfigurationError):
+            get_objective("does_not_exist")
+
+    def test_objective_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            FitnessObjective(name="not_registered")
+        with pytest.raises(ConfigurationError):
+            FitnessObjective(name="accuracy", weight=0.0)
+
+
+class TestFitnessEvaluator:
+    def test_accuracy_only_orders_by_accuracy(self):
+        evaluator = FitnessEvaluator([FitnessObjective.accuracy()])
+        evaluations = [
+            make_fake_evaluation(_genome(8), accuracy=0.6, fpga_outputs=1e6),
+            make_fake_evaluation(_genome(16), accuracy=0.9, fpga_outputs=1e5),
+            make_fake_evaluation(_genome(32), accuracy=0.75, fpga_outputs=5e5),
+        ]
+        results = evaluator.score_population(evaluations)
+        order = np.argsort([-r.fitness for r in results])
+        assert list(order) == [1, 2, 0]
+
+    def test_multi_objective_rewards_balanced_candidates(self):
+        evaluator = FitnessEvaluator(
+            [FitnessObjective.accuracy(), FitnessObjective.fpga_throughput()]
+        )
+        evaluations = [
+            make_fake_evaluation(_genome(8), accuracy=0.90, fpga_outputs=1e4),
+            make_fake_evaluation(_genome(16), accuracy=0.89, fpga_outputs=9e6),
+            make_fake_evaluation(_genome(32), accuracy=0.50, fpga_outputs=9.5e6),
+        ]
+        results = evaluator.score_population(evaluations)
+        best = int(np.argmax([r.fitness for r in results]))
+        assert best == 1  # near-top accuracy AND near-top throughput wins
+
+    def test_minimized_objective_contributes_inverted(self):
+        evaluator = FitnessEvaluator([FitnessObjective(name="parameter_count", maximize=False)])
+        small = make_fake_evaluation(_genome(8), accuracy=0.5)
+        big = make_fake_evaluation(_genome(64), accuracy=0.5)
+        results = evaluator.score_population([small, big])
+        assert results[0].fitness > results[1].fitness
+
+    def test_failed_evaluations_get_minus_infinity(self):
+        evaluator = FitnessEvaluator([FitnessObjective.accuracy()])
+        ok = make_fake_evaluation(_genome(8), accuracy=0.7)
+        failed = CandidateEvaluation(genome=_genome(16), error="boom")
+        results = evaluator.score_population([ok, failed])
+        assert results[1].fitness == float("-inf")
+        assert np.isnan(results[1].objectives["accuracy"])
+
+    def test_score_single_against_reference(self):
+        evaluator = FitnessEvaluator([FitnessObjective.accuracy()])
+        reference = [make_fake_evaluation(_genome(8), accuracy=0.6)]
+        candidate = make_fake_evaluation(_genome(16), accuracy=0.9)
+        result = evaluator.score(candidate, reference)
+        assert result.objectives["accuracy"] == pytest.approx(0.9)
+        assert result.objective("accuracy") == pytest.approx(0.9)
+        with pytest.raises(KeyError):
+            result.objective("fpga_throughput")
+
+    def test_duplicate_or_empty_objectives_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FitnessEvaluator([])
+        with pytest.raises(ConfigurationError):
+            FitnessEvaluator([FitnessObjective.accuracy(), FitnessObjective.accuracy()])
+
+    def test_empty_population_scores_to_empty_list(self):
+        evaluator = FitnessEvaluator([FitnessObjective.accuracy()])
+        assert evaluator.score_population([]) == []
+
+
+class TestPareto:
+    def test_dominates(self):
+        assert dominates((2, 2), (1, 2))
+        assert dominates((2, 3), (1, 2))
+        assert not dominates((1, 2), (2, 1))
+        assert not dominates((1, 1), (1, 1))
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+    def test_frontier_indices(self):
+        points = [(1, 5), (2, 4), (3, 3), (2, 2), (0, 6)]
+        frontier = pareto_frontier_indices(points)
+        assert set(frontier) == {0, 1, 2, 4}
+
+    def test_pareto_frontier_sorted_by_first_objective(self):
+        points = make_points(
+            [{"a": 0.9, "t": 1e5}, {"a": 0.8, "t": 1e6}, {"a": 0.7, "t": 5e5}],
+            lambda d: d["a"],
+            lambda d: d["t"],
+        )
+        frontier = pareto_frontier(points)
+        assert [p.payload["a"] for p in frontier] == [0.9, 0.8]
+
+    def test_knee_point_balances_objectives(self):
+        points = [
+            ParetoPoint(values=(1.0, 0.0), payload="acc"),
+            ParetoPoint(values=(0.0, 1.0), payload="thr"),
+            ParetoPoint(values=(0.7, 0.7), payload="balanced"),
+        ]
+        assert knee_point(points).payload == "balanced"
+        with pytest.raises(ValueError):
+            knee_point([])
+
+    def test_top_tradeoff_points_table_iv_style(self):
+        frontier = [
+            ParetoPoint(values=(0.99, 1e5), payload="best_acc"),
+            ParetoPoint(values=(0.97, 2e6), payload="best_thr"),
+            ParetoPoint(values=(0.98, 1e6), payload="middle"),
+        ]
+        rows = top_tradeoff_points(frontier, count=2, primary=0)
+        assert rows[0].payload == "best_acc"
+        assert rows[1].payload == "best_thr"
+        assert top_tradeoff_points([], count=2) == []
+        with pytest.raises(ValueError):
+            top_tradeoff_points(frontier, count=0)
+
+    def test_pareto_point_validation(self):
+        with pytest.raises(ValueError):
+            ParetoPoint(values=())
+        with pytest.raises(ValueError):
+            make_points([1, 2])
+
+
+class TestEvaluationCache:
+    def test_lookup_miss_then_hit(self):
+        cache = EvaluationCache()
+        genome = _genome(8)
+        assert cache.lookup(genome) is None
+        cache.store(make_fake_evaluation(genome, accuracy=0.8))
+        hit = cache.lookup(genome)
+        assert hit is not None
+        assert hit.from_cache
+        assert hit.accuracy == pytest.approx(0.8)
+        assert cache.statistics.hits == 1
+        assert cache.statistics.misses == 1
+        assert cache.statistics.hit_rate == pytest.approx(0.5)
+
+    def test_identical_parameters_share_an_entry(self):
+        cache = EvaluationCache()
+        cache.store(make_fake_evaluation(_genome(8), accuracy=0.8))
+        equivalent = _genome(8)
+        assert equivalent in cache
+        assert len(cache) == 1
+
+    def test_failed_evaluations_not_cached(self):
+        cache = EvaluationCache()
+        cache.store(CandidateEvaluation(genome=_genome(8), error="boom"))
+        assert len(cache) == 0
+
+    def test_capacity_bound_evicts_oldest(self):
+        cache = EvaluationCache(max_entries=2)
+        first, second, third = _genome(8), _genome(16), _genome(32)
+        for genome in (first, second, third):
+            cache.store(make_fake_evaluation(genome, accuracy=0.5))
+        assert len(cache) == 2
+        assert first not in cache
+        assert second in cache and third in cache
+
+    def test_clear_resets_everything(self):
+        cache = EvaluationCache()
+        cache.store(make_fake_evaluation(_genome(8), accuracy=0.5))
+        cache.lookup(_genome(8))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.statistics.lookups == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EvaluationCache(max_entries=0)
+
+
+def _individual(neurons: int, accuracy: float, fitness: float) -> Individual:
+    from repro.core.fitness import FitnessResult
+
+    evaluation = make_fake_evaluation(_genome(neurons), accuracy=accuracy, fpga_outputs=1e5)
+    return Individual(
+        genome=evaluation.genome,
+        evaluation=evaluation,
+        fitness=FitnessResult(fitness=fitness, objectives={"accuracy": accuracy}),
+    )
+
+
+class TestPopulation:
+    def test_members_sorted_by_fitness(self):
+        population = Population(capacity=4)
+        population.add(_individual(8, 0.5, 0.5))
+        population.add(_individual(16, 0.9, 0.9))
+        population.add(_individual(32, 0.7, 0.7))
+        assert population.best.fitness_value == pytest.approx(0.9)
+        assert population.worst.fitness_value == pytest.approx(0.5)
+        assert len(population) == 3
+        assert not population.is_full
+
+    def test_steady_state_replacement(self):
+        population = Population(capacity=2)
+        population.add(_individual(8, 0.5, 0.5))
+        population.add(_individual(16, 0.7, 0.7))
+        # a better newcomer evicts the worst member
+        evicted = population.add(_individual(32, 0.9, 0.9))
+        assert evicted is not None and evicted.fitness_value == pytest.approx(0.5)
+        # a worse newcomer bounces off
+        rejected = population.add(_individual(64, 0.1, 0.1))
+        assert rejected is not None and rejected.fitness_value == pytest.approx(0.1)
+        assert len(population) == 2
+
+    def test_best_by_objective_and_mean_fitness(self):
+        population = Population(capacity=4)
+        population.add(_individual(8, 0.9, 0.2))
+        population.add(_individual(16, 0.5, 0.8))
+        assert population.best_by_objective("accuracy").evaluation.accuracy == pytest.approx(0.9)
+        assert population.mean_fitness() == pytest.approx(0.5)
+
+    def test_contains_genome(self):
+        population = Population(capacity=4)
+        member = _individual(8, 0.5, 0.5)
+        population.add(member)
+        assert population.contains_genome(member.genome)
+        assert not population.contains_genome(_genome(64))
+
+    def test_empty_population_errors(self):
+        population = Population(capacity=2)
+        with pytest.raises(SearchError):
+            _ = population.best
+        with pytest.raises(SearchError):
+            Population(capacity=1)
+
+    def test_rescore_requires_matching_lengths(self):
+        population = Population(capacity=2)
+        population.add(_individual(8, 0.5, 0.5))
+        with pytest.raises(SearchError):
+            population.rescore([])
+
+
+class TestSelection:
+    def _population(self) -> Population:
+        population = Population(capacity=8)
+        for index, fitness in enumerate([0.1, 0.3, 0.5, 0.7, 0.9]):
+            population.add(_individual(8 * (index + 1), fitness, fitness))
+        return population
+
+    def test_tournament_prefers_fit_individuals(self, rng):
+        population = self._population()
+        scheme = TournamentSelection(tournament_size=3)
+        picks = [scheme.select(population, rng).fitness_value for _ in range(200)]
+        assert np.mean(picks) > 0.55
+
+    def test_roulette_and_rank_return_members(self, rng):
+        population = self._population()
+        for scheme in (RouletteWheelSelection(), RankSelection()):
+            individual = scheme.select(population, rng)
+            assert individual in population.members
+
+    def test_rank_selection_prefers_better_members(self, rng):
+        population = self._population()
+        picks = [RankSelection(selection_pressure=2.0).select(population, rng).fitness_value for _ in range(300)]
+        assert np.mean(picks) > 0.55
+
+    def test_select_pair_returns_distinct_parents(self, rng):
+        population = self._population()
+        first, second = TournamentSelection().select_pair(population, rng)
+        assert first is not second
+
+    def test_registry_and_validation(self):
+        assert set(available_selection_schemes()) == {"tournament", "roulette", "rank"}
+        assert isinstance(get_selection("tournament", tournament_size=2), TournamentSelection)
+        scheme = RankSelection()
+        assert get_selection(scheme) is scheme
+        with pytest.raises(ValueError):
+            get_selection("random_pick")
+        with pytest.raises(ValueError):
+            TournamentSelection(tournament_size=1)
+        with pytest.raises(ValueError):
+            RankSelection(selection_pressure=3.0)
+
+    def test_selection_from_empty_population_raises(self, rng):
+        population = Population(capacity=2)
+        with pytest.raises(SearchError):
+            TournamentSelection().select(population, rng)

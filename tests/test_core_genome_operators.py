@@ -1,0 +1,245 @@
+"""Unit tests for repro.core.genome, mutation and crossover."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.crossover import (
+    CoDesignCrossover,
+    crossover_hardware_fields,
+    crossover_mlp_layers,
+    crossover_swap_halves,
+)
+from repro.core.errors import GenomeError
+from repro.core.genome import (
+    CoDesignGenome,
+    CoDesignSearchSpace,
+    HardwareGenome,
+    HardwareSearchSpace,
+    MLPGenome,
+    MLPSearchSpace,
+)
+from repro.core.mutation import (
+    CoDesignMutator,
+    MutationConfig,
+    mutate_activation,
+    mutate_add_layer,
+    mutate_bias,
+    mutate_fpga_batch,
+    mutate_grid_dimension,
+    mutate_layer_size,
+    mutate_remove_layer,
+    mutate_vector_width,
+)
+from repro.hardware.device import ARRIA10_GX1150
+from repro.hardware.systolic import GridConfig
+
+
+class TestMLPGenome:
+    def test_to_spec_materializes_dimensions(self):
+        genome = MLPGenome(hidden_layers=(64, 32), activations=("relu", "tanh"))
+        spec = genome.to_spec(input_size=100, output_size=5)
+        assert spec.layer_sizes == (100, 64, 32, 5)
+        assert spec.activations == ("relu", "tanh")
+
+    def test_counts(self):
+        genome = MLPGenome(hidden_layers=(64, 32), activations=("relu", "tanh"), use_bias=False)
+        assert genome.num_hidden_layers == 2
+        assert genome.total_hidden_neurons == 96
+
+    def test_round_trip_dict(self):
+        genome = MLPGenome(hidden_layers=(8,), activations=("elu",), use_bias=False)
+        assert MLPGenome.from_dict(genome.to_dict()) == genome
+
+    def test_validation(self):
+        with pytest.raises(GenomeError):
+            MLPGenome(hidden_layers=(0,), activations=("relu",))
+        with pytest.raises(GenomeError):
+            MLPGenome(hidden_layers=(8, 8), activations=("relu",))
+        with pytest.raises(GenomeError):
+            MLPGenome(hidden_layers=(8,), activations=("bogus",))
+
+
+class TestHardwareAndCoDesignGenome:
+    def test_hardware_genome_fits_device(self, small_grid):
+        genome = HardwareGenome(grid=small_grid, batch_size=1024)
+        assert genome.fits(ARRIA10_GX1150)
+        assert genome.run_samples == 1024
+
+    def test_round_trip_dicts(self, sample_genome):
+        assert CoDesignGenome.from_dict(sample_genome.to_dict()) == sample_genome
+        assert HardwareGenome.from_dict(sample_genome.hardware.to_dict()) == sample_genome.hardware
+
+    def test_cache_key_stable_and_distinguishing(self, sample_genome):
+        same = CoDesignGenome.from_dict(sample_genome.to_dict())
+        assert same.cache_key() == sample_genome.cache_key()
+        different = sample_genome.with_mlp(
+            MLPGenome(hidden_layers=(32,), activations=("relu",))
+        )
+        assert different.cache_key() != sample_genome.cache_key()
+
+    def test_with_halves(self, sample_genome, small_grid):
+        new_hardware = HardwareGenome(grid=small_grid, batch_size=512)
+        updated = sample_genome.with_hardware(new_hardware)
+        assert updated.hardware.batch_size == 512
+        assert updated.mlp == sample_genome.mlp
+
+    def test_validation(self, small_grid):
+        with pytest.raises(GenomeError):
+            HardwareGenome(grid=small_grid, batch_size=0)
+        with pytest.raises(GenomeError):
+            CoDesignGenome(
+                mlp=MLPGenome(hidden_layers=(8,), activations=("relu",)),
+                hardware=HardwareGenome(grid=small_grid),
+                gpu_batch_size=0,
+            )
+
+
+class TestSearchSpaces:
+    def test_random_genomes_are_inside_the_space(self, small_search_space, rng):
+        for _ in range(50):
+            genome = small_search_space.random_genome(rng, device=ARRIA10_GX1150)
+            assert small_search_space.contains(genome)
+            assert genome.hardware.fits(ARRIA10_GX1150)
+
+    def test_contains_rejects_out_of_space_values(self, small_search_space, sample_genome):
+        # sample_genome uses layer sizes 16/8 which are inside, but activation tanh/relu ok;
+        # hardware grid 8x8 interleave 4x4 vector 4 is inside; batch 1024 inside; gpu 256 inside.
+        assert small_search_space.contains(sample_genome)
+        outside = sample_genome.with_mlp(
+            MLPGenome(hidden_layers=(1024,), activations=("relu",))
+        )
+        assert not small_search_space.contains(outside)
+
+    def test_space_size_formula(self):
+        space = MLPSearchSpace(min_layers=1, max_layers=2, layer_sizes=(8, 16), activations=("relu",), allow_bias_toggle=False)
+        # depth 1: 2 combos; depth 2: 4 combos -> 6
+        assert space.size == 6
+        hardware = HardwareSearchSpace(batch_sizes=(256,))
+        assert hardware.size == hardware.grid_space.size
+        joint = CoDesignSearchSpace(mlp_space=space, hardware_space=hardware, gpu_batch_sizes=(128,))
+        assert joint.size == space.size * hardware.size
+
+    def test_space_validation(self):
+        with pytest.raises(GenomeError):
+            MLPSearchSpace(min_layers=3, max_layers=2)
+        with pytest.raises(GenomeError):
+            MLPSearchSpace(layer_sizes=())
+        with pytest.raises(GenomeError):
+            MLPSearchSpace(activations=("bogus",))
+        with pytest.raises(GenomeError):
+            HardwareSearchSpace(batch_sizes=(0,))
+        with pytest.raises(GenomeError):
+            CoDesignSearchSpace(gpu_batch_sizes=())
+
+
+class TestMutationOperators:
+    def test_layer_size_mutation_changes_one_layer(self, small_search_space, rng):
+        genome = MLPGenome(hidden_layers=(8, 16), activations=("relu", "relu"))
+        mutated = mutate_layer_size(genome, small_search_space, rng)
+        assert mutated.num_hidden_layers == 2
+        assert mutated != genome
+        differences = sum(1 for a, b in zip(genome.hidden_layers, mutated.hidden_layers) if a != b)
+        assert differences == 1
+
+    def test_activation_mutation(self, small_search_space, rng):
+        genome = MLPGenome(hidden_layers=(8,), activations=("relu",))
+        mutated = mutate_activation(genome, small_search_space, rng)
+        assert mutated.activations[0] in small_search_space.mlp_space.activations
+        assert mutated.activations[0] != "relu"
+
+    def test_add_and_remove_layer_respect_bounds(self, small_search_space, rng):
+        genome = MLPGenome(hidden_layers=(8,), activations=("relu",))
+        grown = mutate_add_layer(genome, small_search_space, rng)
+        assert grown.num_hidden_layers == 2
+        # max_layers is 2 in the small space, so adding again is a no-op
+        assert mutate_add_layer(grown, small_search_space, rng).num_hidden_layers == 2
+        shrunk = mutate_remove_layer(grown, small_search_space, rng)
+        assert shrunk.num_hidden_layers == 1
+        # min of 1 layer enforced
+        assert mutate_remove_layer(shrunk, small_search_space, rng).num_hidden_layers == 1
+
+    def test_bias_mutation_flips_flag(self, small_search_space, rng):
+        genome = MLPGenome(hidden_layers=(8,), activations=("relu",), use_bias=True)
+        assert mutate_bias(genome, small_search_space, rng).use_bias is False
+
+    def test_hardware_mutations_stay_in_space(self, small_search_space, rng):
+        hardware = HardwareGenome(grid=GridConfig(4, 4, 2, 2, 2), batch_size=512)
+        for operator in (mutate_grid_dimension, mutate_vector_width, mutate_fpga_batch):
+            mutated = operator(hardware, small_search_space, rng)
+            assert small_search_space.hardware_space.contains(mutated)
+
+    def test_mutation_config_validation_and_presets(self):
+        with pytest.raises(ValueError):
+            MutationConfig(layer_size=-1)
+        accuracy_only = MutationConfig.accuracy_only()
+        assert accuracy_only.grid_dimension == 0.0
+        hardware_only = MutationConfig.hardware_only()
+        assert hardware_only.layer_size == 0.0
+
+    def test_composite_mutator_produces_feasible_changes(self, small_search_space, sample_genome, rng):
+        mutator = CoDesignMutator(space=small_search_space, device=ARRIA10_GX1150)
+        changed = 0
+        for _ in range(30):
+            mutated = mutator.mutate(sample_genome, rng)
+            assert mutated.hardware.fits(ARRIA10_GX1150)
+            if mutated != sample_genome:
+                changed += 1
+        assert changed > 25
+
+    def test_accuracy_only_mutator_never_touches_hardware(self, small_search_space, sample_genome, rng):
+        mutator = CoDesignMutator(
+            space=small_search_space, config=MutationConfig.accuracy_only(), device=ARRIA10_GX1150
+        )
+        for _ in range(30):
+            mutated = mutator.mutate(sample_genome, rng)
+            assert mutated.hardware == sample_genome.hardware
+            assert mutated.gpu_batch_size == sample_genome.gpu_batch_size
+
+
+class TestCrossover:
+    def test_mlp_crossover_inherits_layers_from_parents(self, rng):
+        parent_a = MLPGenome(hidden_layers=(8, 8), activations=("relu", "relu"))
+        parent_b = MLPGenome(hidden_layers=(32, 32), activations=("tanh", "tanh"))
+        child = crossover_mlp_layers(parent_a, parent_b, rng)
+        assert child.num_hidden_layers == 2
+        for size in child.hidden_layers:
+            assert size in (8, 32)
+        for activation in child.activations:
+            assert activation in ("relu", "tanh")
+
+    def test_hardware_crossover_fields_from_parents(self, rng):
+        parent_a = HardwareGenome(grid=GridConfig(2, 2, 2, 2, 2), batch_size=256)
+        parent_b = HardwareGenome(grid=GridConfig(8, 8, 4, 4, 4), batch_size=1024)
+        child = crossover_hardware_fields(parent_a, parent_b, rng)
+        assert child.grid.rows in (2, 8)
+        assert child.grid.vector_width in (2, 4)
+        assert child.batch_size in (256, 1024)
+
+    def test_swap_halves_takes_whole_halves(self, rng, small_grid):
+        genome_a = CoDesignGenome(
+            mlp=MLPGenome(hidden_layers=(8,), activations=("relu",)),
+            hardware=HardwareGenome(grid=GridConfig(2, 2, 2, 2, 2), batch_size=256),
+        )
+        genome_b = CoDesignGenome(
+            mlp=MLPGenome(hidden_layers=(32, 16), activations=("tanh", "tanh")),
+            hardware=HardwareGenome(grid=small_grid, batch_size=1024),
+        )
+        child = crossover_swap_halves(genome_a, genome_b, rng)
+        assert (child.mlp, child.hardware) in (
+            (genome_a.mlp, genome_b.hardware),
+            (genome_b.mlp, genome_a.hardware),
+        )
+
+    def test_composite_crossover_keeps_children_feasible(self, rng, small_search_space):
+        crossover = CoDesignCrossover(device=ARRIA10_GX1150)
+        parent_a = small_search_space.random_genome(rng, device=ARRIA10_GX1150)
+        parent_b = small_search_space.random_genome(rng, device=ARRIA10_GX1150)
+        for _ in range(20):
+            child = crossover.recombine(parent_a, parent_b, rng)
+            assert child.hardware.fits(ARRIA10_GX1150)
+
+    def test_crossover_probability_validation(self):
+        with pytest.raises(ValueError):
+            CoDesignCrossover(swap_probability=1.5)

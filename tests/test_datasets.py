@@ -1,0 +1,240 @@
+"""Unit tests for the dataset substrate (base, synthetic, registry, CSV I/O)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, DatasetInfo
+from repro.datasets.csv_io import load_dataset_csv, save_dataset_csv
+from repro.datasets.registry import available_datasets, dataset_entry, load_dataset
+from repro.datasets.synthetic import (
+    PAPER_DATASET_SPECS,
+    SyntheticSpec,
+    make_classification,
+    make_credit_g_like,
+    make_mnist_like,
+)
+
+
+class TestDataset:
+    def test_basic_properties(self, tiny_dataset):
+        assert tiny_dataset.num_samples == 160
+        assert tiny_dataset.num_features == 12
+        assert tiny_dataset.num_classes == 2
+        assert not tiny_dataset.has_test_split
+        assert tiny_dataset.num_test_samples == 0
+
+    def test_info_round_trip(self, tiny_presplit_dataset):
+        info = tiny_presplit_dataset.info()
+        assert isinstance(info, DatasetInfo)
+        assert info.num_features == tiny_presplit_dataset.num_features
+        assert info.has_test_split
+
+    def test_class_distribution_sums_to_samples(self, tiny_dataset):
+        assert tiny_dataset.class_distribution().sum() == tiny_dataset.num_samples
+
+    def test_subsample_is_stratified_and_bounded(self, tiny_dataset):
+        sub = tiny_dataset.subsample(40, seed=0)
+        assert sub.num_samples <= 44  # rounding tolerance per class
+        assert set(np.unique(sub.labels)) == {0, 1}
+        assert sub.num_features == tiny_dataset.num_features
+
+    def test_subsample_noop_when_large_enough(self, tiny_dataset):
+        assert tiny_dataset.subsample(10_000) is tiny_dataset
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            Dataset(name="bad", features=np.ones((3, 2)), labels=np.zeros(2))
+        with pytest.raises(ValueError):
+            Dataset(name="bad", features=np.ones(3), labels=np.zeros(3))
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                features=np.ones((3, 2)),
+                labels=np.zeros(3),
+                test_features=np.ones((2, 5)),
+                test_labels=np.zeros(2),
+            )
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                features=np.ones((3, 2)),
+                labels=np.zeros(3),
+                test_features=np.ones((2, 2)),
+                test_labels=None,
+            )
+
+    def test_dataset_info_validation(self):
+        with pytest.raises(ValueError):
+            DatasetInfo(name="x", num_features=0, num_classes=2, num_samples=10)
+        with pytest.raises(ValueError):
+            DatasetInfo(name="x", num_features=3, num_classes=1, num_samples=10)
+
+
+class TestSyntheticGenerators:
+    def test_generator_is_deterministic(self):
+        a = make_credit_g_like(seed=3, scale=0.1)
+        b = make_credit_g_like(seed=3, scale=0.1)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_credit_g_like(seed=1, scale=0.1)
+        b = make_credit_g_like(seed=2, scale=0.1)
+        assert not np.array_equal(a.features, b.features)
+
+    def test_scale_controls_sample_count(self):
+        full = PAPER_DATASET_SPECS["credit_g_like"].num_samples
+        assert make_credit_g_like(seed=0, scale=0.25).num_samples == pytest.approx(full * 0.25, abs=2)
+
+    def test_paper_dataset_footprints(self):
+        expectations = {
+            "mnist_like": (784, 10, True),
+            "fashion_mnist_like": (784, 10, True),
+            "credit_g_like": (20, 2, False),
+            "har_like": (561, 6, False),
+            "phishing_like": (30, 2, False),
+            "bioresponse_like": (1776, 2, False),
+        }
+        for name, (features, classes, presplit) in expectations.items():
+            spec = PAPER_DATASET_SPECS[name]
+            assert spec.num_features == features
+            assert spec.num_classes == classes
+            assert (spec.num_test_samples > 0) == presplit
+
+    def test_mnist_like_has_test_split(self):
+        dataset = make_mnist_like(seed=0, scale=0.01)
+        assert dataset.has_test_split
+        assert dataset.num_classes == 10
+        assert dataset.num_features == 784
+
+    def test_all_classes_present(self):
+        dataset = make_classification(
+            SyntheticSpec(name="t", num_features=5, num_classes=4, num_samples=400), seed=0
+        )
+        assert set(np.unique(dataset.labels)) == {0, 1, 2, 3}
+
+    def test_harder_spec_gives_lower_achievable_separation(self):
+        """Label noise should reduce the best achievable nearest-centroid accuracy."""
+        easy_spec = SyntheticSpec(
+            name="easy", num_features=10, num_classes=2, num_samples=600,
+            class_separation=3.0, prototypes_per_class=1, label_noise=0.0,
+        )
+        hard_spec = SyntheticSpec(
+            name="hard", num_features=10, num_classes=2, num_samples=600,
+            class_separation=3.0, prototypes_per_class=1, label_noise=0.3,
+        )
+        easy = make_classification(easy_spec, seed=0)
+        hard = make_classification(hard_spec, seed=0)
+
+        def centroid_accuracy(ds):
+            centroids = np.stack([ds.features[ds.labels == c].mean(axis=0) for c in range(2)])
+            distances = np.linalg.norm(ds.features[:, None, :] - centroids[None, :, :], axis=2)
+            return float(np.mean(np.argmin(distances, axis=1) == ds.labels))
+
+        assert centroid_accuracy(easy) > centroid_accuracy(hard) + 0.1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(name="x", num_features=0, num_classes=2, num_samples=10)
+        with pytest.raises(ValueError):
+            SyntheticSpec(name="x", num_features=4, num_classes=2, num_samples=10, label_noise=0.6)
+        with pytest.raises(ValueError):
+            make_classification(PAPER_DATASET_SPECS["credit_g_like"], scale=0.0)
+
+
+class TestRegistry:
+    def test_all_six_paper_datasets_registered(self):
+        names = available_datasets()
+        assert set(names) == {
+            "mnist_like",
+            "fashion_mnist_like",
+            "credit_g_like",
+            "har_like",
+            "phishing_like",
+            "bioresponse_like",
+        }
+
+    def test_aliases_resolve(self):
+        assert dataset_entry("credit-g").name == "credit_g_like"
+        assert dataset_entry("MNIST").name == "mnist_like"
+        assert dataset_entry("fashion-mnist").name == "fashion_mnist_like"
+
+    def test_protocols_match_paper_tables(self):
+        assert dataset_entry("mnist").evaluation_protocol == "1-fold"
+        assert dataset_entry("fashion_mnist").evaluation_protocol == "1-fold"
+        for name in ("credit-g", "har", "phishing", "bioresponse"):
+            assert dataset_entry(name).evaluation_protocol == "10-fold"
+
+    def test_load_dataset_by_alias(self):
+        dataset = load_dataset("har", seed=0, scale=0.02)
+        assert dataset.num_features == 561
+        assert dataset.num_classes == 6
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+
+class TestCsvIO:
+    def test_round_trip_without_test_split(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.csv"
+        save_dataset_csv(tiny_dataset, path)
+        loaded = load_dataset_csv(path, name="tiny")
+        np.testing.assert_allclose(loaded.features, tiny_dataset.features, rtol=1e-6)
+        np.testing.assert_array_equal(loaded.labels, tiny_dataset.labels)
+
+    def test_round_trip_with_test_split(self, tiny_presplit_dataset, tmp_path):
+        train_path = tmp_path / "train.csv"
+        test_path = tmp_path / "test.csv"
+        save_dataset_csv(tiny_presplit_dataset, train_path, test_path)
+        loaded = load_dataset_csv(train_path, test_path)
+        assert loaded.has_test_split
+        assert loaded.num_test_samples == tiny_presplit_dataset.num_test_samples
+
+    def test_saving_presplit_without_test_path_raises(self, tiny_presplit_dataset, tmp_path):
+        with pytest.raises(ValueError):
+            save_dataset_csv(tiny_presplit_dataset, tmp_path / "only_train.csv")
+
+    def test_labels_are_remapped_to_dense_range(self, tmp_path):
+        path = tmp_path / "sparse_labels.csv"
+        path.write_text("f0,f1,label\n0.1,0.2,5\n0.3,0.4,9\n0.5,0.6,5\n")
+        dataset = load_dataset_csv(path)
+        assert set(np.unique(dataset.labels)) == {0, 1}
+
+    def test_label_column_by_name_and_index(self, tmp_path):
+        path = tmp_path / "custom.csv"
+        path.write_text("target,f0,f1\n1,0.1,0.2\n0,0.3,0.4\n")
+        by_name = load_dataset_csv(path, label_column="target")
+        by_index = load_dataset_csv(path, label_column=0)
+        assert by_name.num_features == 2
+        np.testing.assert_array_equal(by_name.labels, by_index.labels)
+
+    def test_missing_file_and_bad_content_raise(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset_csv(tmp_path / "nope.csv")
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            load_dataset_csv(empty)
+        header_only = tmp_path / "header.csv"
+        header_only.write_text("f0,label\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(header_only)
+        ragged = tmp_path / "ragged.csv"
+        ragged.write_text("f0,f1,label\n0.1,0.2,1\n0.3,1\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(ragged)
+        non_numeric = tmp_path / "nan.csv"
+        non_numeric.write_text("f0,label\nabc,1\n")
+        with pytest.raises(ValueError):
+            load_dataset_csv(non_numeric)
+
+    def test_unknown_label_column_raises(self, tmp_path):
+        path = tmp_path / "bad_column.csv"
+        path.write_text("f0,label\n0.1,1\n0.2,0\n")
+        with pytest.raises(ValueError, match="label column"):
+            load_dataset_csv(path, label_column="missing")
+        with pytest.raises(ValueError, match="out of range"):
+            load_dataset_csv(path, label_column=7)

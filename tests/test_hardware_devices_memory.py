@@ -1,0 +1,142 @@
+"""Unit tests for repro.hardware.device and repro.hardware.memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.device import (
+    ARRIA10_GX1150,
+    QUADRO_M5000,
+    RADEON_VII,
+    STRATIX10_2800,
+    TITAN_X,
+    FPGADevice,
+    GPUDevice,
+    available_fpga_devices,
+    available_gpu_devices,
+    fpga_device,
+    gpu_device,
+)
+from repro.hardware.memory import DDR4_BANK, HBM2_STACK, MemorySpec, MemorySystem
+
+
+class TestFPGADevices:
+    def test_arria10_peak_matches_paper(self):
+        """Paper: 250 MHz provides a peak throughput of 759 GFLOP/s FP32."""
+        assert ARRIA10_GX1150.clock_mhz == 250.0
+        assert ARRIA10_GX1150.peak_gflops == pytest.approx(759.0)
+
+    def test_arria10_single_bank_bandwidth_matches_paper(self):
+        """Paper: a single bank of DDR4 provides a peak bandwidth of 19.2 GB/s."""
+        assert ARRIA10_GX1150.ddr_banks == 1
+        assert ARRIA10_GX1150.total_bandwidth_gbps == pytest.approx(19.2)
+
+    def test_stratix10_roofline_matches_paper(self):
+        """Paper: Stratix 10 searched at 400 MHz with a 4.6 TFLOP/s roofline."""
+        assert STRATIX10_2800.clock_mhz == 400.0
+        assert STRATIX10_2800.peak_gflops == pytest.approx(4608.0)
+        assert STRATIX10_2800.ddr_banks == 4
+
+    def test_bank_override_scales_bandwidth(self):
+        for banks, expected in [(1, 19.2), (2, 38.4), (4, 76.8)]:
+            assert ARRIA10_GX1150.with_ddr_banks(banks).total_bandwidth_gbps == pytest.approx(expected)
+
+    def test_clock_override(self):
+        derated = STRATIX10_2800.with_clock(300.0)
+        assert derated.clock_mhz == 300.0
+        assert derated.peak_gflops == pytest.approx(2.0 * 5760 * 0.3)
+
+    def test_on_chip_memory_positive(self):
+        assert ARRIA10_GX1150.on_chip_memory_bytes > 5_000_000
+
+    def test_catalogue_lookup_and_aliases(self):
+        assert fpga_device("arria10") is ARRIA10_GX1150
+        assert fpga_device("Stratix10") is STRATIX10_2800
+        assert fpga_device("s10") is STRATIX10_2800
+        assert "Arria 10 GX 1150" in available_fpga_devices()
+        with pytest.raises(KeyError):
+            fpga_device("virtex7")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FPGADevice(name="bad", dsp_count=0, m20k_count=1, alm_count=1, clock_mhz=100)
+        with pytest.raises(ValueError):
+            FPGADevice(name="bad", dsp_count=10, m20k_count=1, alm_count=1, clock_mhz=-5)
+
+
+class TestGPUDevices:
+    def test_catalogue_matches_paper_specs(self):
+        assert QUADRO_M5000.peak_tflops == pytest.approx(4.3)
+        assert QUADRO_M5000.memory_bandwidth_gbps == pytest.approx(211.0)
+        assert TITAN_X.peak_tflops == pytest.approx(12.0)
+        assert RADEON_VII.peak_tflops == pytest.approx(13.44)
+        assert RADEON_VII.memory_bandwidth_gbps == pytest.approx(1000.0)
+
+    def test_derived_quantities(self):
+        assert TITAN_X.peak_gflops == pytest.approx(12_000.0)
+        assert TITAN_X.peak_flops == pytest.approx(12e12)
+        assert TITAN_X.memory_bandwidth_bytes_per_second == pytest.approx(480e9)
+
+    def test_lookup_and_aliases(self):
+        assert gpu_device("titan_x") is TITAN_X
+        assert gpu_device("TX") is TITAN_X
+        assert gpu_device("m5000") is QUADRO_M5000
+        assert gpu_device("radeon-vii") is RADEON_VII
+        assert len(available_gpu_devices()) == 3
+        with pytest.raises(KeyError):
+            gpu_device("a100")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUDevice(name="bad", peak_tflops=0, memory_bandwidth_gbps=1, memory_gb=1, streaming_multiprocessors=1)
+
+
+class TestMemorySystem:
+    def test_effective_bandwidth_below_peak(self):
+        memory = MemorySystem(DDR4_BANK, banks=1)
+        assert memory.effective_bandwidth_gbps < memory.peak_bandwidth_gbps
+        assert memory.peak_bandwidth_gbps == pytest.approx(19.2)
+
+    def test_bandwidth_scales_linearly_with_banks(self):
+        one = MemorySystem(DDR4_BANK, banks=1)
+        four = MemorySystem(DDR4_BANK, banks=4)
+        assert four.effective_bandwidth_gbps == pytest.approx(4 * one.effective_bandwidth_gbps)
+
+    def test_transfer_time_includes_latency_and_scales_with_bytes(self):
+        memory = MemorySystem(DDR4_BANK, banks=1)
+        small = memory.transfer_seconds(1_000)
+        large = memory.transfer_seconds(1_000_000)
+        assert large > small > 0
+        assert memory.transfer_seconds(0) == 0.0
+        two_streams = memory.transfer_seconds(1_000, streams=2)
+        assert two_streams > small
+
+    def test_bandwidth_ratio(self):
+        memory = MemorySystem(DDR4_BANK, banks=1)
+        assert memory.bandwidth_ratio(0) == float("inf")
+        assert memory.bandwidth_ratio(memory.effective_bandwidth_bytes_per_second) == pytest.approx(1.0)
+        assert memory.bandwidth_ratio(2 * memory.effective_bandwidth_bytes_per_second) == pytest.approx(0.5)
+
+    def test_with_banks_copy(self):
+        memory = MemorySystem(DDR4_BANK, banks=1)
+        upgraded = memory.with_banks(4)
+        assert upgraded.banks == 4
+        assert memory.banks == 1
+
+    def test_hbm_spec_much_faster_than_ddr(self):
+        assert HBM2_STACK.peak_bandwidth_gbps > 10 * DDR4_BANK.peak_bandwidth_gbps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemorySystem(DDR4_BANK, banks=0)
+        with pytest.raises(ValueError):
+            MemorySpec(name="bad", peak_bandwidth_gbps=-1)
+        with pytest.raises(ValueError):
+            MemorySpec(name="bad", peak_bandwidth_gbps=10, efficiency=1.5)
+        memory = MemorySystem(DDR4_BANK)
+        with pytest.raises(ValueError):
+            memory.transfer_seconds(-1)
+        with pytest.raises(ValueError):
+            memory.transfer_seconds(10, streams=0)
+        with pytest.raises(ValueError):
+            memory.bandwidth_ratio(-1)

@@ -1,0 +1,235 @@
+"""Unit tests for the FPGA overlay model, GPU model, synthesis, power, efficiency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.device import ARRIA10_GX1150, STRATIX10_2800, TITAN_X, QUADRO_M5000
+from repro.hardware.efficiency import compare_efficiency, device_efficiency, hardware_efficiency
+from repro.hardware.fpga_model import FPGAPerformanceModel
+from repro.hardware.gpu_model import GPUPerformanceModel
+from repro.hardware.memory import DDR4_BANK, MemorySystem
+from repro.hardware.power import FPGAPowerModel, GPUPowerModel
+from repro.hardware.results import HardwareMetrics
+from repro.hardware.synthesis import SynthesisModel
+from repro.hardware.systolic import GridConfig
+from repro.nn.mlp import MLPSpec
+
+SMALL_SPEC = MLPSpec(input_size=20, output_size=2, hidden_sizes=(64,), activations=("relu",))
+LARGE_SPEC = MLPSpec(input_size=784, output_size=10, hidden_sizes=(512, 256), activations=("relu", "relu"))
+
+
+class TestFPGAModel:
+    def test_metrics_are_well_formed(self, fpga_model, small_grid):
+        metrics = fpga_model.evaluate(SMALL_SPEC, small_grid, batch_size=1024)
+        assert metrics.device_name == ARRIA10_GX1150.name
+        assert metrics.total_time_seconds > 0
+        assert metrics.outputs_per_second == pytest.approx(1024 / metrics.total_time_seconds)
+        assert 0 < metrics.efficiency <= 1.0
+        assert metrics.effective_gflops <= metrics.potential_gflops * (1 + 1e-9)
+        assert metrics.latency_seconds < metrics.total_time_seconds
+        assert metrics.dram_bytes > 0
+        assert 22.0 <= metrics.power_watts <= 32.0
+
+    def test_potential_capped_by_compute_roofline(self, fpga_model):
+        grid = GridConfig(rows=16, columns=16, vector_width=4)
+        potential = fpga_model.potential_gflops(grid)
+        assert potential <= grid.peak_gflops(ARRIA10_GX1150) + 1e-9
+
+    def test_larger_grid_improves_throughput_for_big_network(self, fpga_model):
+        small_grid = GridConfig(rows=2, columns=2, interleave_rows=4, interleave_columns=4, vector_width=2)
+        large_grid = GridConfig(rows=16, columns=16, interleave_rows=8, interleave_columns=8, vector_width=4)
+        slow = fpga_model.evaluate(LARGE_SPEC, small_grid, batch_size=1024)
+        fast = fpga_model.evaluate(LARGE_SPEC, large_grid, batch_size=1024)
+        assert fast.outputs_per_second > slow.outputs_per_second
+
+    def test_small_network_much_faster_than_large_one(self, fpga_model, small_grid):
+        small = fpga_model.evaluate(SMALL_SPEC, small_grid, batch_size=2048)
+        large = fpga_model.evaluate(LARGE_SPEC, small_grid, batch_size=2048)
+        assert small.outputs_per_second > 5 * large.outputs_per_second
+
+    def test_more_bandwidth_helps_memory_bound_configuration(self):
+        grid = GridConfig(rows=16, columns=16, interleave_rows=8, interleave_columns=8, vector_width=4)
+        one_bank = FPGAPerformanceModel(ARRIA10_GX1150, memory=MemorySystem(DDR4_BANK, banks=1))
+        four_banks = FPGAPerformanceModel(ARRIA10_GX1150, memory=MemorySystem(DDR4_BANK, banks=4))
+        slow = one_bank.evaluate(LARGE_SPEC, grid, batch_size=512)
+        fast = four_banks.evaluate(LARGE_SPEC, grid, batch_size=512)
+        assert not slow.compute_bound
+        assert fast.outputs_per_second > slow.outputs_per_second
+
+    def test_stratix10_outperforms_arria10(self, small_grid):
+        grid = GridConfig(rows=16, columns=32, interleave_rows=8, interleave_columns=8, vector_width=8)
+        a10 = FPGAPerformanceModel(ARRIA10_GX1150)
+        s10 = FPGAPerformanceModel(STRATIX10_2800)
+        # the big grid exceeds the Arria 10's DSP budget
+        assert not grid.fits(ARRIA10_GX1150)
+        assert grid.fits(STRATIX10_2800)
+        a10_metrics = a10.evaluate(LARGE_SPEC, small_grid, batch_size=1024)
+        s10_metrics = s10.evaluate(LARGE_SPEC, grid, batch_size=1024)
+        assert s10_metrics.outputs_per_second > a10_metrics.outputs_per_second
+
+    def test_infeasible_grid_raises(self, fpga_model):
+        huge = GridConfig(rows=32, columns=32, vector_width=16)
+        with pytest.raises(ValueError):
+            fpga_model.evaluate(SMALL_SPEC, huge, batch_size=256)
+
+    def test_invalid_batch_rejected(self, fpga_model, small_grid):
+        with pytest.raises(ValueError):
+            fpga_model.evaluate(SMALL_SPEC, small_grid, batch_size=0)
+
+    def test_empty_workload_rejected(self, fpga_model, small_grid):
+        with pytest.raises(ValueError):
+            fpga_model.evaluate_shapes([], small_grid, batch_size=16)
+
+    def test_best_grid_selection(self, fpga_model):
+        candidates = [
+            GridConfig(rows=2, columns=2, vector_width=2),
+            GridConfig(rows=8, columns=8, interleave_rows=8, interleave_columns=8, vector_width=4),
+            GridConfig(rows=64, columns=64, vector_width=16),  # infeasible, must be skipped
+        ]
+        best_config, best_metrics = fpga_model.best_grid_for(LARGE_SPEC, candidates, batch_size=512)
+        assert best_config.fits(ARRIA10_GX1150)
+        assert best_metrics.outputs_per_second > 0
+
+    def test_layer_timing_components(self, fpga_model, small_grid):
+        shape = LARGE_SPEC.gemm_shapes(256)[0]
+        timing = fpga_model.layer_timing(shape, small_grid)
+        assert timing.compute_seconds > 0
+        assert timing.memory_seconds > 0
+        assert timing.layer_seconds >= max(timing.compute_seconds, timing.memory_seconds)
+        assert timing.first_result_seconds <= timing.layer_seconds
+
+
+class TestGPUModel:
+    def test_metrics_are_well_formed(self, gpu_model):
+        metrics = gpu_model.evaluate(SMALL_SPEC, batch_size=256)
+        assert metrics.device_name == TITAN_X.name
+        assert metrics.potential_gflops == pytest.approx(TITAN_X.peak_gflops)
+        assert metrics.dram_bytes == 0.0  # framework timing excludes DRAM
+        assert metrics.outputs_per_second == pytest.approx(256 / metrics.total_time_seconds)
+        assert 0 < metrics.efficiency < 0.2
+
+    def test_dispatch_overhead_dominates_small_networks(self, gpu_model):
+        metrics = gpu_model.evaluate(SMALL_SPEC, batch_size=128)
+        dispatch = sum(metrics.extras["dispatch_seconds"])
+        assert dispatch > 0.5 * metrics.total_time_seconds
+
+    def test_throughput_insensitive_to_network_shape_for_small_mlps(self, gpu_model):
+        """Paper: "for GPU, there is roughly no relationship between the number of
+        neurons and the throughput" (small MLPs are dispatch-bound)."""
+        narrow = MLPSpec(input_size=20, output_size=2, hidden_sizes=(32,), activations=("relu",))
+        wide = MLPSpec(input_size=20, output_size=2, hidden_sizes=(256,), activations=("relu",))
+        narrow_metrics = gpu_model.evaluate(narrow, batch_size=256)
+        wide_metrics = gpu_model.evaluate(wide, batch_size=256)
+        ratio = narrow_metrics.outputs_per_second / wide_metrics.outputs_per_second
+        assert 0.8 < ratio < 1.3
+
+    def test_bigger_batches_increase_throughput(self, gpu_model):
+        small = gpu_model.evaluate(SMALL_SPEC, batch_size=64)
+        large = gpu_model.evaluate(SMALL_SPEC, batch_size=1024)
+        assert large.outputs_per_second > small.outputs_per_second
+
+    def test_best_batch_size_picks_larger_batches(self, gpu_model):
+        batch, metrics = gpu_model.best_batch_size(SMALL_SPEC, candidates=(64, 256, 1024))
+        assert batch == 1024
+        assert metrics.outputs_per_second > 0
+
+    def test_faster_device_wins_on_large_networks(self):
+        m5000 = GPUPerformanceModel(QUADRO_M5000).evaluate(LARGE_SPEC, batch_size=1024)
+        titan = GPUPerformanceModel(TITAN_X).evaluate(LARGE_SPEC, batch_size=1024)
+        assert titan.outputs_per_second > m5000.outputs_per_second
+
+    def test_utilization_increases_with_problem_size(self, gpu_model):
+        small = gpu_model.utilization(SMALL_SPEC.gemm_shapes(64)[0])
+        large = gpu_model.utilization(LARGE_SPEC.gemm_shapes(4096)[0])
+        assert large > small
+
+    def test_invalid_inputs(self, gpu_model):
+        with pytest.raises(ValueError):
+            gpu_model.evaluate(SMALL_SPEC, batch_size=0)
+        with pytest.raises(ValueError):
+            gpu_model.evaluate_shapes([], batch_size=16)
+        with pytest.raises(ValueError):
+            gpu_model.best_batch_size(SMALL_SPEC, candidates=())
+
+
+class TestSynthesisModel:
+    def test_report_fields(self):
+        report = SynthesisModel().estimate(GridConfig(rows=8, columns=8, vector_width=4), ARRIA10_GX1150)
+        assert report.dsp_used == 256
+        assert 0 < report.alm_utilization < 1
+        assert 0 < report.m20k_utilization < 1
+        assert report.fits
+        assert 50 <= report.fmax_mhz <= ARRIA10_GX1150.clock_mhz
+        assert 22.0 <= report.power_watts <= 32.0
+
+    def test_bigger_grids_use_more_resources_and_less_fmax(self):
+        model = SynthesisModel()
+        small = model.estimate(GridConfig(rows=2, columns=2, vector_width=2), ARRIA10_GX1150)
+        large = model.estimate(GridConfig(rows=16, columns=16, vector_width=4), ARRIA10_GX1150)
+        assert large.alm_used > small.alm_used
+        assert large.dsp_utilization > small.dsp_utilization
+        assert large.fmax_mhz < small.fmax_mhz
+
+    def test_oversized_grid_reported_as_not_fitting(self):
+        report = SynthesisModel().estimate(GridConfig(rows=32, columns=32, vector_width=16), ARRIA10_GX1150)
+        assert not report.fits
+
+    def test_to_dict_round_trip_keys(self):
+        report = SynthesisModel().estimate(GridConfig(rows=4, columns=4), ARRIA10_GX1150)
+        data = report.to_dict()
+        assert {"alm_used", "m20k_used", "dsp_used", "fmax_mhz", "power_watts"} <= set(data)
+
+
+class TestPowerModels:
+    def test_fpga_power_within_paper_range(self):
+        """Paper: Arria 10 designs ranged from 22.5 W to 31.89 W, average 27 W."""
+        model = FPGAPowerModel()
+        smallest = model.estimate(ARRIA10_GX1150, GridConfig(rows=1, columns=1, vector_width=1))
+        largest = model.estimate(ARRIA10_GX1150, GridConfig(rows=16, columns=16, vector_width=4))
+        assert smallest == pytest.approx(22.5, abs=0.5)
+        assert 22.5 <= largest <= 32.0
+
+    def test_gpu_power_around_paper_average(self):
+        """Paper: the GPUs averaged about 50 W of a 150 W budget during MLP runs."""
+        model = GPUPowerModel()
+        low_utilization_power = model.estimate(QUADRO_M5000, utilization=0.1)
+        assert 35.0 <= low_utilization_power <= 60.0
+        assert model.estimate(QUADRO_M5000, utilization=1.0) == pytest.approx(150.0)
+
+    def test_power_model_validation(self):
+        with pytest.raises(ValueError):
+            FPGAPowerModel(static_watts=0)
+        with pytest.raises(ValueError):
+            GPUPowerModel(idle_fraction=1.5)
+
+
+class TestEfficiency:
+    def _metrics(self, effective: float, potential: float) -> HardwareMetrics:
+        return HardwareMetrics(
+            device_name="x",
+            batch_size=16,
+            potential_gflops=potential,
+            effective_gflops=effective,
+            total_time_seconds=1e-3,
+            outputs_per_second=1e4,
+            latency_seconds=1e-4,
+            efficiency=min(1.0, effective / potential),
+        )
+
+    def test_hardware_efficiency_ratio(self):
+        assert hardware_efficiency(self._metrics(50, 100)) == pytest.approx(0.5)
+
+    def test_device_efficiency_uses_whole_device(self):
+        metrics = self._metrics(50, 100)
+        assert device_efficiency(metrics, device_peak_gflops=1000) == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            device_efficiency(metrics, device_peak_gflops=0)
+
+    def test_compare_efficiency_mirrors_paper_definitions(self, fpga_model, gpu_model, small_grid):
+        fpga_metrics = fpga_model.evaluate(LARGE_SPEC, small_grid, batch_size=1024)
+        gpu_metrics = gpu_model.evaluate(LARGE_SPEC, batch_size=256)
+        comparison = compare_efficiency(0.98, fpga_metrics, gpu_metrics)
+        assert comparison.fpga_efficiency > comparison.gpu_efficiency
+        assert comparison.efficiency_advantage > 1.0
+        assert comparison.throughput_ratio > 0

@@ -1,0 +1,159 @@
+"""Unit tests for repro.hardware.systolic and repro.hardware.gemm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.device import ARRIA10_GX1150, STRATIX10_2800
+from repro.hardware.gemm import block_gemm, mlp_gemm_workload, workload_flops, workload_weight_bytes
+from repro.hardware.systolic import GridConfig, GridSearchSpace
+from repro.nn.layers import GemmShape
+from repro.nn.mlp import MLPSpec
+
+
+class TestGridConfig:
+    def test_dsp_usage_is_product_of_grid_and_vector(self):
+        """Paper: "The utilization of DSPs is the product of the grid dimensions and vector width"."""
+        config = GridConfig(rows=10, columns=8, vector_width=4)
+        assert config.dsp_blocks_used == 10 * 8 * 4
+        assert config.pe_count == 80
+        assert config.flops_per_cycle == 2 * 320
+
+    def test_block_dimensions(self):
+        config = GridConfig(rows=4, columns=8, interleave_rows=16, interleave_columns=2, vector_width=8)
+        assert config.block_m == 64
+        assert config.block_n == 16
+        assert config.block_k == 8
+
+    def test_peak_gflops_on_device(self):
+        config = GridConfig(rows=16, columns=16, vector_width=4)
+        # 1024 DSPs at 250 MHz -> 512 GFLOP/s
+        assert config.peak_gflops(ARRIA10_GX1150) == pytest.approx(512.0)
+
+    def test_fits_and_validate(self):
+        small = GridConfig(rows=4, columns=4, vector_width=4)
+        assert small.fits(ARRIA10_GX1150)
+        small.validate_for(ARRIA10_GX1150)
+
+        too_many_dsps = GridConfig(rows=32, columns=32, vector_width=16)
+        assert not too_many_dsps.fits(ARRIA10_GX1150)
+        with pytest.raises(ValueError, match="DSP"):
+            too_many_dsps.validate_for(ARRIA10_GX1150)
+        # a grid that the Arria 10 cannot host but the 4x larger Stratix 10 can
+        stratix_only = GridConfig(rows=16, columns=32, vector_width=8)
+        assert not stratix_only.fits(ARRIA10_GX1150)
+        assert stratix_only.fits(STRATIX10_2800)
+
+    def test_m20k_requirement_grows_with_interleave(self):
+        small = GridConfig(rows=8, columns=8, interleave_rows=2, interleave_columns=2)
+        big = GridConfig(rows=8, columns=8, interleave_rows=32, interleave_columns=32)
+        assert big.m20k_blocks_required() > small.m20k_blocks_required()
+
+    def test_round_trip_dict(self):
+        config = GridConfig(rows=8, columns=4, interleave_rows=2, interleave_columns=16, vector_width=8)
+        assert GridConfig.from_dict(config.to_dict()) == config
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridConfig(rows=0, columns=4)
+        with pytest.raises(ValueError):
+            GridConfig(rows=4, columns=4, vector_width=-1)
+        with pytest.raises(ValueError):
+            GridConfig(rows=4, columns=4).double_buffer_bytes(0)
+
+
+class TestGridSearchSpace:
+    def test_size_counts_all_combinations(self):
+        space = GridSearchSpace(rows=(1, 2), columns=(1, 2), interleave_rows=(1,), interleave_columns=(1,), vector_width=(1, 2))
+        assert space.size == 2 * 2 * 1 * 1 * 2
+        assert len(space.all_configs()) == space.size
+
+    def test_feasible_configs_fit_device(self):
+        space = GridSearchSpace()
+        feasible = space.feasible_configs(ARRIA10_GX1150)
+        assert feasible
+        assert all(config.fits(ARRIA10_GX1150) for config in feasible)
+        assert len(feasible) < space.size  # some configurations must be infeasible
+
+    def test_random_config_respects_device(self, rng):
+        space = GridSearchSpace()
+        for _ in range(20):
+            config = space.random_config(rng, device=ARRIA10_GX1150)
+            assert config.fits(ARRIA10_GX1150)
+
+    def test_random_config_without_device_is_in_space(self, rng):
+        space = GridSearchSpace(rows=(2, 4), columns=(2, 4))
+        config = space.random_config(rng)
+        assert config.rows in (2, 4) and config.columns in (2, 4)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            GridSearchSpace(rows=())
+
+
+class TestBlockedGemm:
+    def test_tile_counts_use_ceiling_division(self):
+        shape = GemmShape(m=100, k=30, n=50)
+        config = GridConfig(rows=4, columns=4, interleave_rows=8, interleave_columns=8, vector_width=8)
+        blocked = block_gemm(shape, config)
+        assert blocked.tiles_m == -(-100 // 32)
+        assert blocked.tiles_n == -(-50 // 32)
+        assert blocked.k_steps == -(-30 // 8)
+        assert blocked.total_tiles == blocked.tiles_m * blocked.tiles_n
+
+    def test_padded_dimensions_cover_problem(self):
+        shape = GemmShape(m=100, k=30, n=50)
+        config = GridConfig(rows=4, columns=4, interleave_rows=8, interleave_columns=8, vector_width=8)
+        blocked = block_gemm(shape, config)
+        assert blocked.padded_m >= shape.m
+        assert blocked.padded_n >= shape.n
+        assert blocked.padded_k >= shape.k
+        assert 0 < blocked.padding_efficiency <= 1.0
+        assert blocked.padded_flops >= blocked.useful_flops
+
+    def test_exact_fit_has_no_padding_waste(self):
+        config = GridConfig(rows=4, columns=4, interleave_rows=4, interleave_columns=4, vector_width=4)
+        shape = GemmShape(m=config.block_m * 2, k=config.block_k * 5, n=config.block_n * 3)
+        blocked = block_gemm(shape, config)
+        assert blocked.padding_efficiency == pytest.approx(1.0)
+
+    def test_compute_cycles_match_mac_throughput(self):
+        """For an exactly tiled problem, cycles * MACs/cycle == padded MAC count."""
+        config = GridConfig(rows=2, columns=4, interleave_rows=4, interleave_columns=2, vector_width=8)
+        shape = GemmShape(m=config.block_m * 3, k=config.block_k * 7, n=config.block_n * 2)
+        blocked = block_gemm(shape, config)
+        total_macs = blocked.padded_m * blocked.padded_k * blocked.padded_n
+        assert blocked.compute_cycles * config.macs_per_cycle == total_macs
+
+    def test_dram_traffic_components(self):
+        config = GridConfig(rows=4, columns=4, interleave_rows=2, interleave_columns=2, vector_width=4)
+        shape = GemmShape(m=64, k=64, n=64)
+        blocked = block_gemm(shape, config)
+        expected = (
+            blocked.tiles_m * blocked.tile_a_bytes
+            + blocked.total_tiles * blocked.tile_b_bytes
+            + blocked.total_tiles * blocked.tile_c_bytes
+        )
+        assert blocked.dram_bytes == expected
+        assert blocked.bytes_per_cycle_required > 0
+
+
+class TestWorkloadExtraction:
+    def test_mlp_workload_chains_layer_dimensions(self):
+        spec = MLPSpec(input_size=784, output_size=10, hidden_sizes=(256, 128), activations=("relu", "relu"))
+        shapes = mlp_gemm_workload(spec, batch_size=32)
+        assert [(s.m, s.k, s.n) for s in shapes] == [(32, 784, 256), (32, 256, 128), (32, 128, 10)]
+
+    def test_workload_flops_and_weight_bytes(self):
+        spec = MLPSpec(input_size=100, output_size=5, hidden_sizes=(50,), activations=("relu",))
+        shapes = mlp_gemm_workload(spec, batch_size=10)
+        assert workload_flops(shapes) == 2 * 10 * (100 * 50 + 50 * 5)
+        assert workload_weight_bytes(shapes) == 4 * (100 * 50 + 50 * 5)
+
+    def test_batch_size_only_scales_m(self):
+        spec = MLPSpec(input_size=64, output_size=4, hidden_sizes=(32,), activations=("relu",))
+        small = mlp_gemm_workload(spec, batch_size=8)
+        large = mlp_gemm_workload(spec, batch_size=64)
+        assert workload_flops(large) == 8 * workload_flops(small)
+        assert workload_weight_bytes(large) == workload_weight_bytes(small)

@@ -1,0 +1,148 @@
+"""Integration-level checks of the paper's headline qualitative claims.
+
+These tests exercise several subsystems together (dataset shapes -> GEMM
+workloads -> hardware models -> efficiency/Pareto analysis) but avoid any
+network training, so they run in milliseconds and act as fast regression
+guards for the *shapes* the benchmark harness verifies at larger scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pareto import ParetoPoint, pareto_frontier
+from repro.datasets.synthetic import PAPER_DATASET_SPECS
+from repro.hardware.device import ARRIA10_GX1150, QUADRO_M5000, STRATIX10_2800, TITAN_X
+from repro.hardware.efficiency import compare_efficiency
+from repro.hardware.fpga_model import FPGAPerformanceModel
+from repro.hardware.gpu_model import GPUPerformanceModel
+from repro.hardware.memory import DDR4_BANK, MemorySystem
+from repro.hardware.systolic import GridConfig, GridSearchSpace
+from repro.nn.mlp import MLPSpec
+
+
+def _spec_for(dataset_name: str, hidden: tuple[int, ...]) -> MLPSpec:
+    spec = PAPER_DATASET_SPECS[dataset_name]
+    return MLPSpec(
+        input_size=spec.num_features,
+        output_size=spec.num_classes,
+        hidden_sizes=hidden,
+        activations=tuple("relu" for _ in hidden),
+    )
+
+
+def _best_fpga(device, spec, batch=2048):
+    model = FPGAPerformanceModel(device)
+    candidates = GridSearchSpace().feasible_configs(device)[::11]
+    _, metrics = model.best_grid_for(spec, candidates, batch_size=batch)
+    return metrics
+
+
+class TestHeadlineClaims:
+    def test_fpga_beats_gpu_on_small_tabular_networks(self):
+        """Paper Table IV: for Credit-g / Phishing-class networks the FPGA wins."""
+        for dataset in ("credit_g_like", "phishing_like"):
+            spec = _spec_for(dataset, (64, 32))
+            fpga = _best_fpga(STRATIX10_2800, spec)
+            _, gpu = GPUPerformanceModel(TITAN_X).best_batch_size(spec)
+            assert fpga.outputs_per_second > gpu.outputs_per_second, dataset
+
+    def test_mnist_class_network_is_roughly_at_parity(self):
+        """Paper Figure 4: MNIST-sized networks end up near throughput parity."""
+        spec = _spec_for("mnist_like", (512, 256))
+        fpga = _best_fpga(STRATIX10_2800, spec)
+        _, gpu = GPUPerformanceModel(TITAN_X).best_batch_size(spec)
+        ratio = fpga.outputs_per_second / gpu.outputs_per_second
+        assert 0.2 <= ratio <= 20.0
+
+    def test_fpga_efficiency_dominates_gpu_efficiency(self):
+        """Paper Figure 4: ~41.5% allocated-logic efficiency vs ~0.3% device efficiency."""
+        spec = _spec_for("mnist_like", (512, 256))
+        fpga = _best_fpga(STRATIX10_2800, spec)
+        gpu = GPUPerformanceModel(TITAN_X).evaluate(spec, batch_size=256)
+        comparison = compare_efficiency(0.98, fpga, gpu)
+        assert comparison.fpga_efficiency > 10 * comparison.gpu_efficiency
+
+    def test_fpga_latency_is_far_below_gpu_latency(self):
+        """Paper section III-D: the FPGA "does not need to increase batching",
+        yielding a lower-batch, lower-latency accelerator than the GPU, which
+        must batch large to fill its cores."""
+        spec = _spec_for("har_like", (128, 64))
+        fpga = FPGAPerformanceModel(ARRIA10_GX1150).evaluate(
+            spec, GridConfig(8, 8, 4, 4, 4), batch_size=32
+        )
+        gpu = GPUPerformanceModel(QUADRO_M5000).evaluate(spec, batch_size=1024)
+        assert fpga.latency_seconds < gpu.latency_seconds
+
+    def test_stratix10_scales_over_arria10(self):
+        """Paper section IV-D: the Stratix 10 offers a large scaling over the Arria 10."""
+        spec = _spec_for("har_like", (256, 128))
+        a10 = _best_fpga(ARRIA10_GX1150, spec)
+        s10 = _best_fpga(STRATIX10_2800, spec)
+        assert s10.outputs_per_second > 1.5 * a10.outputs_per_second
+
+    def test_bandwidth_bound_designs_scale_with_banks(self):
+        """Paper section IV-C / Figure 3: near-linear throughput scaling when starved."""
+        spec = _spec_for("bioresponse_like", (1024, 512))
+        grid = GridConfig(rows=16, columns=16, interleave_rows=1, interleave_columns=8, vector_width=4)
+        results = {}
+        for banks in (1, 2, 4):
+            model = FPGAPerformanceModel(
+                ARRIA10_GX1150, memory=MemorySystem(DDR4_BANK, banks=banks)
+            )
+            results[banks] = model.evaluate(spec, grid, batch_size=2048)
+        assert not results[1].compute_bound
+        assert results[2].outputs_per_second / results[1].outputs_per_second > 1.7
+        assert results[4].outputs_per_second / results[1].outputs_per_second > 3.0
+        # efficiency does not improve beyond its 1-bank value by more than noise
+        assert results[4].efficiency <= max(1.0, 1.25 * results[1].efficiency)
+
+    def test_gpu_throughput_flat_across_architectures_fpga_not(self):
+        """Paper Figure 2: GPU throughput is network-insensitive, FPGA throughput is not."""
+        hidden_options = [(32,), (128,), (512,), (128, 128), (512, 256)]
+        gpu_model = GPUPerformanceModel(QUADRO_M5000)
+        fpga_model = FPGAPerformanceModel(ARRIA10_GX1150)
+        grid = GridConfig(16, 8, 4, 8, 4)
+        gpu_throughput = []
+        fpga_throughput = []
+        for hidden in hidden_options:
+            spec = _spec_for("har_like", hidden)
+            gpu_throughput.append(gpu_model.evaluate(spec, batch_size=256).outputs_per_second)
+            fpga_throughput.append(
+                fpga_model.evaluate(spec, grid, batch_size=1024).outputs_per_second
+            )
+        gpu_spread = max(gpu_throughput) / min(gpu_throughput)
+        fpga_spread = max(fpga_throughput) / min(fpga_throughput)
+        assert fpga_spread > 2 * gpu_spread
+
+    def test_accuracy_throughput_frontier_orders_correctly(self):
+        """A frontier built from model outputs is monotone: more throughput costs accuracy."""
+        spec_small = _spec_for("credit_g_like", (16,))
+        spec_large = _spec_for("credit_g_like", (512, 256))
+        model = FPGAPerformanceModel(ARRIA10_GX1150)
+        grid = GridConfig(16, 8, 4, 8, 4)
+        small_metrics = model.evaluate(spec_small, grid, batch_size=2048)
+        large_metrics = model.evaluate(spec_large, grid, batch_size=2048)
+        # emulate "bigger nets are more accurate but slower"
+        points = [
+            ParetoPoint(values=(0.76, small_metrics.outputs_per_second), payload="small"),
+            ParetoPoint(values=(0.80, large_metrics.outputs_per_second), payload="large"),
+        ]
+        frontier = pareto_frontier(points)
+        assert len(frontier) == 2  # genuine trade-off: neither dominates
+        assert small_metrics.outputs_per_second > large_metrics.outputs_per_second
+
+    def test_paper_dataset_workloads_have_expected_gemm_footprints(self):
+        """First-layer k equals the dataset width, last-layer n the class count."""
+        for name, spec in PAPER_DATASET_SPECS.items():
+            mlp = MLPSpec(
+                input_size=spec.num_features,
+                output_size=spec.num_classes,
+                hidden_sizes=(128,),
+                activations=("relu",),
+            )
+            shapes = mlp.gemm_shapes(batch_size=64)
+            assert shapes[0].k == spec.num_features, name
+            assert shapes[-1].n == spec.num_classes, name
+            assert all(s.m == 64 for s in shapes)

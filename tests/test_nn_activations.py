@@ -1,0 +1,120 @@
+"""Unit tests for repro.nn.activations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import (
+    ELU,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Softplus,
+    Tanh,
+    available_activations,
+    get_activation,
+)
+
+ALL_ACTIVATIONS = [Identity(), ReLU(), LeakyReLU(), Sigmoid(), Tanh(), ELU(), Softplus(), Softmax()]
+
+
+class TestForwardValues:
+    def test_relu_clamps_negatives(self):
+        z = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+        np.testing.assert_allclose(ReLU().forward(z), [0.0, 0.0, 0.0, 0.5, 2.0])
+
+    def test_identity_returns_input(self):
+        z = np.array([-1.0, 0.0, 3.5])
+        np.testing.assert_allclose(Identity().forward(z), z)
+
+    def test_sigmoid_range_and_midpoint(self):
+        z = np.array([-50.0, 0.0, 50.0])
+        out = Sigmoid().forward(z)
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_sigmoid_is_numerically_stable_for_large_inputs(self):
+        z = np.array([-1000.0, 1000.0])
+        out = Sigmoid().forward(z)
+        assert np.all(np.isfinite(out))
+
+    def test_tanh_matches_numpy(self):
+        z = np.linspace(-3, 3, 11)
+        np.testing.assert_allclose(Tanh().forward(z), np.tanh(z))
+
+    def test_leaky_relu_negative_slope(self):
+        out = LeakyReLU(alpha=0.1).forward(np.array([-10.0, 10.0]))
+        np.testing.assert_allclose(out, [-1.0, 10.0])
+
+    def test_elu_continuity_at_zero(self):
+        elu = ELU(alpha=1.0)
+        assert elu.forward(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert elu.forward(np.array([-1e-9]))[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_softplus_positive_everywhere(self):
+        z = np.linspace(-20, 20, 41)
+        assert np.all(Softplus().forward(z) > 0)
+
+    def test_softmax_rows_sum_to_one(self):
+        z = np.array([[1.0, 2.0, 3.0], [-5.0, 0.0, 5.0]])
+        out = Softmax().forward(z)
+        np.testing.assert_allclose(out.sum(axis=1), [1.0, 1.0])
+
+    def test_softmax_invariant_to_constant_shift(self):
+        z = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(Softmax().forward(z), Softmax().forward(z + 100.0))
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("activation", ALL_ACTIVATIONS[:-1], ids=lambda a: a.name)
+    def test_derivative_matches_finite_difference(self, activation):
+        z = np.linspace(-2.0, 2.0, 9) + 0.1  # avoid the ReLU kink at exactly 0
+        eps = 1e-6
+        numeric = (activation.forward(z + eps) - activation.forward(z - eps)) / (2 * eps)
+        np.testing.assert_allclose(activation.derivative(z), numeric, rtol=1e-4, atol=1e-6)
+
+    def test_relu_derivative_is_zero_one(self):
+        d = ReLU().derivative(np.array([-1.0, 1.0]))
+        np.testing.assert_allclose(d, [0.0, 1.0])
+
+    def test_sigmoid_derivative_peak_at_zero(self):
+        d = Sigmoid().derivative(np.array([0.0]))
+        assert d[0] == pytest.approx(0.25)
+
+
+class TestRegistry:
+    def test_available_contains_expected_names(self):
+        names = available_activations()
+        for expected in ("relu", "sigmoid", "tanh", "softmax", "elu"):
+            assert expected in names
+
+    def test_get_activation_by_name(self):
+        assert isinstance(get_activation("relu"), ReLU)
+        assert isinstance(get_activation("  TANH "), Tanh)
+
+    def test_get_activation_passthrough_instance(self):
+        instance = ELU(alpha=0.5)
+        assert get_activation(instance) is instance
+
+    def test_get_activation_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            get_activation("swishy")
+
+    def test_equality_and_hash_by_name(self):
+        assert ReLU() == ReLU()
+        assert ReLU() != Tanh()
+        assert len({ReLU(), ReLU(), Tanh()}) == 2
+
+
+class TestValidation:
+    def test_leaky_relu_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(alpha=-0.1)
+
+    def test_elu_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            ELU(alpha=0.0)

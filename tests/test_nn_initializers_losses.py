@@ -1,0 +1,152 @@
+"""Unit tests for repro.nn.initializers and repro.nn.losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    GlorotNormal,
+    GlorotUniform,
+    HeNormal,
+    HeUniform,
+    RandomNormal,
+    RandomUniform,
+    Zeros,
+    available_initializers,
+    default_initializer_for,
+    get_initializer,
+)
+from repro.nn.losses import (
+    BinaryCrossEntropy,
+    CategoricalCrossEntropy,
+    MeanSquaredError,
+    available_losses,
+    get_loss,
+)
+
+
+class TestInitializers:
+    def test_zeros_produces_zero_matrix(self, rng):
+        weights = Zeros()((4, 3), rng)
+        assert weights.shape == (4, 3)
+        assert np.all(weights == 0.0)
+
+    def test_glorot_uniform_bound(self, rng):
+        fan_in, fan_out = 100, 50
+        weights = GlorotUniform()((fan_in, fan_out), rng)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_he_uniform_bound(self, rng):
+        fan_in = 64
+        weights = HeUniform()((fan_in, 32), rng)
+        limit = np.sqrt(6.0 / fan_in)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_normal_initializers_std_roughly_correct(self, rng):
+        fan_in, fan_out = 400, 400
+        glorot = GlorotNormal()((fan_in, fan_out), rng)
+        he = HeNormal()((fan_in, fan_out), rng)
+        assert glorot.std() == pytest.approx(np.sqrt(2.0 / (fan_in + fan_out)), rel=0.1)
+        assert he.std() == pytest.approx(np.sqrt(2.0 / fan_in), rel=0.1)
+
+    def test_random_uniform_and_normal_parameters_validated(self):
+        with pytest.raises(ValueError):
+            RandomNormal(stddev=0.0)
+        with pytest.raises(ValueError):
+            RandomUniform(limit=-1.0)
+
+    def test_bad_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GlorotUniform()((0, 5), rng)
+
+    def test_registry_roundtrip(self):
+        for name in available_initializers():
+            assert get_initializer(name).name == name
+
+    def test_unknown_initializer_raises(self):
+        with pytest.raises(ValueError, match="unknown initializer"):
+            get_initializer("magic")
+
+    def test_default_initializer_follows_activation_family(self):
+        assert isinstance(default_initializer_for("relu"), HeUniform)
+        assert isinstance(default_initializer_for("elu"), HeUniform)
+        assert isinstance(default_initializer_for("tanh"), GlorotUniform)
+        assert isinstance(default_initializer_for("sigmoid"), GlorotUniform)
+
+    def test_deterministic_given_same_rng_seed(self):
+        a = GlorotUniform()((8, 8), np.random.default_rng(3))
+        b = GlorotUniform()((8, 8), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCategoricalCrossEntropy:
+    def test_perfect_prediction_near_zero_loss(self):
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        predictions = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert CategoricalCrossEntropy().forward(predictions, targets) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_prediction_loss_is_log_classes(self):
+        targets = np.eye(4)
+        predictions = np.full((4, 4), 0.25)
+        assert CategoricalCrossEntropy().forward(predictions, targets) == pytest.approx(np.log(4))
+
+    def test_gradient_is_probability_minus_target_over_batch(self):
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        predictions = np.array([[0.7, 0.3], [0.4, 0.6]])
+        grad = CategoricalCrossEntropy().gradient(predictions, targets)
+        np.testing.assert_allclose(grad, (predictions - targets) / 2.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            CategoricalCrossEntropy().forward(np.ones((2, 3)), np.ones((2, 2)))
+
+    def test_loss_handles_zero_probability_without_inf(self):
+        targets = np.array([[1.0, 0.0]])
+        predictions = np.array([[0.0, 1.0]])
+        value = CategoricalCrossEntropy().forward(predictions, targets)
+        assert np.isfinite(value) and value > 10
+
+
+class TestOtherLosses:
+    def test_mse_zero_when_equal(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert MeanSquaredError().forward(values, values) == 0.0
+
+    def test_mse_gradient_matches_finite_difference(self):
+        predictions = np.array([[0.2, 0.8], [0.6, 0.1]])
+        targets = np.array([[0.0, 1.0], [1.0, 0.0]])
+        loss = MeanSquaredError()
+        grad = loss.gradient(predictions, targets)
+        eps = 1e-6
+        numeric = np.zeros_like(predictions)
+        for i in range(predictions.shape[0]):
+            for j in range(predictions.shape[1]):
+                bumped_up = predictions.copy()
+                bumped_up[i, j] += eps
+                bumped_down = predictions.copy()
+                bumped_down[i, j] -= eps
+                numeric[i, j] = (loss.forward(bumped_up, targets) - loss.forward(bumped_down, targets)) / (2 * eps)
+        np.testing.assert_allclose(grad, numeric, rtol=1e-4, atol=1e-8)
+
+    def test_binary_cross_entropy_symmetric_case(self):
+        predictions = np.array([[0.5]])
+        targets = np.array([[1.0]])
+        assert BinaryCrossEntropy().forward(predictions, targets) == pytest.approx(np.log(2))
+
+    def test_loss_registry(self):
+        assert set(available_losses()) >= {
+            "categorical_cross_entropy",
+            "binary_cross_entropy",
+            "mean_squared_error",
+        }
+        assert isinstance(get_loss("mean_squared_error"), MeanSquaredError)
+        instance = CategoricalCrossEntropy()
+        assert get_loss(instance) is instance
+        with pytest.raises(ValueError):
+            get_loss("hinge")
+
+    def test_1d_inputs_are_accepted(self):
+        loss = MeanSquaredError()
+        assert loss.forward(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0

@@ -1,0 +1,229 @@
+"""Unit tests for the worker/master evaluation substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.genome import CoDesignGenome, HardwareGenome, MLPGenome
+from repro.hardware.device import ARRIA10_GX1150, STRATIX10_2800, TITAN_X
+from repro.hardware.memory import DDR4_BANK, MemorySystem
+from repro.hardware.systolic import GridConfig
+from repro.nn.training import TrainingConfig
+from repro.workers.backends import SerialBackend, ThreadPoolBackend, resolve_backend
+from repro.workers.base import EvaluationRequest, WorkerReport
+from repro.workers.hardware_db import HardwareDatabaseWorker
+from repro.workers.master import Master
+from repro.workers.physical import PhysicalWorker
+from repro.workers.simulation import SimulationWorker
+
+
+@pytest.fixture
+def fast_request(sample_genome, tiny_dataset, fast_training_config) -> EvaluationRequest:
+    return EvaluationRequest(
+        genome=sample_genome,
+        dataset=tiny_dataset,
+        evaluation_protocol="1-fold",
+        training_config=fast_training_config,
+        seed=0,
+    )
+
+
+class TestRequestAndReport:
+    def test_request_validation(self, sample_genome):
+        with pytest.raises(ValueError):
+            EvaluationRequest(genome=sample_genome, evaluation_protocol="3-fold")
+        with pytest.raises(ValueError):
+            EvaluationRequest(genome=sample_genome, num_folds=1)
+
+    def test_report_failed_flag(self):
+        assert not WorkerReport(worker_name="x").failed
+        assert WorkerReport(worker_name="x", error="boom").failed
+
+
+class TestSimulationWorker:
+    def test_training_produces_accuracy_and_gpu_metrics(self, fast_request):
+        worker = SimulationWorker(gpu=TITAN_X)
+        report = worker.evaluate(fast_request)
+        assert not report.failed
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.accuracy > 0.6  # tiny dataset is easy
+        assert report.parameter_count > 0
+        assert report.train_seconds > 0
+        assert report.gpu_metrics is not None
+        assert report.gpu_metrics.batch_size == fast_request.genome.gpu_batch_size
+
+    def test_kfold_protocol(self, sample_genome, tiny_dataset, fast_training_config):
+        request = EvaluationRequest(
+            genome=sample_genome,
+            dataset=tiny_dataset,
+            evaluation_protocol="10-fold",
+            num_folds=3,
+            training_config=fast_training_config,
+            seed=0,
+        )
+        report = SimulationWorker(gpu=None, measure_gpu=False).evaluate(request)
+        assert not report.failed
+        assert len(report.extras["fold_accuracies"]) == 3
+        assert report.gpu_metrics is None
+
+    def test_presplit_dataset_uses_its_test_partition(self, sample_genome, tiny_presplit_dataset, fast_training_config):
+        genome = sample_genome  # input size differs from dataset; to_spec adapts via dataset dims
+        request = EvaluationRequest(
+            genome=genome,
+            dataset=tiny_presplit_dataset,
+            evaluation_protocol="1-fold",
+            training_config=fast_training_config,
+            seed=0,
+        )
+        report = SimulationWorker(gpu=TITAN_X).evaluate(request)
+        assert not report.failed
+        assert report.accuracy > 0.5
+
+    def test_missing_dataset_is_an_error_report(self, sample_genome, fast_training_config):
+        request = EvaluationRequest(genome=sample_genome, dataset=None, training_config=fast_training_config)
+        report = SimulationWorker().evaluate(request)
+        assert report.failed
+        assert "dataset" in report.error
+
+    def test_holdout_fraction_validation(self):
+        with pytest.raises(ValueError):
+            SimulationWorker(holdout_fraction=0.0)
+
+
+class TestHardwareDatabaseWorker:
+    def test_produces_fpga_metrics(self, fast_request):
+        worker = HardwareDatabaseWorker(device=ARRIA10_GX1150)
+        report = worker.evaluate(fast_request)
+        assert not report.failed
+        assert report.fpga_metrics is not None
+        assert report.fpga_metrics.outputs_per_second > 0
+        assert report.fpga_metrics.device_name == ARRIA10_GX1150.name
+
+    def test_explicit_dimensions_without_dataset(self, sample_genome):
+        worker = HardwareDatabaseWorker(device=STRATIX10_2800, input_size=64, output_size=4)
+        report = worker.evaluate(EvaluationRequest(genome=sample_genome))
+        assert not report.failed
+        assert report.fpga_metrics.device_name == STRATIX10_2800.name
+
+    def test_missing_dimensions_is_an_error_report(self, sample_genome):
+        report = HardwareDatabaseWorker(device=ARRIA10_GX1150).evaluate(
+            EvaluationRequest(genome=sample_genome)
+        )
+        assert report.failed
+
+    def test_infeasible_grid_is_an_error_report(self, tiny_dataset):
+        genome = CoDesignGenome(
+            mlp=MLPGenome(hidden_layers=(16,), activations=("relu",)),
+            hardware=HardwareGenome(grid=GridConfig(rows=32, columns=32, vector_width=16), batch_size=512),
+        )
+        report = HardwareDatabaseWorker(device=ARRIA10_GX1150).evaluate(
+            EvaluationRequest(genome=genome, dataset=tiny_dataset)
+        )
+        assert report.failed
+
+    def test_custom_memory_system_changes_results(self, fast_request):
+        one_bank = HardwareDatabaseWorker(
+            device=ARRIA10_GX1150, memory=MemorySystem(DDR4_BANK, banks=1)
+        ).evaluate(fast_request)
+        four_banks = HardwareDatabaseWorker(
+            device=ARRIA10_GX1150, memory=MemorySystem(DDR4_BANK, banks=4)
+        ).evaluate(fast_request)
+        assert four_banks.fpga_metrics.outputs_per_second >= one_bank.fpga_metrics.outputs_per_second
+
+
+class TestPhysicalWorker:
+    def test_produces_synthesis_report(self, fast_request):
+        report = PhysicalWorker(device=ARRIA10_GX1150).evaluate(fast_request)
+        assert not report.failed
+        assert report.synthesis is not None
+        assert report.synthesis.dsp_used == fast_request.genome.hardware.grid.dsp_blocks_used
+
+
+class TestBackends:
+    def test_serial_backend_preserves_order(self):
+        backend = SerialBackend()
+        assert backend.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_thread_pool_backend_matches_serial(self):
+        with ThreadPoolBackend(max_workers=3) as backend:
+            assert backend.map(lambda x: x * x, list(range(20))) == [x * x for x in range(20)]
+
+    def test_resolver(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("threads"), ThreadPoolBackend)
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+        with pytest.raises(ValueError):
+            resolve_backend("mpi")
+        with pytest.raises(ValueError):
+            ThreadPoolBackend(max_workers=0)
+
+
+class TestMaster:
+    def _master(self, tiny_dataset, fast_training_config, backend=None) -> Master:
+        workers = [
+            SimulationWorker(gpu=TITAN_X),
+            HardwareDatabaseWorker(device=ARRIA10_GX1150),
+            PhysicalWorker(device=ARRIA10_GX1150),
+        ]
+        return Master(
+            workers=workers,
+            dataset=tiny_dataset,
+            evaluation_protocol="1-fold",
+            training_config=fast_training_config,
+            backend=backend,
+            seed=0,
+        )
+
+    def test_merges_all_worker_reports(self, tiny_dataset, fast_training_config, sample_genome):
+        master = self._master(tiny_dataset, fast_training_config)
+        evaluation = master.evaluate(sample_genome)
+        assert not evaluation.failed
+        assert evaluation.accuracy > 0.5
+        assert evaluation.fpga_metrics is not None
+        assert evaluation.gpu_metrics is not None
+        assert evaluation.synthesis is not None
+        assert evaluation.evaluation_seconds > 0
+        assert evaluation.parameter_count > 0
+        assert "simulation" in evaluation.extras
+
+    def test_master_is_callable_like_an_evaluator(self, tiny_dataset, fast_training_config, sample_genome):
+        master = self._master(tiny_dataset, fast_training_config)
+        assert master(sample_genome).accuracy == pytest.approx(master.evaluate(sample_genome).accuracy, abs=0.2)
+
+    def test_population_evaluation_through_thread_backend(
+        self, tiny_dataset, fast_training_config, small_search_space, rng
+    ):
+        master = self._master(tiny_dataset, fast_training_config, backend="threads")
+        genomes = [small_search_space.random_genome(rng, device=ARRIA10_GX1150) for _ in range(3)]
+        evaluations = master.evaluate_population(genomes)
+        assert len(evaluations) == 3
+        assert all(not e.failed for e in evaluations)
+        master.shutdown()
+
+    def test_worker_error_becomes_error_field(self, tiny_dataset, fast_training_config, sample_genome):
+        class ExplodingWorker(SimulationWorker):
+            def evaluate(self, request):
+                report = WorkerReport(worker_name="exploding")
+                report.error = "synthetic failure"
+                return report
+
+        master = Master(
+            workers=[ExplodingWorker(), HardwareDatabaseWorker(device=ARRIA10_GX1150)],
+            dataset=tiny_dataset,
+            training_config=fast_training_config,
+        )
+        evaluation = master.evaluate(sample_genome)
+        assert evaluation.failed
+        assert "synthetic failure" in evaluation.error
+
+    def test_master_requires_workers(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            Master(workers=[], dataset=tiny_dataset)
+
+    def test_request_seed_derivation_is_deterministic(self, tiny_dataset, fast_training_config, sample_genome):
+        master = self._master(tiny_dataset, fast_training_config)
+        request_a = master.build_request(sample_genome)
+        request_b = master.build_request(sample_genome)
+        assert request_a.seed == request_b.seed
