@@ -11,6 +11,11 @@ Run a small accuracy+throughput search on the Credit-g analogue::
 
     ecad run --dataset credit-g --max-evaluations 60 --scale 0.2
 
+Run the same search asynchronously, 4 candidate evaluations in flight on a
+thread pool::
+
+    ecad run --dataset credit-g --backend threads --eval-workers 4
+
 Generate a configuration template from a dataset and save it::
 
     ecad template --dataset har --output har_config.json
@@ -25,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 
 from .analysis.reporting import format_scientific, format_table
 from .core.callbacks import ProgressLogger
@@ -59,6 +65,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="accuracy-only search or joint accuracy+throughput co-design",
     )
     run_parser.add_argument("--epochs", type=int, default=10, help="training epochs per candidate")
+    run_parser.add_argument(
+        "--backend",
+        choices=("serial", "threads", "processes"),
+        default=None,
+        help="execution backend for candidate evaluation (default: serial, or the config file's value)",
+    )
+    run_parser.add_argument(
+        "--eval-workers",
+        type=int,
+        default=None,
+        help="candidate evaluations kept in flight at once (default: 1 = reproducible serial search)",
+    )
     run_parser.add_argument("--progress-every", type=int, default=10, help="progress print interval (steps)")
     run_parser.add_argument("--output", default="", help="optional path to write results as JSON")
 
@@ -122,6 +140,16 @@ def _command_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             training_epochs=args.epochs,
         )
+    # Explicit CLI flags win over whatever the configuration file says.
+    overrides = {}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.eval_workers is not None:
+        if args.eval_workers < 1:
+            raise SystemExit(f"error: --eval-workers must be >= 1, got {args.eval_workers}")
+        overrides["eval_parallelism"] = args.eval_workers
+    if overrides:
+        config = replace(config, **overrides)
 
     search = CoDesignSearch(
         dataset, config=config, callbacks=[ProgressLogger(interval=args.progress_every)]

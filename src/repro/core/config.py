@@ -149,7 +149,12 @@ class OptimizationTargetConfig:
 
 @dataclass(frozen=True)
 class ECADConfig:
-    """The full ECAD configuration file."""
+    """The full ECAD configuration file.
+
+    ``backend`` ("serial", "threads" or "processes") selects how candidate
+    evaluations are dispatched, and ``eval_parallelism`` bounds how many are
+    kept in flight at once (1 keeps the reproducible serial search).
+    """
 
     dataset_name: str
     nna: NNAStructureConfig
@@ -164,11 +169,21 @@ class ECADConfig:
     training_batch_size: int = 32
     dataset_csv: str = ""
     dataset_test_csv: str = ""
+    backend: str = "serial"
+    eval_parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.evaluation_protocol not in ("1-fold", "10-fold"):
             raise ConfigurationError(
                 f"evaluation_protocol must be '1-fold' or '10-fold', got {self.evaluation_protocol!r}"
+            )
+        if self.backend not in ("serial", "threads", "processes"):
+            raise ConfigurationError(
+                f"backend must be 'serial', 'threads' or 'processes', got {self.backend!r}"
+            )
+        if self.eval_parallelism < 1:
+            raise ConfigurationError(
+                f"eval_parallelism must be >= 1, got {self.eval_parallelism}"
             )
         if self.num_folds < 2:
             raise ConfigurationError(f"num_folds must be >= 2, got {self.num_folds}")
@@ -227,6 +242,7 @@ class ECADConfig:
             population_size=self.population_size,
             max_evaluations=self.max_evaluations,
             seed=self.seed,
+            eval_parallelism=self.eval_parallelism,
         )
 
     def to_training_config(self) -> TrainingConfig:
@@ -303,6 +319,8 @@ class ECADConfig:
             training_batch_size=int(data.get("training_batch_size", 32)),
             dataset_csv=str(data.get("dataset_csv", "")),
             dataset_test_csv=str(data.get("dataset_test_csv", "")),
+            backend=str(data.get("backend", "serial")),
+            eval_parallelism=int(data.get("eval_parallelism", 1)),
         )
 
     def save(self, path: str | Path) -> None:

@@ -16,7 +16,9 @@ search, not of any individual worker.
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, as_completed, wait
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -74,6 +76,13 @@ class EngineConfig:
     max_stagnation_steps:
         Stop early when the best fitness has not improved for this many
         steps; ``0`` disables early stopping.
+    eval_parallelism:
+        Maximum number of candidate evaluations kept in flight at once.
+        ``1`` (the default) runs the original, bit-for-bit reproducible
+        serial steady-state loop; larger values switch the steady-state
+        search to the asynchronous batched pipeline (offspring are generated
+        in windows, dispatched concurrently, and inserted in completion
+        order).
     """
 
     population_size: int = 24
@@ -86,10 +95,20 @@ class EngineConfig:
     avoid_duplicate_genomes: bool = True
     seed: int | None = None
     max_stagnation_steps: int = 0
+    eval_parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
             raise SearchError(f"population_size must be >= 2, got {self.population_size}")
+        if self.tournament_size < 1:
+            raise SearchError(f"tournament_size must be >= 1, got {self.tournament_size}")
+        if self.tournament_size > self.population_size:
+            raise SearchError(
+                "tournament_size must not exceed population_size "
+                f"({self.tournament_size} > {self.population_size})"
+            )
+        if self.eval_parallelism < 1:
+            raise SearchError(f"eval_parallelism must be >= 1, got {self.eval_parallelism}")
         if self.max_evaluations < self.population_size:
             raise SearchError(
                 "max_evaluations must be at least population_size "
@@ -127,6 +146,9 @@ class RunStatistics:
         Sum of wall-clock evaluation time across all fresh evaluations.
     wall_clock_seconds:
         End-to-end search time.
+    peak_in_flight:
+        Largest number of candidate evaluations that were in flight at the
+        same time (1 for the serial engine).
     """
 
     models_generated: int = 0
@@ -134,6 +156,7 @@ class RunStatistics:
     cache_hits: int = 0
     total_evaluation_seconds: float = 0.0
     wall_clock_seconds: float = 0.0
+    peak_in_flight: int = 0
 
     @property
     def average_evaluation_seconds(self) -> float:
@@ -141,6 +164,13 @@ class RunStatistics:
         if self.models_evaluated == 0:
             return 0.0
         return self.total_evaluation_seconds / self.models_evaluated
+
+    @property
+    def evaluations_per_second(self) -> float:
+        """Fresh evaluations completed per wall-clock second (0 when unknown)."""
+        if self.wall_clock_seconds <= 0.0:
+            return 0.0
+        return self.models_evaluated / self.wall_clock_seconds
 
     def to_dict(self) -> dict:
         """Flat dictionary used by reports."""
@@ -151,6 +181,8 @@ class RunStatistics:
             "total_evaluation_seconds": self.total_evaluation_seconds,
             "average_evaluation_seconds": self.average_evaluation_seconds,
             "wall_clock_seconds": self.wall_clock_seconds,
+            "evaluations_per_second": self.evaluations_per_second,
+            "peak_in_flight": self.peak_in_flight,
         }
 
 
@@ -223,11 +255,22 @@ class EvolutionaryEngine:
         self.callbacks = CallbackList([self.history, *(callbacks or [])])
         self._rng = np.random.default_rng(self.config.seed)
         self.statistics = RunStatistics()
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------ run
     def run(self) -> EngineResult:
-        """Execute the search and return the final population, history and stats."""
+        """Execute the search and return the final population, history and stats.
+
+        With ``eval_parallelism=1`` (the default) this is the paper's serial
+        steady-state loop, bit-for-bit reproducible for a fixed seed.  With
+        ``eval_parallelism > 1`` the steady-state search runs as an
+        asynchronous batched pipeline that keeps up to that many candidate
+        evaluations in flight.
+        """
+        if self.config.steady_state and self.config.eval_parallelism > 1:
+            return self._run_async()
         start_time = time.perf_counter()
+        self.statistics.peak_in_flight = 1
         population = self._initialize_population()
         self.callbacks.on_search_start(population)
 
@@ -259,6 +302,159 @@ class EvolutionaryEngine:
         self.statistics.wall_clock_seconds = time.perf_counter() - start_time
         self.callbacks.on_search_end(population)
         return EngineResult(population=population, history=self.history, statistics=self.statistics)
+
+    # ------------------------------------------------------- async pipeline
+    def _run_async(self) -> EngineResult:
+        """Asynchronous steady-state search with a bounded in-flight window.
+
+        Offspring are generated (on the main thread, preserving the RNG
+        stream) in windows of at most ``eval_parallelism``, dispatched to a
+        thread pool, and inserted into the population in *completion* order.
+        Offspring generation dedups against both the population and the
+        genomes currently in flight; the evaluation cache's in-flight
+        registry additionally coalesces concurrent duplicates so each unique
+        genome is evaluated at most once.
+        """
+        start_time = time.perf_counter()
+        executor = ThreadPoolExecutor(
+            max_workers=self.config.eval_parallelism, thread_name_prefix="ecad-eval"
+        )
+        try:
+            population = self._initialize_population_async(executor)
+            self.callbacks.on_search_start(population)
+
+            step = len(population)
+            stagnation = 0
+            best_fitness = population.best.fitness_value
+            in_flight: dict[Future, CoDesignGenome] = {}
+            stop_generating = False
+
+            while True:
+                while (
+                    not stop_generating
+                    and len(in_flight) < self.config.eval_parallelism
+                    and self.statistics.models_generated < self.config.max_evaluations
+                ):
+                    pending_keys = {genome.cache_key() for genome in in_flight.values()}
+                    genome = self._make_offspring(population, in_flight_keys=pending_keys)
+                    if genome is None:
+                        stop_generating = True
+                        break
+                    self.statistics.models_generated += 1
+                    in_flight[executor.submit(self._evaluate_concurrent, genome)] = genome
+                    self.statistics.peak_in_flight = max(
+                        self.statistics.peak_in_flight, len(in_flight)
+                    )
+                if not in_flight:
+                    break
+
+                done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    genome = in_flight.pop(future)
+                    evaluation = future.result()
+                    fitness = self.fitness.score(evaluation, reference=self.history.evaluations())
+                    self.callbacks.on_evaluation(evaluation, fitness, step)
+                    population.add(
+                        Individual(
+                            genome=genome, evaluation=evaluation, fitness=fitness, birth_step=step
+                        )
+                    )
+                    self._rescore(population)
+                    step += 1
+                    self.callbacks.on_step_end(population, step)
+
+                    if population.best.fitness_value > best_fitness + 1e-12:
+                        best_fitness = population.best.fitness_value
+                        stagnation = 0
+                    else:
+                        stagnation += 1
+                    if (
+                        self.config.max_stagnation_steps > 0
+                        and stagnation >= self.config.max_stagnation_steps
+                    ):
+                        # Stop breeding; candidates already in flight still land.
+                        stop_generating = True
+        finally:
+            executor.shutdown(wait=True)
+
+        self.statistics.wall_clock_seconds = time.perf_counter() - start_time
+        self.callbacks.on_search_end(population)
+        return EngineResult(population=population, history=self.history, statistics=self.statistics)
+
+    def _initialize_population_async(self, executor: ThreadPoolExecutor) -> Population:
+        """Evaluate the whole initial population concurrently."""
+        population = Population(capacity=self.config.population_size)
+        genomes: list[CoDesignGenome] = []
+        keys: set[str] = set()
+        attempts = 0
+        max_attempts = self.config.population_size * 20
+        while (
+            len(genomes) < self.config.population_size
+            and self.statistics.models_generated < self.config.max_evaluations
+        ):
+            attempts += 1
+            if attempts > max_attempts:
+                raise SearchError(
+                    "failed to build a feasible initial population; "
+                    "check the search space against the target device"
+                )
+            genome = self.space.random_genome(self._rng, device=self.device)
+            if self.config.avoid_duplicate_genomes and genome.cache_key() in keys:
+                continue
+            keys.add(genome.cache_key())
+            genomes.append(genome)
+            self.statistics.models_generated += 1
+
+        futures = {executor.submit(self._evaluate_concurrent, genome): genome for genome in genomes}
+        self.statistics.peak_in_flight = max(
+            self.statistics.peak_in_flight, min(len(futures), self.config.eval_parallelism)
+        )
+        for future in as_completed(futures):
+            genome = futures[future]
+            evaluation = future.result()
+            fitness = self.fitness.score(evaluation, reference=self.history.evaluations())
+            self.callbacks.on_evaluation(evaluation, fitness, len(population))
+            population.add(
+                Individual(
+                    genome=genome,
+                    evaluation=evaluation,
+                    fitness=fitness,
+                    birth_step=len(population),
+                )
+            )
+            self._rescore(population)
+        if len(population) < 2:
+            raise SearchError("initial population has fewer than two members")
+        return population
+
+    def _evaluate_concurrent(self, genome: CoDesignGenome) -> CandidateEvaluation:
+        """Worker-thread evaluation with single-flight caching.
+
+        Exactly one thread evaluates each unique genome; concurrent requests
+        for the same genome block on the cache's in-flight registry and share
+        the result (counted as cache hits).
+        """
+        cached, owner = self.cache.lookup_or_reserve(genome)
+        if not owner:
+            with self._stats_lock:
+                self.statistics.cache_hits += 1
+            return cached
+        try:
+            start = time.perf_counter()
+            try:
+                evaluation = self.evaluator(genome)
+            except Exception as exc:  # noqa: BLE001 - worker failures must not kill the search
+                evaluation = CandidateEvaluation(genome=genome, error=str(exc))
+            elapsed = time.perf_counter() - start
+            evaluation = self._stamp_elapsed(evaluation, elapsed)
+            with self._stats_lock:
+                self.statistics.models_evaluated += 1
+                self.statistics.total_evaluation_seconds += elapsed
+            self.cache.complete(genome, evaluation)
+            return evaluation
+        except BaseException:
+            self.cache.abandon(genome)
+            raise
 
     # ------------------------------------------------------------ internals
     def _initialize_population(self) -> Population:
@@ -314,7 +510,9 @@ class EvolutionaryEngine:
         self._rescore(population)
         return True
 
-    def _make_offspring(self, population: Population) -> CoDesignGenome | None:
+    def _make_offspring(
+        self, population: Population, in_flight_keys: set[str] | None = None
+    ) -> CoDesignGenome | None:
         for _ in range(20):
             if self._rng.random() < self.config.crossover_probability and len(population) >= 2:
                 parent_a, parent_b = self.selection.select_pair(population, self._rng)
@@ -324,7 +522,10 @@ class EvolutionaryEngine:
                 genome = parent.genome
             if self._rng.random() < self.config.mutation_probability:
                 genome = self.mutator.mutate(genome, self._rng)
-            if self.config.avoid_duplicate_genomes and population.contains_genome(genome):
+            if self.config.avoid_duplicate_genomes and (
+                population.contains_genome(genome)
+                or (in_flight_keys and genome.cache_key() in in_flight_keys)
+            ):
                 continue
             return genome
         # Give up on uniqueness and explore randomly instead.
@@ -348,23 +549,29 @@ class EvolutionaryEngine:
         except Exception as exc:  # noqa: BLE001 - worker failures must not kill the search
             evaluation = CandidateEvaluation(genome=genome, error=str(exc))
         elapsed = time.perf_counter() - start
-        if evaluation.evaluation_seconds == 0.0 and not evaluation.failed:
-            evaluation = CandidateEvaluation(
-                genome=evaluation.genome,
-                accuracy=evaluation.accuracy,
-                accuracy_std=evaluation.accuracy_std,
-                parameter_count=evaluation.parameter_count,
-                fpga_metrics=evaluation.fpga_metrics,
-                gpu_metrics=evaluation.gpu_metrics,
-                synthesis=evaluation.synthesis,
-                train_seconds=evaluation.train_seconds,
-                evaluation_seconds=elapsed,
-                extras=evaluation.extras,
-            )
+        evaluation = self._stamp_elapsed(evaluation, elapsed)
         self.statistics.models_evaluated += 1
         self.statistics.total_evaluation_seconds += elapsed
         self.cache.store(evaluation)
         return evaluation
+
+    @staticmethod
+    def _stamp_elapsed(evaluation: CandidateEvaluation, elapsed: float) -> CandidateEvaluation:
+        """Fill in the measured wall-clock time when the evaluator left it at 0."""
+        if evaluation.evaluation_seconds != 0.0 or evaluation.failed:
+            return evaluation
+        return CandidateEvaluation(
+            genome=evaluation.genome,
+            accuracy=evaluation.accuracy,
+            accuracy_std=evaluation.accuracy_std,
+            parameter_count=evaluation.parameter_count,
+            fpga_metrics=evaluation.fpga_metrics,
+            gpu_metrics=evaluation.gpu_metrics,
+            synthesis=evaluation.synthesis,
+            train_seconds=evaluation.train_seconds,
+            evaluation_seconds=elapsed,
+            extras=evaluation.extras,
+        )
 
     def _rescore(self, population: Population) -> None:
         """Re-normalize fitness across the current population.

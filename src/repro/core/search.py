@@ -97,7 +97,9 @@ class CoDesignSearch:
     callbacks:
         Extra engine callbacks (progress logging, checkpointing, ...).
     backend:
-        Execution backend name for the master ("serial" or "threads").
+        Execution backend name for the master ("serial", "threads" or
+        "processes"); ``None`` (the default) uses the configuration's
+        ``backend`` field.
     """
 
     def __init__(
@@ -105,7 +107,7 @@ class CoDesignSearch:
         dataset: Dataset,
         config: ECADConfig | None = None,
         callbacks: list[Callback] | None = None,
-        backend: str = "serial",
+        backend: str | None = None,
     ) -> None:
         self.dataset = dataset
         self.config = config or ECADConfig.template_for_dataset(dataset)
@@ -120,7 +122,7 @@ class CoDesignSearch:
                 f"but dataset {dataset.name!r} has {dataset.num_classes}"
             )
         self.callbacks = list(callbacks or [])
-        self.backend = backend
+        self.backend = backend if backend is not None else self.config.backend
         self.cache = EvaluationCache()
 
     # ----------------------------------------------------------- assembly
@@ -147,6 +149,7 @@ class CoDesignSearch:
             num_folds=self.config.num_folds,
             training_config=self.config.to_training_config(),
             backend=self.backend,
+            max_workers=max(self.config.eval_parallelism, 1),
             seed=self.config.seed,
         )
 
@@ -169,9 +172,21 @@ class CoDesignSearch:
 
     # ---------------------------------------------------------------- run
     def run(self, evaluator=None) -> SearchResult:
-        """Run the full search and package the results."""
+        """Run the full search and package the results.
+
+        When no evaluator is supplied, the search builds (and owns) a master
+        whose execution backend is released once the search finishes.
+        """
+        owned_master = None
+        if evaluator is None:
+            owned_master = self.build_master()
+            evaluator = owned_master
         engine = self.build_engine(evaluator=evaluator)
-        outcome: EngineResult = engine.run()
+        try:
+            outcome: EngineResult = engine.run()
+        finally:
+            if owned_master is not None:
+                owned_master.shutdown()
         return self._package(outcome)
 
     def _package(self, outcome: EngineResult) -> SearchResult:

@@ -6,7 +6,14 @@ merges the results, plus the execution backends used for single-machine
 parallelism.
 """
 
-from .backends import ExecutionBackend, SerialBackend, ThreadPoolBackend, resolve_backend
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    available_backends,
+    resolve_backend,
+)
 from .base import EvaluationRequest, Worker, WorkerReport
 from .hardware_db import HardwareDatabaseWorker
 from .master import Master
@@ -15,8 +22,10 @@ from .simulation import SimulationWorker
 
 __all__ = [
     "ExecutionBackend",
+    "ProcessPoolBackend",
     "SerialBackend",
     "ThreadPoolBackend",
+    "available_backends",
     "resolve_backend",
     "EvaluationRequest",
     "Worker",

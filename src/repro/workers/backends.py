@@ -8,32 +8,75 @@ can run:
 * **serially** in-process (deterministic, best for tests and small searches),
 * **in a thread pool** (overlaps numpy training compute, which releases the
   GIL inside BLAS, with model evaluation; best-effort parallelism on one
-  machine).
+  machine),
+* **in a process pool** (true multi-core parallelism; work functions and
+  their arguments must be picklable).
 
-Both backends present the same ``map`` interface over request batches.  A
-process-pool backend would slot in behind the same interface but is not
-provided because candidate training closures capture non-picklable state.
+Every backend presents the same futures-based interface: ``submit`` schedules
+one work item and returns a :class:`concurrent.futures.Future`,
+``as_completed`` yields finished futures in completion order, and ``map`` is a
+batch convenience built on top of ``submit`` that preserves input order.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures import as_completed as _futures_as_completed
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
-__all__ = ["ExecutionBackend", "SerialBackend", "ThreadPoolBackend"]
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+    "available_backends",
+]
 
 RequestT = TypeVar("RequestT")
 ResultT = TypeVar("ResultT")
 
+#: Names accepted by :func:`resolve_backend`, keyed by canonical name.
+_BACKEND_ALIASES = {
+    "serial": ("serial", "sync", "none"),
+    "threads": ("threads", "thread", "thread_pool", "threadpool"),
+    "processes": ("processes", "process", "process_pool", "processpool", "procs"),
+}
+
 
 class ExecutionBackend:
-    """Base class: maps a function over a batch of work items."""
+    """Base class: schedules work items and exposes their futures."""
 
     name: str = "backend"
 
+    def submit(self, function: Callable[[RequestT], ResultT], item: RequestT) -> "Future[ResultT]":
+        """Schedule ``function(item)`` and return its future."""
+        raise NotImplementedError
+
+    def as_completed(
+        self, futures: Iterable["Future[ResultT]"], timeout: float | None = None
+    ) -> Iterator["Future[ResultT]"]:
+        """Yield futures as they finish (completion order, not submission order)."""
+        return _futures_as_completed(list(futures), timeout=timeout)
+
+    def wait_first(
+        self, futures: Iterable["Future[ResultT]"], timeout: float | None = None
+    ) -> tuple[set["Future[ResultT]"], set["Future[ResultT]"]]:
+        """Block until at least one future finishes; return (done, pending)."""
+        done, pending = wait(list(futures), timeout=timeout, return_when=FIRST_COMPLETED)
+        return done, pending
+
     def map(self, function: Callable[[RequestT], ResultT], items: Sequence[RequestT]) -> list[ResultT]:
         """Apply ``function`` to every item, preserving order."""
-        raise NotImplementedError
+        futures = [self.submit(function, item) for item in items]
+        return [future.result() for future in futures]
 
     def shutdown(self) -> None:
         """Release any resources held by the backend (idempotent)."""
@@ -46,15 +89,65 @@ class ExecutionBackend:
 
 
 class SerialBackend(ExecutionBackend):
-    """Evaluates work items one at a time on the calling thread."""
+    """Evaluates work items one at a time on the calling thread.
+
+    ``submit`` runs the work item eagerly and returns an already-resolved
+    future, so code written against the futures API behaves identically
+    (including exception propagation through ``Future.result``) without any
+    concurrency.
+    """
 
     name = "serial"
+
+    def submit(self, function: Callable[[RequestT], ResultT], item: RequestT) -> "Future[ResultT]":
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(function(item))
+        except Exception as exc:  # noqa: BLE001 - mirrored into the future, as executors do
+            future.set_exception(exc)
+        return future
 
     def map(self, function: Callable[[RequestT], ResultT], items: Sequence[RequestT]) -> list[ResultT]:
         return [function(item) for item in items]
 
 
-class ThreadPoolBackend(ExecutionBackend):
+class _ExecutorBackend(ExecutionBackend):
+    """Shared plumbing for backends built on ``concurrent.futures`` executors."""
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = int(max_workers)
+        self._executor = None
+        self._executor_lock = threading.Lock()
+
+    def _create_executor(self):
+        raise NotImplementedError
+
+    def _ensure_executor(self):
+        # submit/map may be called from many threads at once (the engine's
+        # async pipeline evaluates candidates concurrently), so lazy creation
+        # must not race and leak extra pools.
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = self._create_executor()
+            return self._executor
+
+    def submit(self, function: Callable[[RequestT], ResultT], item: RequestT) -> "Future[ResultT]":
+        return self._ensure_executor().submit(function, item)
+
+    def map(self, function: Callable[[RequestT], ResultT], items: Sequence[RequestT]) -> list[ResultT]:
+        return list(self._ensure_executor().map(function, items))
+
+    def shutdown(self) -> None:
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+class ThreadPoolBackend(_ExecutorBackend):
     """Evaluates work items concurrently on a bounded thread pool.
 
     Numpy's BLAS kernels release the GIL, so candidate training and hardware
@@ -63,39 +156,45 @@ class ThreadPoolBackend(ExecutionBackend):
 
     name = "thread_pool"
 
-    def __init__(self, max_workers: int = 4) -> None:
-        if max_workers <= 0:
-            raise ValueError(f"max_workers must be positive, got {max_workers}")
-        self.max_workers = int(max_workers)
-        self._executor: ThreadPoolExecutor | None = None
-
-    def _ensure_executor(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(max_workers=self.max_workers)
-        return self._executor
-
-    def map(self, function: Callable[[RequestT], ResultT], items: Sequence[RequestT]) -> list[ResultT]:
-        executor = self._ensure_executor()
-        return list(executor.map(function, items))
-
-    def shutdown(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+    def _create_executor(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(max_workers=self.max_workers)
 
 
-def resolve_backend(backend: str | ExecutionBackend | None, max_workers: int = 4) -> ExecutionBackend:
-    """Resolve a backend by name ('serial', 'threads') or pass an instance through."""
+class ProcessPoolBackend(_ExecutorBackend):
+    """Evaluates work items on a pool of worker processes.
+
+    Sidesteps the GIL entirely, at the cost of pickling: both the work
+    function and its items must be picklable (module-level functions or
+    ``functools.partial`` over them; no lambdas or closures).
+    """
+
+    name = "process_pool"
+
+    def _create_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+def available_backends() -> list[str]:
+    """Canonical names accepted by :func:`resolve_backend`."""
+    return list(_BACKEND_ALIASES)
+
+
+def resolve_backend(
+    backend: str | ExecutionBackend | None, max_workers: int = 4
+) -> ExecutionBackend:
+    """Resolve a backend by name ('serial', 'threads', 'processes') or pass an
+    instance through unchanged (``max_workers`` is ignored for instances)."""
     if backend is None:
         return SerialBackend()
     if isinstance(backend, ExecutionBackend):
         return backend
     key = str(backend).strip().lower()
-    if key in ("serial", "sync", "none"):
+    if key in _BACKEND_ALIASES["serial"]:
         return SerialBackend()
-    if key in ("threads", "thread", "thread_pool", "threadpool"):
+    if key in _BACKEND_ALIASES["threads"]:
         return ThreadPoolBackend(max_workers=max_workers)
-    raise ValueError(f"unknown execution backend {backend!r}; use 'serial' or 'threads'")
-
-
-__all__.append("resolve_backend")
+    if key in _BACKEND_ALIASES["processes"]:
+        return ProcessPoolBackend(max_workers=max_workers)
+    raise ValueError(
+        f"unknown execution backend {backend!r}; use one of {', '.join(available_backends())}"
+    )

@@ -11,11 +11,29 @@ execution backend, and merges the individual
 :class:`~repro.core.candidate.CandidateEvaluation` the engine and fitness
 functions consume.  It is also a plain callable ``genome -> CandidateEvaluation``
 so it plugs directly into the engine's ``evaluator`` slot.
+
+Two dispatch granularities are offered:
+
+* :meth:`evaluate` — synchronous, per-candidate: the candidate's worker
+  reports are fanned out through the backend and merged on return.  This is
+  the path the evolutionary engine drives (its async pipeline calls it from
+  several threads at once, so the backend must also absorb concurrent
+  ``map`` calls).
+* :meth:`submit` / :meth:`drain` — asynchronous, per-batch: each call
+  schedules one whole candidate evaluation on the backend and returns a
+  future, so batch callers (:meth:`evaluate_population`, external
+  pipelines) can keep several candidates in flight at once.  Inside a
+  submitted task the workers run serially — nesting backend dispatch inside
+  backend tasks would let the outer tasks starve the pool and deadlock it.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import Future
+from functools import partial
+from typing import Iterator
 
 from ..core.candidate import CandidateEvaluation
 from ..core.genome import CoDesignGenome
@@ -25,6 +43,24 @@ from .backends import ExecutionBackend, SerialBackend, resolve_backend
 from .base import EvaluationRequest, Worker, WorkerReport
 
 __all__ = ["Master"]
+
+
+def _evaluate_worker(worker: Worker, request: EvaluationRequest) -> WorkerReport:
+    """Run one worker on one request (module-level so process pools can pickle it)."""
+    return worker.evaluate(request)
+
+
+def _run_workers_serial(task: tuple[list[Worker], EvaluationRequest]) -> tuple[list[WorkerReport], float]:
+    """Evaluate every worker for one request on the current thread/process.
+
+    This is the body of a submitted candidate evaluation; it is module-level
+    and takes only picklable arguments so the same code path serves thread
+    and process backends.
+    """
+    workers, request = task
+    start = time.perf_counter()
+    reports = [worker.evaluate(request) for worker in workers]
+    return reports, time.perf_counter() - start
 
 
 class Master:
@@ -43,9 +79,13 @@ class Master:
     training_config:
         Per-candidate training hyperparameters.
     backend:
-        Execution backend for fanning a *population* out
-        (:meth:`evaluate_population`); single-candidate calls always run
-        serially in the calling thread.
+        Execution backend ("serial", "threads", "processes" or an instance)
+        used both to fan one candidate's worker reports out
+        (:meth:`evaluate`) and to keep several whole candidates in flight
+        (:meth:`submit` / :meth:`evaluate_population`).
+    max_workers:
+        Pool size handed to the backend when it is resolved from a name
+        (ignored when an :class:`ExecutionBackend` instance is passed).
     seed:
         Base seed; each request derives its own seed from the genome hash so
         repeated evaluations of the same genome are reproducible.
@@ -59,17 +99,24 @@ class Master:
         num_folds: int = 10,
         training_config: TrainingConfig | None = None,
         backend: str | ExecutionBackend | None = None,
+        max_workers: int = 4,
         seed: int | None = 0,
     ) -> None:
         if not workers:
             raise ValueError("the master needs at least one worker")
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
         self.workers = list(workers)
         self.dataset = dataset
         self.evaluation_protocol = evaluation_protocol
         self.num_folds = num_folds
         self.training_config = training_config or TrainingConfig()
-        self.backend = resolve_backend(backend)
+        self.max_workers = int(max_workers)
+        self.backend = resolve_backend(backend, max_workers=self.max_workers)
         self.seed = seed
+        # Futures submitted but not yet collected by drain()/evaluate_population().
+        self._pending: list[Future] = []
+        self._pending_lock = threading.Lock()
 
     # ------------------------------------------------------------- requests
     def build_request(self, genome: CoDesignGenome) -> EvaluationRequest:
@@ -88,19 +135,72 @@ class Master:
 
     # ------------------------------------------------------------ evaluation
     def evaluate(self, genome: CoDesignGenome) -> CandidateEvaluation:
-        """Evaluate one candidate with every worker and merge the reports."""
+        """Evaluate one candidate, fanning its worker reports out through the
+        backend, and merge them."""
         request = self.build_request(genome)
         start = time.perf_counter()
-        reports = [worker.evaluate(request) for worker in self.workers]
+        reports = self.backend.map(partial(_evaluate_worker, request=request), self.workers)
         elapsed = time.perf_counter() - start
         return self._merge(genome, reports, elapsed)
 
     # The engine expects a plain callable evaluator.
     __call__ = evaluate
 
+    def submit(self, genome: CoDesignGenome) -> "Future[CandidateEvaluation]":
+        """Schedule one whole candidate evaluation; return its future.
+
+        The returned future resolves to the merged
+        :class:`CandidateEvaluation`.  Outstanding futures are tracked so
+        :meth:`drain` can collect everything still in flight.
+        """
+        request = self.build_request(genome)
+        inner = self.backend.submit(_run_workers_serial, (self.workers, request))
+        outer: Future = Future()
+        outer.set_running_or_notify_cancel()
+
+        def _finish(done: Future) -> None:
+            try:
+                exc = done.exception()
+                if exc is not None:
+                    outer.set_exception(exc)
+                else:
+                    reports, elapsed = done.result()
+                    outer.set_result(self._merge(genome, reports, elapsed))
+            except Exception as unexpected:  # noqa: BLE001 - never lose a waiter
+                outer.set_exception(unexpected)
+
+        inner.add_done_callback(_finish)
+        with self._pending_lock:
+            self._pending.append(outer)
+        return outer
+
+    @property
+    def in_flight_count(self) -> int:
+        """Number of submitted candidate evaluations not yet completed."""
+        with self._pending_lock:
+            return sum(1 for future in self._pending if not future.done())
+
+    def drain(self) -> list[CandidateEvaluation]:
+        """Collect every submitted-but-not-yet-drained evaluation, blocking
+        until all have finished; results come back in completion order."""
+        with self._pending_lock:
+            pending = list(self._pending)
+            self._pending.clear()
+        return [future.result() for future in self.backend.as_completed(pending)]
+
+    def as_completed(self, futures) -> Iterator["Future[CandidateEvaluation]"]:
+        """Yield candidate futures in completion order (backend passthrough)."""
+        return self.backend.as_completed(futures)
+
     def evaluate_population(self, genomes: list[CoDesignGenome]) -> list[CandidateEvaluation]:
-        """Evaluate a batch of candidates through the execution backend."""
-        return self.backend.map(self.evaluate, list(genomes))
+        """Evaluate a batch of candidates through the execution backend,
+        preserving input order."""
+        futures = [self.submit(genome) for genome in genomes]
+        results = [future.result() for future in futures]
+        collected = set(map(id, futures))
+        with self._pending_lock:
+            self._pending = [f for f in self._pending if id(f) not in collected]
+        return results
 
     # --------------------------------------------------------------- merging
     def _merge(
@@ -149,7 +249,15 @@ class Master:
         )
 
     def shutdown(self) -> None:
-        """Release the execution backend's resources."""
+        """Wait for in-flight work and release the execution backend."""
+        with self._pending_lock:
+            pending = list(self._pending)
+            self._pending.clear()
+        for future in pending:
+            try:
+                future.result()
+            except Exception:  # noqa: BLE001 - shutdown must not raise on failed work
+                pass
         self.backend.shutdown()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

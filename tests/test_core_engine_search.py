@@ -35,6 +35,23 @@ class TestEngineConfig:
         with pytest.raises(SearchError):
             EngineConfig(max_stagnation_steps=-1)
 
+    def test_tournament_size_validation(self):
+        with pytest.raises(SearchError):
+            EngineConfig(tournament_size=0)
+        with pytest.raises(SearchError):
+            EngineConfig(tournament_size=-3)
+        with pytest.raises(SearchError):
+            EngineConfig(population_size=4, tournament_size=5)
+        # At most the whole population is legal.
+        EngineConfig(population_size=4, tournament_size=4)
+
+    def test_eval_parallelism_validation(self):
+        with pytest.raises(SearchError):
+            EngineConfig(eval_parallelism=0)
+        with pytest.raises(SearchError):
+            EngineConfig(eval_parallelism=-2)
+        EngineConfig(eval_parallelism=8)
+
 
 class TestEvolutionaryEngine:
     def _engine(self, small_search_space, fake_evaluator, **overrides) -> EvolutionaryEngine:
@@ -174,6 +191,15 @@ class TestEvolutionaryEngine:
         assert events["evaluations"] == 12
         assert events["steps"] == 8  # 12 evaluations - 4 initial population members
 
+    def test_serial_statistics_report_throughput_fields(self, small_search_space, fake_evaluator):
+        result = self._engine(small_search_space, fake_evaluator).run()
+        stats = result.statistics
+        assert stats.peak_in_flight == 1
+        assert stats.evaluations_per_second > 0
+        as_dict = stats.to_dict()
+        assert as_dict["peak_in_flight"] == 1
+        assert as_dict["evaluations_per_second"] == stats.evaluations_per_second
+
     def test_progress_logger_prints(self, small_search_space, fake_evaluator, capsys):
         engine = EvolutionaryEngine(
             space=small_search_space,
@@ -185,6 +211,141 @@ class TestEvolutionaryEngine:
         )
         engine.run()
         assert "best fitness" in capsys.readouterr().out
+
+
+class TestAsyncEvolutionaryEngine:
+    """The asynchronous batched pipeline (eval_parallelism > 1)."""
+
+    def _engine(self, small_search_space, evaluator, **overrides) -> EvolutionaryEngine:
+        config = EngineConfig(
+            population_size=overrides.pop("population_size", 6),
+            max_evaluations=overrides.pop("max_evaluations", 40),
+            seed=overrides.pop("seed", 0),
+            eval_parallelism=overrides.pop("eval_parallelism", 4),
+            **overrides,
+        )
+        return EvolutionaryEngine(
+            space=small_search_space,
+            evaluator=evaluator,
+            fitness=_fitness(),
+            config=config,
+            device=ARRIA10_GX1150,
+        )
+
+    def test_async_run_respects_budget_and_fills_population(self, small_search_space, fake_evaluator):
+        result = self._engine(small_search_space, fake_evaluator).run()
+        stats = result.statistics
+        assert stats.models_generated == 40
+        assert stats.models_evaluated + stats.cache_hits == 40
+        assert len(result.history) == 40
+        assert len(result.population) == 6
+        assert not result.best.evaluation.failed
+        assert 1 <= stats.peak_in_flight <= 4
+        assert stats.evaluations_per_second > 0
+
+    def test_async_keeps_multiple_evaluations_in_flight(self, small_search_space):
+        import threading as _threading
+        import time as _time
+
+        in_flight = {"now": 0, "peak": 0}
+        lock = _threading.Lock()
+
+        def slow_evaluator(genome):
+            with lock:
+                in_flight["now"] += 1
+                in_flight["peak"] = max(in_flight["peak"], in_flight["now"])
+            _time.sleep(0.01)
+            with lock:
+                in_flight["now"] -= 1
+            from tests.conftest import make_fake_evaluation
+
+            neurons = genome.mlp.total_hidden_neurons
+            return make_fake_evaluation(genome, min(0.99, 0.5 + neurons / 200.0), 1e6, 1e6)
+
+        result = self._engine(small_search_space, slow_evaluator, eval_parallelism=4).run()
+        assert in_flight["peak"] > 1
+        assert result.statistics.peak_in_flight > 1
+
+    def test_concurrent_duplicates_trigger_exactly_one_fresh_evaluation(self, small_search_space):
+        import threading as _threading
+        import time as _time
+
+        calls: dict[str, int] = {}
+        lock = _threading.Lock()
+
+        def counting_evaluator(genome):
+            with lock:
+                calls[genome.cache_key()] = calls.get(genome.cache_key(), 0) + 1
+            _time.sleep(0.003)
+            from tests.conftest import make_fake_evaluation
+
+            neurons = genome.mlp.total_hidden_neurons
+            return make_fake_evaluation(genome, min(0.99, 0.5 + neurons / 200.0), 1e6, 1e6)
+
+        result = self._engine(
+            small_search_space,
+            counting_evaluator,
+            max_evaluations=80,
+            avoid_duplicate_genomes=False,
+        ).run()
+        stats = result.statistics
+        # Duplicates occurred in a tiny space...
+        assert stats.cache_hits > 0
+        # ...but no genome was ever evaluated twice: repeats were answered by
+        # the cache or coalesced onto the in-flight evaluation.
+        assert max(calls.values()) == 1
+        assert stats.models_evaluated == len(calls)
+        assert stats.models_evaluated + stats.cache_hits == stats.models_generated
+
+    def test_async_evaluator_failures_do_not_crash_the_search(self, small_search_space):
+        import threading as _threading
+
+        counter = {"count": 0}
+        lock = _threading.Lock()
+
+        def flaky_evaluator(genome):
+            with lock:
+                counter["count"] += 1
+                count = counter["count"]
+            if count % 3 == 0:
+                raise RuntimeError("simulated worker failure")
+            from tests.conftest import make_fake_evaluation
+
+            return make_fake_evaluation(genome, accuracy=0.7, fpga_outputs=1e6, gpu_outputs=1e6)
+
+        result = self._engine(
+            small_search_space, flaky_evaluator, population_size=4, max_evaluations=20
+        ).run()
+        failed = [r for r in result.history.records if r.evaluation.failed]
+        assert failed
+        assert not result.best.evaluation.failed
+
+    def test_async_stagnation_early_stop(self, small_search_space):
+        def constant_evaluator(genome):
+            from tests.conftest import make_fake_evaluation
+
+            return make_fake_evaluation(genome, accuracy=0.5, fpga_outputs=1e5, gpu_outputs=1e5)
+
+        result = self._engine(
+            small_search_space,
+            constant_evaluator,
+            population_size=4,
+            max_evaluations=200,
+            max_stagnation_steps=5,
+        ).run()
+        assert result.statistics.models_generated < 200
+
+    def test_default_parallelism_uses_the_serial_path(self, small_search_space, fake_evaluator):
+        """eval_parallelism=1 must reproduce the serial engine bit for bit."""
+        serial = self._engine(small_search_space, fake_evaluator, eval_parallelism=1, seed=11).run()
+        again = self._engine(small_search_space, fake_evaluator, eval_parallelism=1, seed=11).run()
+        keys_a = [r.evaluation.genome.cache_key() for r in serial.history.records]
+        keys_b = [r.evaluation.genome.cache_key() for r in again.history.records]
+        assert keys_a == keys_b
+        assert serial.best.genome.cache_key() == again.best.genome.cache_key()
+        assert serial.statistics.to_dict().keys() == again.statistics.to_dict().keys()
+        for field in ("models_generated", "models_evaluated", "cache_hits", "peak_in_flight"):
+            assert getattr(serial.statistics, field) == getattr(again.statistics, field)
 
 
 class TestSearchHistory:

@@ -242,6 +242,113 @@ class TestEvaluationCache:
         with pytest.raises(ValueError):
             EvaluationCache(max_entries=0)
 
+    def test_lru_eviction_refreshes_recency_on_hits(self):
+        """Regression: eviction must be least-recently-USED, not oldest-inserted."""
+        cache = EvaluationCache(max_entries=2)
+        first, second, third = _genome(8), _genome(16), _genome(32)
+        cache.store(make_fake_evaluation(first, accuracy=0.5))
+        cache.store(make_fake_evaluation(second, accuracy=0.5))
+        # Touch the older entry, making `second` the least recently used...
+        assert cache.lookup(first) is not None
+        cache.store(make_fake_evaluation(third, accuracy=0.5))
+        # ...so inserting a third entry evicts `second`, not `first`.
+        assert first in cache
+        assert second not in cache
+        assert third in cache
+
+    def test_lru_store_refreshes_recency_too(self):
+        cache = EvaluationCache(max_entries=2)
+        first, second, third = _genome(8), _genome(16), _genome(32)
+        cache.store(make_fake_evaluation(first, accuracy=0.5))
+        cache.store(make_fake_evaluation(second, accuracy=0.5))
+        cache.store(make_fake_evaluation(first, accuracy=0.6))  # refresh
+        cache.store(make_fake_evaluation(third, accuracy=0.5))
+        assert first in cache
+        assert second not in cache
+
+
+class TestEvaluationCacheInFlight:
+    def test_reserve_then_complete_publishes_to_waiters(self):
+        import threading
+
+        cache = EvaluationCache()
+        genome = _genome(8)
+        cached, owner = cache.lookup_or_reserve(genome)
+        assert cached is None and owner
+        assert cache.in_flight_count == 1
+
+        waiter_results = []
+
+        def waiter():
+            evaluation, is_owner = cache.lookup_or_reserve(_genome(8))
+            waiter_results.append((evaluation, is_owner))
+
+        threads = [threading.Thread(target=waiter) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        # Waiters are blocked on the in-flight evaluation, not re-evaluating.
+        assert all(thread.is_alive() for thread in threads)
+        cache.complete(genome, make_fake_evaluation(genome, accuracy=0.8))
+        for thread in threads:
+            thread.join(timeout=5)
+        assert len(waiter_results) == 3
+        for evaluation, is_owner in waiter_results:
+            assert not is_owner
+            assert evaluation.from_cache
+            assert evaluation.accuracy == pytest.approx(0.8)
+        assert cache.in_flight_count == 0
+        assert cache.statistics.stores == 1
+        assert cache.statistics.coalesced == 3
+
+    def test_failed_completion_reaches_waiters_but_is_not_cached(self):
+        import threading
+
+        cache = EvaluationCache()
+        genome = _genome(8)
+        _, owner = cache.lookup_or_reserve(genome)
+        assert owner
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(cache.lookup_or_reserve(_genome(8)))
+        )
+        thread.start()
+        cache.complete(genome, CandidateEvaluation(genome=genome, error="boom"))
+        thread.join(timeout=5)
+        evaluation, is_owner = results[0]
+        assert not is_owner
+        assert evaluation.failed
+        assert len(cache) == 0  # failures are never cached
+
+    def test_abandon_lets_a_waiter_take_ownership(self):
+        import threading
+
+        cache = EvaluationCache()
+        genome = _genome(8)
+        _, owner = cache.lookup_or_reserve(genome)
+        assert owner
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(cache.lookup_or_reserve(_genome(8)))
+        )
+        thread.start()
+        cache.abandon(genome)
+        thread.join(timeout=5)
+        evaluation, is_owner = results[0]
+        assert evaluation is None
+        assert is_owner  # the waiter inherited the reservation
+        assert cache.in_flight_count == 1
+        cache.complete(genome, make_fake_evaluation(genome, accuracy=0.7))
+        assert cache.in_flight_count == 0
+
+    def test_cached_entry_short_circuits_reservation(self):
+        cache = EvaluationCache()
+        genome = _genome(8)
+        cache.store(make_fake_evaluation(genome, accuracy=0.9))
+        cached, owner = cache.lookup_or_reserve(genome)
+        assert not owner
+        assert cached.from_cache
+        assert cache.in_flight_count == 0
+
 
 def _individual(neurons: int, accuracy: float, fitness: float) -> Individual:
     from repro.core.fitness import FitnessResult

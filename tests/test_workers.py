@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro.core.genome import CoDesignGenome, HardwareGenome, MLPGenome
@@ -9,7 +12,12 @@ from repro.hardware.device import ARRIA10_GX1150, STRATIX10_2800, TITAN_X
 from repro.hardware.memory import DDR4_BANK, MemorySystem
 from repro.hardware.systolic import GridConfig
 from repro.nn.training import TrainingConfig
-from repro.workers.backends import SerialBackend, ThreadPoolBackend, resolve_backend
+from repro.workers.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    resolve_backend,
+)
 from repro.workers.base import EvaluationRequest, WorkerReport
 from repro.workers.hardware_db import HardwareDatabaseWorker
 from repro.workers.master import Master
@@ -139,6 +147,16 @@ class TestPhysicalWorker:
         assert report.synthesis.dsp_used == fast_request.genome.hardware.grid.dsp_blocks_used
 
 
+def _square(x: int) -> int:
+    """Module-level so process pools can pickle it."""
+    return x * x
+
+
+def _explode(x: int) -> int:
+    """Module-level so process pools can pickle it."""
+    raise RuntimeError(f"boom on {x}")
+
+
 class TestBackends:
     def test_serial_backend_preserves_order(self):
         backend = SerialBackend()
@@ -148,16 +166,67 @@ class TestBackends:
         with ThreadPoolBackend(max_workers=3) as backend:
             assert backend.map(lambda x: x * x, list(range(20))) == [x * x for x in range(20)]
 
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [SerialBackend, lambda: ThreadPoolBackend(max_workers=3), lambda: ProcessPoolBackend(max_workers=2)],
+        ids=["serial", "threads", "processes"],
+    )
+    def test_map_preserves_order(self, backend_factory):
+        with backend_factory() as backend:
+            assert backend.map(_square, list(range(12))) == [x * x for x in range(12)]
+
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [SerialBackend, lambda: ThreadPoolBackend(max_workers=2), lambda: ProcessPoolBackend(max_workers=2)],
+        ids=["serial", "threads", "processes"],
+    )
+    def test_submit_propagates_exceptions(self, backend_factory):
+        with backend_factory() as backend:
+            future = backend.submit(_explode, 5)
+            assert isinstance(future.exception(), RuntimeError)
+            with pytest.raises(RuntimeError, match="boom on 5"):
+                future.result()
+            # A failed item does not poison the backend.
+            assert backend.submit(_square, 4).result() == 16
+
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [SerialBackend, lambda: ThreadPoolBackend(max_workers=2), lambda: ProcessPoolBackend(max_workers=2)],
+        ids=["serial", "threads", "processes"],
+    )
+    def test_shutdown_is_idempotent(self, backend_factory):
+        backend = backend_factory()
+        assert backend.submit(_square, 3).result() == 9
+        backend.shutdown()
+        backend.shutdown()
+        # The pool is lazily recreated after shutdown.
+        assert backend.map(_square, [2]) == [4]
+        backend.shutdown()
+
+    def test_as_completed_yields_in_completion_order(self):
+        with ThreadPoolBackend(max_workers=2) as backend:
+            slow = backend.submit(lambda s: time.sleep(s) or "slow", 0.2)
+            fast = backend.submit(lambda s: time.sleep(s) or "fast", 0.01)
+            ordered = [future.result() for future in backend.as_completed([slow, fast])]
+        assert ordered == ["fast", "slow"]
+
     def test_resolver(self):
         assert isinstance(resolve_backend(None), SerialBackend)
         assert isinstance(resolve_backend("serial"), SerialBackend)
         assert isinstance(resolve_backend("threads"), ThreadPoolBackend)
+        assert isinstance(resolve_backend("processes"), ProcessPoolBackend)
         backend = SerialBackend()
         assert resolve_backend(backend) is backend
         with pytest.raises(ValueError):
             resolve_backend("mpi")
         with pytest.raises(ValueError):
             ThreadPoolBackend(max_workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(max_workers=0)
+
+    def test_resolver_forwards_max_workers(self):
+        assert resolve_backend("threads", max_workers=7).max_workers == 7
+        assert resolve_backend("processes", max_workers=2).max_workers == 2
 
 
 class TestMaster:
@@ -201,6 +270,53 @@ class TestMaster:
         assert len(evaluations) == 3
         assert all(not e.failed for e in evaluations)
         master.shutdown()
+
+    def test_max_workers_forwarded_to_named_backend(self, tiny_dataset, fast_training_config):
+        master = Master(
+            workers=[PhysicalWorker(device=ARRIA10_GX1150)],
+            dataset=tiny_dataset,
+            training_config=fast_training_config,
+            backend="threads",
+            max_workers=7,
+        )
+        assert master.backend.max_workers == 7
+        master.shutdown()
+        with pytest.raises(ValueError):
+            Master(workers=[PhysicalWorker(device=ARRIA10_GX1150)], max_workers=0)
+
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_submit_and_drain_collect_all_results(
+        self, tiny_dataset, fast_training_config, small_search_space, rng, backend
+    ):
+        master = self._master(tiny_dataset, fast_training_config, backend=backend)
+        genomes = [small_search_space.random_genome(rng, device=ARRIA10_GX1150) for _ in range(3)]
+        futures = [master.submit(genome) for genome in genomes]
+        assert len(futures) == 3
+        drained = master.drain()
+        assert len(drained) == 3
+        assert all(not evaluation.failed for evaluation in drained)
+        assert {e.genome.cache_key() for e in drained} == {g.cache_key() for g in genomes}
+        # drain() collects each submission exactly once.
+        assert master.drain() == []
+        assert master.in_flight_count == 0
+        master.shutdown()
+
+    def test_serial_and_parallel_population_results_match(
+        self, tiny_dataset, fast_training_config, small_search_space, rng
+    ):
+        genomes = [small_search_space.random_genome(rng, device=ARRIA10_GX1150) for _ in range(4)]
+        serial = self._master(tiny_dataset, fast_training_config, backend="serial")
+        threaded = self._master(tiny_dataset, fast_training_config, backend="threads")
+        serial_results = serial.evaluate_population(genomes)
+        threaded_results = threaded.evaluate_population(genomes)
+        # Per-request seeds are derived from the genome hash, so the same
+        # genome trains identically regardless of the dispatch mechanism.
+        for a, b in zip(serial_results, threaded_results):
+            assert a.genome.cache_key() == b.genome.cache_key()
+            assert a.accuracy == pytest.approx(b.accuracy, abs=1e-12)
+            assert a.parameter_count == b.parameter_count
+        serial.shutdown()
+        threaded.shutdown()
 
     def test_worker_error_becomes_error_field(self, tiny_dataset, fast_training_config, sample_genome):
         class ExplodingWorker(SimulationWorker):
