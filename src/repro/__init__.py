@@ -22,15 +22,28 @@ Subpackages
     Simulation / hardware-database / physical workers and the master process.
 ``repro.analysis``
     Frontier analysis, table formatting, figure data series.
+``repro.experiment``
+    Declarative experiment grids (spec, runner, artifacts) and the shared
+    registry primitive behind the pluggable datasets/backends/devices/
+    objectives/worker types.
 """
 
-from . import analysis, core, datasets, hardware, nn, workers
+from . import analysis, core, datasets, experiment, hardware, nn, workers
 from .core.config import ECADConfig
 from .core.genome import CoDesignGenome, CoDesignSearchSpace, HardwareGenome, MLPGenome
 from .core.search import CoDesignSearch, RandomSearch, SearchResult
-from .datasets.registry import available_datasets, load_dataset
-from .hardware.device import fpga_device, gpu_device
+from .datasets.registry import available_datasets, load_dataset, register_dataset
+from .experiment import (
+    ExperimentReport,
+    ExperimentRunner,
+    ExperimentSpec,
+    Registry,
+    RunArtifact,
+    resume_experiment,
+)
+from .hardware.device import fpga_device, gpu_device, register_fpga_device, register_gpu_device
 from .nn.mlp import MLP, MLPSpec
+from .workers.backends import register_backend
 
 __version__ = "1.0.0"
 
@@ -38,6 +51,7 @@ __all__ = [
     "analysis",
     "core",
     "datasets",
+    "experiment",
     "hardware",
     "nn",
     "workers",
@@ -51,8 +65,18 @@ __all__ = [
     "SearchResult",
     "available_datasets",
     "load_dataset",
+    "register_dataset",
+    "Registry",
+    "ExperimentSpec",
+    "ExperimentRunner",
+    "ExperimentReport",
+    "RunArtifact",
+    "resume_experiment",
     "fpga_device",
     "gpu_device",
+    "register_fpga_device",
+    "register_gpu_device",
+    "register_backend",
     "MLP",
     "MLPSpec",
     "__version__",

@@ -1,9 +1,10 @@
-"""Command-line interface: run an ECAD search from a configuration file.
+"""Command-line interface to the ECAD reproduction.
 
-Mirrors the paper's flow: point the tool at a dataset (a registered synthetic
-dataset or a CSV export) plus an optional JSON configuration file, and it runs
-the evolutionary co-design search, printing the best candidates, the Pareto
-frontier and the run-time statistics.
+Built around the unified experiment API: single searches (``run``),
+declarative grids with checkpoint/resume (``sweep`` / ``resume``), and
+introspection of the open registries (``datasets``, ``backends``,
+``devices``).  Any configuration field can be overridden from the command
+line with ``--set key=value``.
 
 Examples
 --------
@@ -12,17 +13,22 @@ Run a small accuracy+throughput search on the Credit-g analogue::
     ecad run --dataset credit-g --max-evaluations 60 --scale 0.2
 
 Run the same search asynchronously, 4 candidate evaluations in flight on a
-thread pool::
+thread pool, with a generic config override::
 
-    ecad run --dataset credit-g --backend threads --eval-workers 4
+    ecad run --dataset credit-g --backend threads --eval-workers 4 \
+        --set nna.max_layers=3
 
-Generate a configuration template from a dataset and save it::
+Execute a whole experiment grid from a declarative spec, then resume it
+after an interruption::
 
-    ecad template --dataset har --output har_config.json
+    ecad sweep --spec my_experiment.json --output-dir results/exp1
+    ecad resume results/exp1
 
-Run from a CSV export and a saved configuration::
+Inspect what is registered::
 
-    ecad run --csv mydata.csv --config my_config.json
+    ecad datasets
+    ecad backends
+    ecad devices
 """
 
 from __future__ import annotations
@@ -35,9 +41,14 @@ from dataclasses import replace
 from .analysis.reporting import format_scientific, format_table
 from .core.callbacks import ProgressLogger
 from .core.config import ECADConfig, OptimizationTargetConfig
+from .core.errors import ConfigurationError
 from .core.search import CoDesignSearch
 from .datasets.csv_io import load_dataset_csv
-from .datasets.registry import available_datasets, load_dataset
+from .datasets.registry import available_datasets, dataset_entries, load_dataset
+from .experiment import ExperimentRunner, ExperimentSpec, resume_experiment
+from .hardware.device import FPGA_DEVICES, GPU_DEVICES
+from .workers.backends import available_backends
+from .workers.base import available_workers
 
 __all__ = ["build_parser", "main"]
 
@@ -50,14 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = subparsers.add_parser("run", help="run a co-design search")
+    run_parser = subparsers.add_parser("run", help="run a single co-design search")
     _add_dataset_arguments(run_parser)
     run_parser.add_argument("--config", default="", help="path to a JSON ECAD configuration file")
     run_parser.add_argument("--population", type=int, default=16, help="population size")
     run_parser.add_argument("--max-evaluations", type=int, default=80, help="total candidate evaluations")
     run_parser.add_argument("--seed", type=int, default=0, help="search seed")
-    run_parser.add_argument("--fpga", default="arria10", help="FPGA target (arria10, stratix10)")
-    run_parser.add_argument("--gpu", default="titan_x", help="GPU baseline (titan_x, m5000, radeon_vii, or '' to disable)")
+    run_parser.add_argument("--fpga", default="arria10", help="FPGA target (see 'ecad devices')")
+    run_parser.add_argument("--gpu", default="titan_x", help="GPU baseline (see 'ecad devices', or '' to disable)")
     run_parser.add_argument(
         "--objective",
         choices=("accuracy", "codesign"),
@@ -67,15 +78,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--epochs", type=int, default=10, help="training epochs per candidate")
     run_parser.add_argument(
         "--backend",
-        choices=("serial", "threads", "processes"),
         default=None,
-        help="execution backend for candidate evaluation (default: serial, or the config file's value)",
+        help="execution backend for candidate evaluation (see 'ecad backends'; "
+        "default: serial, or the config file's value)",
     )
     run_parser.add_argument(
         "--eval-workers",
         type=int,
         default=None,
         help="candidate evaluations kept in flight at once (default: 1 = reproducible serial search)",
+    )
+    run_parser.add_argument(
+        "--set",
+        action="append",
+        dest="overrides",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override any configuration field by dotted key "
+        "(e.g. --set nna.max_layers=3 --set hardware.fpga=stratix10); "
+        "applied last, JSON values accepted",
     )
     run_parser.add_argument("--progress-every", type=int, default=10, help="progress print interval (steps)")
     run_parser.add_argument("--output", default="", help="optional path to write results as JSON")
@@ -86,7 +107,34 @@ def build_parser() -> argparse.ArgumentParser:
     template_parser.add_argument("--fpga", default="arria10", help="FPGA target")
     template_parser.add_argument("--gpu", default="titan_x", help="GPU baseline")
 
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="execute a declarative experiment grid from a spec file"
+    )
+    sweep_parser.add_argument("--spec", required=True, help="path to an ExperimentSpec JSON file")
+    sweep_parser.add_argument(
+        "--output-dir",
+        default="",
+        help="artifact directory (default: the spec's output_dir, or experiments/<name>)",
+    )
+    sweep_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the resume-aware run plan without executing anything",
+    )
+    sweep_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="re-run every cell even when a completed artifact exists",
+    )
+
+    resume_parser = subparsers.add_parser(
+        "resume", help="resume a checkpointed experiment from its output directory"
+    )
+    resume_parser.add_argument("output_dir", help="directory a previous 'ecad sweep' wrote")
+
     subparsers.add_parser("datasets", help="list the registered datasets")
+    subparsers.add_parser("backends", help="list the registered execution backends and worker types")
+    subparsers.add_parser("devices", help="list the registered FPGA and GPU devices")
     return parser
 
 
@@ -106,12 +154,57 @@ def _resolve_dataset(args: argparse.Namespace):
     raise SystemExit("error: provide either --dataset or --csv")
 
 
+# ---------------------------------------------------------------- registries
 def _command_datasets() -> int:
-    for name in available_datasets():
-        print(name)
+    rows = [
+        {
+            "name": entry.name,
+            "protocol": entry.evaluation_protocol,
+            "paper_best_any": entry.paper_top_accuracy_any,
+            "paper_best_mlp": entry.paper_top_accuracy_mlp,
+            "paper_ecad": entry.paper_ecad_accuracy,
+        }
+        for entry in dataset_entries()
+    ]
+    print(format_table(rows, title="Registered datasets (reference accuracies from Tables I/II)"))
     return 0
 
 
+def _command_backends() -> int:
+    print("execution backends: " + ", ".join(available_backends()))
+    print("worker types:       " + ", ".join(available_workers()))
+    return 0
+
+
+def _command_devices() -> int:
+    fpga_rows = [
+        {
+            "name": name,
+            "device": device.name,
+            "dsp": device.dsp_count,
+            "clock_mhz": device.clock_mhz,
+            "ddr_banks": device.ddr_banks,
+            "peak_gflops": device.peak_gflops,
+        }
+        for name, device in FPGA_DEVICES.entries().items()
+    ]
+    gpu_rows = [
+        {
+            "name": name,
+            "device": device.name,
+            "peak_tflops": device.peak_tflops,
+            "bandwidth_gbps": device.memory_bandwidth_gbps,
+            "sms": device.streaming_multiprocessors,
+        }
+        for name, device in GPU_DEVICES.entries().items()
+    ]
+    print(format_table(fpga_rows, title="Registered FPGA devices"))
+    print()
+    print(format_table(gpu_rows, title="Registered GPU devices"))
+    return 0
+
+
+# ------------------------------------------------------------------ template
 def _command_template(args: argparse.Namespace) -> int:
     dataset = _resolve_dataset(args)
     config = ECADConfig.template_for_dataset(dataset, fpga=args.fpga, gpu=args.gpu)
@@ -120,7 +213,14 @@ def _command_template(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
+# ----------------------------------------------------------------------- run
+def resolve_run_config(args: argparse.Namespace):
+    """Build the (dataset, config) pair for ``ecad run``.
+
+    Precedence, lowest to highest: configuration file (or generated
+    template), explicit CLI flags (``--backend`` / ``--eval-workers``),
+    generic ``--set key=value`` overrides.
+    """
     dataset = _resolve_dataset(args)
     if args.config:
         config = ECADConfig.load(args.config)
@@ -150,7 +250,14 @@ def _command_run(args: argparse.Namespace) -> int:
         overrides["eval_parallelism"] = args.eval_workers
     if overrides:
         config = replace(config, **overrides)
+    # Generic --set assignments are the most specific and win over both.
+    if args.overrides:
+        config = config.with_overrides(args.overrides)
+    return dataset, config
 
+
+def _command_run(args: argparse.Namespace) -> int:
+    dataset, config = resolve_run_config(args)
     search = CoDesignSearch(
         dataset, config=config, callbacks=[ProgressLogger(interval=args.progress_every)]
     )
@@ -197,16 +304,55 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- sweep
+def _command_sweep(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.load(args.spec)
+    runner = ExperimentRunner(spec, output_dir=args.output_dir or None, printer=print)
+    if args.dry_run:
+        rows = runner.plan(resume=not args.no_resume)
+        print(format_table(rows, title=f"Sweep plan for experiment {spec.name!r} "
+                                       f"({spec.grid_size} cells)"))
+        pending = sum(1 for row in rows if row["status"] == "pending")
+        print(f"\n{pending} cell(s) to run, {len(rows) - pending} already completed "
+              f"(artifacts in {runner.output_dir})")
+        return 0
+    report = runner.run(resume=not args.no_resume)
+    print()
+    print(report.summary_table())
+    if report.failed:
+        print(f"\n{len(report.failed)} cell(s) FAILED")
+        return 1
+    return 0
+
+
+def _command_resume(args: argparse.Namespace) -> int:
+    report = resume_experiment(args.output_dir, printer=print)
+    print()
+    print(report.summary_table())
+    return 1 if report.failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``ecad`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "datasets":
-        return _command_datasets()
-    if args.command == "template":
-        return _command_template(args)
-    if args.command == "run":
-        return _command_run(args)
+    try:
+        if args.command == "datasets":
+            return _command_datasets()
+        if args.command == "backends":
+            return _command_backends()
+        if args.command == "devices":
+            return _command_devices()
+        if args.command == "template":
+            return _command_template(args)
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
+        if args.command == "resume":
+            return _command_resume(args)
+    except ConfigurationError as exc:
+        raise SystemExit(f"error: {exc}") from exc
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -20,8 +20,9 @@ a dataset.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
+from typing import Iterable, Mapping
 
 from ..datasets.base import Dataset, DatasetInfo
 from ..hardware.device import FPGADevice, GPUDevice, fpga_device, gpu_device
@@ -32,7 +33,14 @@ from .fitness import FitnessObjective
 from .genome import CoDesignSearchSpace, HardwareSearchSpace, MLPSearchSpace
 from .mutation import MutationConfig
 
-__all__ = ["NNAStructureConfig", "HardwareTargetConfig", "OptimizationTargetConfig", "ECADConfig"]
+__all__ = [
+    "NNAStructureConfig",
+    "HardwareTargetConfig",
+    "OptimizationTargetConfig",
+    "ECADConfig",
+    "parse_override",
+    "parse_override_value",
+]
 
 
 @dataclass(frozen=True)
@@ -147,6 +155,35 @@ class OptimizationTargetConfig:
         return cls(objectives=(("accuracy", 1.0, True), ("fpga_throughput", 1.0, True)))
 
 
+def _reject_unknown_keys(data: Mapping, allowed: set[str], section: str) -> None:
+    """Raise when ``data`` contains keys outside ``allowed``."""
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {section} key(s): {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+def parse_override_value(text: str):
+    """Parse a ``--set`` value: JSON when possible, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except (json.JSONDecodeError, TypeError):
+        return text
+
+
+def parse_override(assignment: str) -> tuple[str, object]:
+    """Split one ``key=value`` assignment into a dotted key and parsed value."""
+    key, separator, raw = str(assignment).partition("=")
+    key = key.strip()
+    if not separator or not key:
+        raise ConfigurationError(
+            f"override {assignment!r} is not of the form key=value (e.g. nna.max_layers=6)"
+        )
+    return key, parse_override_value(raw)
+
+
 @dataclass(frozen=True)
 class ECADConfig:
     """The full ECAD configuration file.
@@ -177,9 +214,12 @@ class ECADConfig:
             raise ConfigurationError(
                 f"evaluation_protocol must be '1-fold' or '10-fold', got {self.evaluation_protocol!r}"
             )
-        if self.backend not in ("serial", "threads", "processes"):
+        # Imported lazily: repro.workers depends on repro.core at import time.
+        from ..workers.backends import BACKENDS, available_backends
+
+        if self.backend not in BACKENDS:
             raise ConfigurationError(
-                f"backend must be 'serial', 'threads' or 'processes', got {self.backend!r}"
+                f"unknown backend {self.backend!r}; registered: {', '.join(available_backends())}"
             )
         if self.eval_parallelism < 1:
             raise ConfigurationError(
@@ -277,34 +317,57 @@ class ECADConfig:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ECADConfig":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Unknown keys are rejected (at the top level and inside each section)
+        so that typos in hand-edited configuration files fail loudly instead
+        of silently falling back to defaults.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"malformed configuration: expected an object, got {type(data).__name__}"
+            )
         try:
             nna_data = dict(data["nna"])
             hardware_data = dict(data.get("hardware", {}))
             optimization_data = dict(data.get("optimization", {}))
-        except (KeyError, TypeError) as exc:
+        except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed configuration: {exc}") from exc
-        nna = NNAStructureConfig(
-            input_size=int(nna_data["input_size"]),
-            output_size=int(nna_data["output_size"]),
-            min_layers=int(nna_data.get("min_layers", 1)),
-            max_layers=int(nna_data.get("max_layers", 4)),
-            layer_sizes=tuple(int(v) for v in nna_data.get("layer_sizes", (16, 32, 64, 128, 256, 512, 1024))),
-            activations=tuple(nna_data.get("activations", ("relu", "tanh", "sigmoid", "elu"))),
-            allow_bias_toggle=bool(nna_data.get("allow_bias_toggle", True)),
-        )
-        hardware = HardwareTargetConfig(
-            fpga=str(hardware_data.get("fpga", "arria10")),
-            ddr_banks=int(hardware_data.get("ddr_banks", 0)),
-            clock_mhz=float(hardware_data.get("clock_mhz", 0.0)),
-            gpu=str(hardware_data.get("gpu", "titan_x")),
-            fpga_batch_sizes=tuple(int(v) for v in hardware_data.get("fpga_batch_sizes", (256, 512, 1024, 2048, 4096, 8192))),
-            gpu_batch_sizes=tuple(int(v) for v in hardware_data.get("gpu_batch_sizes", (64, 128, 256, 512, 1024))),
-        )
+        _reject_unknown_keys(data, _TOP_LEVEL_KEYS, section="configuration")
+        _reject_unknown_keys(nna_data, _NNA_KEYS, section="nna")
+        _reject_unknown_keys(hardware_data, _HARDWARE_KEYS, section="hardware")
+        _reject_unknown_keys(optimization_data, _OPTIMIZATION_KEYS, section="optimization")
+        try:
+            nna = NNAStructureConfig(
+                input_size=int(nna_data["input_size"]),
+                output_size=int(nna_data["output_size"]),
+                min_layers=int(nna_data.get("min_layers", 1)),
+                max_layers=int(nna_data.get("max_layers", 4)),
+                layer_sizes=tuple(int(v) for v in nna_data.get("layer_sizes", (16, 32, 64, 128, 256, 512, 1024))),
+                activations=tuple(nna_data.get("activations", ("relu", "tanh", "sigmoid", "elu"))),
+                allow_bias_toggle=bool(nna_data.get("allow_bias_toggle", True)),
+            )
+            hardware = HardwareTargetConfig(
+                fpga=str(hardware_data.get("fpga", "arria10")),
+                ddr_banks=int(hardware_data.get("ddr_banks", 0)),
+                clock_mhz=float(hardware_data.get("clock_mhz", 0.0)),
+                gpu=str(hardware_data.get("gpu", "titan_x")),
+                fpga_batch_sizes=tuple(int(v) for v in hardware_data.get("fpga_batch_sizes", (256, 512, 1024, 2048, 4096, 8192))),
+                gpu_batch_sizes=tuple(int(v) for v in hardware_data.get("gpu_batch_sizes", (64, 128, 256, 512, 1024))),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed configuration: {exc!r}") from exc
         objectives_data = optimization_data.get("objectives", [["accuracy", 1.0, True], ["fpga_throughput", 1.0, True]])
-        optimization = OptimizationTargetConfig(
-            objectives=tuple((str(n), float(w), bool(m)) for n, w, m in objectives_data)
-        )
+        try:
+            objectives = tuple((str(n), float(w), bool(m)) for n, w, m in objectives_data)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed optimization objectives {objectives_data!r}: "
+                "expected [name, weight, maximize] triples"
+            ) from exc
+        optimization = OptimizationTargetConfig(objectives=objectives)
+        if "dataset_name" not in data:
+            raise ConfigurationError("malformed configuration: missing 'dataset_name'")
         return cls(
             dataset_name=str(data["dataset_name"]),
             nna=nna,
@@ -323,6 +386,41 @@ class ECADConfig:
             eval_parallelism=int(data.get("eval_parallelism", 1)),
         )
 
+    def with_overrides(
+        self, assignments: Mapping[str, object] | Iterable[str]
+    ) -> "ECADConfig":
+        """Apply dotted-key overrides and return the re-validated configuration.
+
+        ``assignments`` is either a mapping of dotted keys to values
+        (``{"nna.max_layers": 6}``) or an iterable of CLI-style
+        ``"key=value"`` strings (values parsed as JSON when possible).  This
+        is the machinery behind the ``--set`` flag and the experiment specs'
+        ``overrides`` section; unknown keys are rejected.
+        """
+        if isinstance(assignments, Mapping):
+            pairs = [(str(key), value) for key, value in assignments.items()]
+        else:
+            pairs = [parse_override(assignment) for assignment in assignments]
+        data = self.to_dict()
+        for dotted_key, value in pairs:
+            parts = [part for part in dotted_key.split(".") if part]
+            if not parts:
+                raise ConfigurationError(f"empty override key in {dotted_key!r}")
+            node = data
+            for part in parts[:-1]:
+                if not isinstance(node.get(part), dict):
+                    raise ConfigurationError(
+                        f"unknown configuration key {dotted_key!r} (no section {part!r})"
+                    )
+                node = node[part]
+            if parts[-1] not in node:
+                raise ConfigurationError(
+                    f"unknown configuration key {dotted_key!r}; "
+                    f"known keys here: {', '.join(sorted(node))}"
+                )
+            node[parts[-1]] = value
+        return ECADConfig.from_dict(data)
+
     def save(self, path: str | Path) -> None:
         """Write the configuration to a JSON file."""
         path = Path(path)
@@ -340,3 +438,11 @@ class ECADConfig:
         except json.JSONDecodeError as exc:
             raise ConfigurationError(f"configuration file {path} is not valid JSON: {exc}") from exc
         return cls.from_dict(data)
+
+
+#: Allowed key sets for strict :meth:`ECADConfig.from_dict` parsing, derived
+#: from the dataclass fields so they never drift from the schema.
+_TOP_LEVEL_KEYS = {f.name for f in fields(ECADConfig)}
+_NNA_KEYS = {f.name for f in fields(NNAStructureConfig)}
+_HARDWARE_KEYS = {f.name for f in fields(HardwareTargetConfig)}
+_OPTIMIZATION_KEYS = {f.name for f in fields(OptimizationTargetConfig)}

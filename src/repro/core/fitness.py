@@ -26,14 +26,17 @@ from typing import Callable
 
 import numpy as np
 
+from ..registry import Registry
 from .candidate import CandidateEvaluation
 from .errors import ConfigurationError
 
 __all__ = [
+    "OBJECTIVES",
     "ObjectiveFunction",
     "register_objective",
     "available_objectives",
     "get_objective",
+    "objective_default_maximize",
     "FitnessObjective",
     "FitnessResult",
     "FitnessEvaluator",
@@ -42,10 +45,19 @@ __all__ = [
 #: An objective maps an evaluated candidate to a raw scalar value.
 ObjectiveFunction = Callable[[CandidateEvaluation], float]
 
-_REGISTRY: dict[str, ObjectiveFunction] = {}
+#: The shared objective registry; plugins may register additional objectives.
+OBJECTIVES: Registry[ObjectiveFunction] = Registry("objective")
+
+#: Default optimization direction per registered objective (True = maximize).
+_DEFAULT_MAXIMIZE: dict[str, bool] = {}
 
 
-def register_objective(name: str, function: ObjectiveFunction, overwrite: bool = False) -> None:
+def register_objective(
+    name: str,
+    function: ObjectiveFunction,
+    overwrite: bool = False,
+    maximize_by_default: bool = True,
+) -> None:
     """Register a new objective under ``name``.
 
     Parameters
@@ -57,28 +69,37 @@ def register_objective(name: str, function: ObjectiveFunction, overwrite: bool =
     overwrite:
         Allow replacing an existing registration (off by default so typos do
         not silently shadow built-ins).
+    maximize_by_default:
+        Direction used when the objective is named without an explicit
+        direction (e.g. in an experiment spec's objective grid); pass False
+        for cost-style objectives such as latency.
     """
-    key = str(name).strip().lower()
-    if not key:
-        raise ConfigurationError("objective name must not be empty")
-    if key in _REGISTRY and not overwrite:
-        raise ConfigurationError(f"objective {name!r} is already registered")
-    _REGISTRY[key] = function
+    try:
+        OBJECTIVES.register(name, function, overwrite=overwrite)
+    except ValueError as exc:
+        raise ConfigurationError(str(exc)) from exc
+    _DEFAULT_MAXIMIZE[OBJECTIVES.canonical_name(name)] = bool(maximize_by_default)
+
+
+def objective_default_maximize(name: str) -> bool:
+    """Whether a registered objective is maximized when no direction is given."""
+    get_objective(name)  # raise the usual error for unknown names
+    return _DEFAULT_MAXIMIZE.get(OBJECTIVES.canonical_name(name), True)
 
 
 def available_objectives() -> list[str]:
     """Sorted names of all registered objectives."""
-    return sorted(_REGISTRY)
+    return OBJECTIVES.available()
 
 
 def get_objective(name: str) -> ObjectiveFunction:
     """Look up a registered objective by name."""
-    key = str(name).strip().lower()
-    if key not in _REGISTRY:
+    try:
+        return OBJECTIVES.resolve(name)
+    except KeyError as exc:
         raise ConfigurationError(
             f"unknown objective {name!r}; available: {', '.join(available_objectives())}"
-        )
-    return _REGISTRY[key]
+        ) from exc
 
 
 # ---------------------------------------------------------------------------
@@ -121,11 +142,11 @@ def _dsp_usage(evaluation: CandidateEvaluation) -> float:
 register_objective("accuracy", _accuracy)
 register_objective("fpga_throughput", _fpga_throughput)
 register_objective("gpu_throughput", _gpu_throughput)
-register_objective("fpga_latency", _fpga_latency)
+register_objective("fpga_latency", _fpga_latency, maximize_by_default=False)
 register_objective("fpga_efficiency", _fpga_efficiency)
 register_objective("fpga_effective_gflops", _fpga_effective_gflops)
-register_objective("parameter_count", _parameter_count)
-register_objective("dsp_usage", _dsp_usage)
+register_objective("parameter_count", _parameter_count, maximize_by_default=False)
+register_objective("dsp_usage", _dsp_usage, maximize_by_default=False)
 
 
 # ---------------------------------------------------------------------------

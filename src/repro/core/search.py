@@ -126,22 +126,26 @@ class CoDesignSearch:
         self.cache = EvaluationCache()
 
     # ----------------------------------------------------------- assembly
+    #: Worker types consulted for every candidate, resolved by registered
+    #: name so plugins can swap implementations without touching this class.
+    worker_types: tuple[str, ...] = ("simulation", "hardware_db", "physical")
+
     def build_master(self):
         """Construct the master with the workers the configuration asks for."""
         # Imported lazily to keep repro.core free of a package-level
         # dependency cycle with repro.workers.
-        from ..workers.hardware_db import HardwareDatabaseWorker
+        from ..workers.base import resolve_worker
         from ..workers.master import Master
-        from ..workers.physical import PhysicalWorker
-        from ..workers.simulation import SimulationWorker
 
         fpga = self.config.hardware.fpga_device()
         gpu = self.config.hardware.gpu_device()
-        workers = [
-            SimulationWorker(gpu=gpu, measure_gpu=gpu is not None),
-            HardwareDatabaseWorker(device=fpga),
-            PhysicalWorker(device=fpga),
-        ]
+        workers = []
+        for type_name in self.worker_types:
+            worker_cls = resolve_worker(type_name)
+            if type_name == "simulation":
+                workers.append(worker_cls(gpu=gpu, measure_gpu=gpu is not None))
+            else:
+                workers.append(worker_cls(device=fpga))
         return Master(
             workers=workers,
             dataset=self.dataset,
@@ -232,33 +236,38 @@ class RandomSearch:
         self.cache = EvaluationCache()
 
     def run(self) -> SearchResult:
-        """Draw, evaluate and rank random candidates."""
+        """Draw, evaluate and rank random candidates.
+
+        When the evaluator exposes the asynchronous batch interface
+        (``submit``/``as_completed``, e.g. :class:`~repro.workers.master.Master`),
+        distinct genomes are dispatched through it and evaluated with up to
+        ``eval_parallelism`` candidates in flight on the configured execution
+        backend; otherwise the original serial loop runs.  Either way the
+        genome draws, the history order and the result ranking are identical,
+        so the ablation baseline stays reproducible.
+        """
         rng = np.random.default_rng(self.seed)
         history = SearchHistory()
         statistics = RunStatistics()
         import time as _time
 
         start = _time.perf_counter()
-        evaluations: list[CandidateEvaluation] = []
-        for step in range(self.max_evaluations):
-            genome: CoDesignGenome = self.space.random_genome(rng, device=self.device)
-            statistics.models_generated += 1
-            cached = self.cache.lookup(genome)
-            if cached is not None:
-                statistics.cache_hits += 1
-                evaluation = cached
-            else:
-                eval_start = _time.perf_counter()
-                try:
-                    evaluation = self.evaluator(genome)
-                except Exception as exc:  # noqa: BLE001 - mirror the engine's behaviour
-                    evaluation = CandidateEvaluation(genome=genome, error=str(exc))
-                elapsed = _time.perf_counter() - eval_start
-                statistics.models_evaluated += 1
-                statistics.total_evaluation_seconds += elapsed
-                self.cache.store(evaluation)
-            evaluations.append(evaluation)
-            fitness = self.fitness.score(evaluation, reference=evaluations)
+        # Draw every genome up front so the RNG stream does not depend on the
+        # evaluation schedule.
+        genomes: list[CoDesignGenome] = [
+            self.space.random_genome(rng, device=self.device)
+            for _ in range(self.max_evaluations)
+        ]
+        statistics.models_generated = len(genomes)
+
+        use_async = hasattr(self.evaluator, "submit") and hasattr(self.evaluator, "as_completed")
+        if use_async:
+            evaluations = self._evaluate_async(genomes, statistics)
+        else:
+            evaluations = self._evaluate_serial(genomes, statistics)
+
+        for step, evaluation in enumerate(evaluations):
+            fitness = self.fitness.score(evaluation, reference=evaluations[: step + 1])
             history.on_evaluation(evaluation, fitness, step)
         statistics.wall_clock_seconds = _time.perf_counter() - start
 
@@ -275,3 +284,75 @@ class RandomSearch:
             history=history,
             statistics=statistics,
         )
+
+    # ------------------------------------------------------------ evaluation
+    def _evaluate_serial(
+        self, genomes: list[CoDesignGenome], statistics: RunStatistics
+    ) -> list[CandidateEvaluation]:
+        """Original serial loop: one evaluator call at a time, cache-first."""
+        import time as _time
+
+        evaluations: list[CandidateEvaluation] = []
+        for genome in genomes:
+            cached = self.cache.lookup(genome)
+            if cached is not None:
+                statistics.cache_hits += 1
+                evaluations.append(cached)
+                continue
+            eval_start = _time.perf_counter()
+            try:
+                evaluation = self.evaluator(genome)
+            except Exception as exc:  # noqa: BLE001 - mirror the engine's behaviour
+                evaluation = CandidateEvaluation(genome=genome, error=str(exc))
+            statistics.models_evaluated += 1
+            statistics.total_evaluation_seconds += _time.perf_counter() - eval_start
+            self.cache.store(evaluation)
+            evaluations.append(evaluation)
+        return evaluations
+
+    def _evaluate_async(
+        self, genomes: list[CoDesignGenome], statistics: RunStatistics
+    ) -> list[CandidateEvaluation]:
+        """Fan distinct genomes out through the evaluator's futures interface.
+
+        Each distinct uncached genome is submitted exactly once; repeat draws
+        are answered by the evaluation cache, matching the serial path's
+        statistics.  Results are collected in completion order but reassembled
+        in draw order.
+        """
+        futures: dict[str, object] = {}
+        for genome in genomes:
+            key = genome.cache_key()
+            if key in futures or self.cache.lookup(genome) is not None:
+                continue
+            futures[key] = self.evaluator.submit(genome)
+
+        fresh: dict[str, CandidateEvaluation] = {}
+        future_keys = {id(future): key for key, future in futures.items()}
+        for done in self.evaluator.as_completed(list(futures.values())):
+            key = future_keys[id(done)]
+            try:
+                evaluation = done.result()
+            except Exception as exc:  # noqa: BLE001 - mirror the engine's behaviour
+                genome = next(g for g in genomes if g.cache_key() == key)
+                evaluation = CandidateEvaluation(genome=genome, error=str(exc))
+            statistics.models_evaluated += 1
+            # The evaluation's own stamp is the only honest per-candidate
+            # time here; submit-to-completion wall time would also count the
+            # queueing delay behind other in-flight candidates.
+            statistics.total_evaluation_seconds += getattr(evaluation, "evaluation_seconds", 0.0)
+            self.cache.store(evaluation)
+            fresh[key] = evaluation
+
+        evaluations: list[CandidateEvaluation] = []
+        first_use = set()
+        for genome in genomes:
+            key = genome.cache_key()
+            if key in fresh and key not in first_use:
+                first_use.add(key)
+                evaluations.append(fresh[key])
+                continue
+            cached = self.cache.lookup(genome)
+            statistics.cache_hits += 1
+            evaluations.append(cached if cached is not None else fresh[key])
+        return evaluations

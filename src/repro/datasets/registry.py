@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..registry import Registry
 from .base import Dataset
 from .synthetic import (
     PAPER_DATASET_SPECS,
@@ -23,7 +24,15 @@ from .synthetic import (
     make_phishing_like,
 )
 
-__all__ = ["DatasetEntry", "available_datasets", "load_dataset", "dataset_entry", "register_dataset"]
+__all__ = [
+    "DATASETS",
+    "DatasetEntry",
+    "available_datasets",
+    "load_dataset",
+    "dataset_entry",
+    "dataset_entries",
+    "register_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -60,35 +69,32 @@ class DatasetEntry:
         return self.factory(seed=seed, scale=scale)
 
 
-_REGISTRY: dict[str, DatasetEntry] = {}
+#: The shared dataset registry; plugins may register additional entries.
+#: ``allow_rebind`` keeps the historical behaviour of letting the same
+#: canonical entry be re-registered (e.g. on module reload).
+DATASETS: Registry[DatasetEntry] = Registry("dataset", allow_rebind=True)
 
 
-def register_dataset(entry: DatasetEntry, aliases: tuple[str, ...] = ()) -> None:
+def register_dataset(
+    entry: DatasetEntry, aliases: tuple[str, ...] = (), overwrite: bool = False
+) -> None:
     """Add a dataset entry (and optional aliases) to the registry."""
-    for key in (entry.name, *aliases):
-        normalized = _normalize(key)
-        if normalized in _REGISTRY and _REGISTRY[normalized].name != entry.name:
-            raise ValueError(f"dataset name {key!r} is already registered")
-        _REGISTRY[normalized] = entry
-
-
-def _normalize(name: str) -> str:
-    return str(name).strip().lower().replace("-", "_").replace(" ", "_")
+    DATASETS.register(entry.name, entry, aliases=aliases, overwrite=overwrite)
 
 
 def available_datasets() -> list[str]:
     """Canonical names of all registered datasets (aliases excluded)."""
-    return sorted({entry.name for entry in _REGISTRY.values()})
+    return DATASETS.available()
+
+
+def dataset_entries() -> list[DatasetEntry]:
+    """All registered entries in canonical-name order (aliases deduplicated)."""
+    return list(DATASETS.entries().values())
 
 
 def dataset_entry(name: str) -> DatasetEntry:
     """Look up a dataset entry by name or alias."""
-    key = _normalize(name)
-    if key not in _REGISTRY:
-        raise KeyError(
-            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
-        )
-    return _REGISTRY[key]
+    return DATASETS.resolve(name)
 
 
 def load_dataset(name: str, seed: int | None = 0, scale: float = 1.0) -> Dataset:

@@ -1,0 +1,33 @@
+"""Declarative experiment layer: registries, grids, checkpointed runs.
+
+This package is the public face of the "unified experiment API":
+
+* :class:`~repro.registry.Registry` — the shared primitive behind the open
+  dataset / execution-backend / device / objective / worker-type registries,
+  so plugins extend any axis of the system by registration instead of
+  forking library code.
+* :class:`~repro.experiment.spec.ExperimentSpec` — a declarative grid
+  (datasets × objectives × seeds) that round-trips through JSON like
+  :class:`~repro.core.config.ECADConfig`.
+* :class:`~repro.experiment.runner.ExperimentRunner` — executes the grid
+  through the asynchronous backend stack, writes per-run
+  :class:`~repro.experiment.artifacts.RunArtifact` checkpoints, and
+  aggregates them into an :class:`~repro.experiment.artifacts.ExperimentReport`
+  (JSON + CSV); interrupted grids resume where they stopped.
+"""
+
+from ..registry import Registry
+from .artifacts import ExperimentReport, RunArtifact
+from .runner import ExperimentRunner, resume_experiment
+from .spec import ExperimentSpec, RunCell, objective_config_from_spec
+
+__all__ = [
+    "Registry",
+    "ExperimentSpec",
+    "RunCell",
+    "objective_config_from_spec",
+    "RunArtifact",
+    "ExperimentReport",
+    "ExperimentRunner",
+    "resume_experiment",
+]

@@ -1,0 +1,218 @@
+"""Execution of experiment grids with checkpoint/resume.
+
+:class:`ExperimentRunner` turns an
+:class:`~repro.experiment.spec.ExperimentSpec` into concrete
+:class:`~repro.core.search.CoDesignSearch` runs: each grid cell generates a
+dataset and an :class:`~repro.core.config.ECADConfig` template, runs the
+search through the asynchronous backend stack, and writes a
+:class:`~repro.experiment.artifacts.RunArtifact` JSON under
+``<output-dir>/runs/`` the moment it finishes.  Because artifacts are
+per-cell and keyed on stable run ids, an interrupted grid resumes exactly
+where it stopped — completed cells are skipped, failed or stale ones (the
+spec's per-run settings changed) are re-run.
+
+Whole cells can also be kept in flight concurrently (``run_parallelism``),
+fanned out through the same futures-based
+:class:`~repro.workers.backends.ExecutionBackend` machinery the master uses
+for candidate evaluations.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable
+
+from ..core.config import ECADConfig
+from ..core.errors import ConfigurationError
+from ..core.search import CoDesignSearch
+from ..datasets.registry import load_dataset
+from ..workers.backends import resolve_backend
+from .artifacts import ExperimentReport, RunArtifact
+from .spec import ExperimentSpec, RunCell, objective_config_from_spec
+
+__all__ = ["ExperimentRunner", "resume_experiment"]
+
+
+class ExperimentRunner:
+    """Runs (and resumes) every cell of an experiment grid.
+
+    Parameters
+    ----------
+    spec:
+        The declarative experiment grid.
+    output_dir:
+        Where artifacts live; defaults to the spec's ``output_dir`` or
+        ``experiments/<name>``.
+    printer:
+        Optional progress callable (e.g. ``print``); ``None`` keeps the
+        runner silent.
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        output_dir: str | Path | None = None,
+        printer: Callable[[str], None] | None = None,
+    ) -> None:
+        self.spec = spec
+        self.output_dir = Path(output_dir or spec.output_dir or Path("experiments") / spec.name)
+        self.runs_dir = self.output_dir / "runs"
+        self._printer = printer
+        self._digest = spec.cell_digest()
+
+    # ----------------------------------------------------------- checkpoints
+    def artifact_path(self, cell: RunCell) -> Path:
+        """Where the artifact of one cell is stored."""
+        return self.runs_dir / f"{cell.run_id}.json"
+
+    def saved_artifact(self, cell: RunCell) -> RunArtifact | None:
+        """The reusable artifact of a cell, or None when it must (re-)run.
+
+        An artifact is reusable when it exists, parses, completed
+        successfully, and was produced under the same per-run settings
+        (matching cell digest).
+        """
+        path = self.artifact_path(cell)
+        if not path.exists():
+            return None
+        try:
+            artifact = RunArtifact.load(path)
+        except ConfigurationError:
+            return None
+        if not artifact.completed or artifact.cell_digest != self._digest:
+            return None
+        return artifact
+
+    def plan(self, resume: bool = True) -> list[dict]:
+        """Resume-aware view of the grid: one row per cell with its status.
+
+        ``resume=False`` mirrors ``run(resume=False)``: every cell is
+        reported pending because saved artifacts would be ignored.
+        """
+        rows = []
+        for cell in self.spec.cells():
+            saved = self.saved_artifact(cell) if resume else None
+            row = cell.to_dict()
+            row["status"] = "completed" if saved is not None else "pending"
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------- execution
+    def run(self, resume: bool = True) -> ExperimentReport:
+        """Execute the grid and return the aggregate report.
+
+        With ``resume`` (the default) cells whose artifact already exists
+        are skipped; ``resume=False`` re-runs everything.  The current spec
+        and the aggregate report (JSON + CSV) are written to the output
+        directory either way.
+        """
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        self.spec.save(self.output_dir / "spec.json")
+
+        cells = self.spec.cells()
+        results: dict[str, RunArtifact] = {}
+        pending: list[RunCell] = []
+        for cell in cells:
+            saved = self.saved_artifact(cell) if resume else None
+            if saved is not None:
+                results[cell.run_id] = saved
+                self._log(f"[{cell.run_id}] completed artifact found, skipping")
+            else:
+                pending.append(cell)
+
+        if pending:
+            self._log(
+                f"experiment {self.spec.name!r}: running {len(pending)} of "
+                f"{len(cells)} cells ({len(results)} resumed)"
+            )
+        if self.spec.run_parallelism > 1 and len(pending) > 1:
+            self._run_concurrent(pending, results)
+        else:
+            for cell in pending:
+                self._finish_cell(cell, self._execute_cell(cell), results)
+
+        report = ExperimentReport(
+            spec=self.spec, artifacts=[results[cell.run_id] for cell in cells]
+        )
+        json_path, csv_path = report.save(self.output_dir)
+        self._log(f"wrote {json_path} and {csv_path}")
+        return report
+
+    def _run_concurrent(self, pending: list[RunCell], results: dict[str, RunArtifact]) -> None:
+        """Fan whole cells through a thread-pool execution backend."""
+        backend = resolve_backend("threads", max_workers=self.spec.run_parallelism)
+        try:
+            futures = [(backend.submit(self._execute_cell, cell), cell) for cell in pending]
+            cell_by_future = {id(future): cell for future, cell in futures}
+            for done in backend.as_completed([future for future, _ in futures]):
+                self._finish_cell(cell_by_future[id(done)], done.result(), results)
+        finally:
+            backend.shutdown()
+
+    def _finish_cell(
+        self, cell: RunCell, artifact: RunArtifact, results: dict[str, RunArtifact]
+    ) -> None:
+        artifact.save(self.artifact_path(cell))
+        results[cell.run_id] = artifact
+        if artifact.completed:
+            self._log(
+                f"[{cell.run_id}] completed: best accuracy {artifact.best_accuracy:.4f} "
+                f"in {artifact.wall_clock_seconds:.1f}s"
+            )
+        else:
+            self._log(f"[{cell.run_id}] FAILED: {artifact.error}")
+
+    def _execute_cell(self, cell: RunCell) -> RunArtifact:
+        """Run one grid cell end to end; never raises."""
+        start = time.perf_counter()
+        try:
+            dataset = load_dataset(cell.dataset, seed=self.spec.data_seed, scale=self.spec.scale)
+            config = self.build_config(cell, dataset)
+            search = CoDesignSearch(dataset, config=config)
+            result = search.run()
+            return RunArtifact.from_result(
+                cell, result, time.perf_counter() - start, cell_digest=self._digest
+            )
+        except Exception as exc:  # noqa: BLE001 - a failed cell must not kill the grid
+            return RunArtifact.from_failure(
+                cell, str(exc), time.perf_counter() - start, cell_digest=self._digest
+            )
+
+    def build_config(self, cell: RunCell, dataset) -> ECADConfig:
+        """The concrete run configuration of one grid cell."""
+        config = ECADConfig.template_for_dataset(
+            dataset,
+            fpga=self.spec.fpga,
+            gpu=self.spec.gpu,
+            optimization=objective_config_from_spec(cell.objective),
+            seed=cell.seed,
+            backend=self.spec.backend,
+            eval_parallelism=self.spec.eval_parallelism,
+        )
+        if self.spec.overrides:
+            config = config.with_overrides(self.spec.overrides)
+        return config
+
+    def _log(self, message: str) -> None:
+        if self._printer is not None:
+            self._printer(message)
+
+
+def resume_experiment(
+    output_dir: str | Path, printer: Callable[[str], None] | None = None
+) -> ExperimentReport:
+    """Resume the experiment checkpointed in ``output_dir``.
+
+    Loads ``spec.json`` from the directory (written by a previous
+    :meth:`ExperimentRunner.run`) and re-runs only the cells without a
+    completed artifact.
+    """
+    output_dir = Path(output_dir)
+    spec_path = output_dir / "spec.json"
+    if not spec_path.exists():
+        raise ConfigurationError(
+            f"no experiment checkpoint found in {output_dir} (missing spec.json)"
+        )
+    spec = ExperimentSpec.load(spec_path)
+    return ExperimentRunner(spec, output_dir=output_dir, printer=printer).run(resume=True)

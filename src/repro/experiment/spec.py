@@ -1,0 +1,255 @@
+"""Declarative experiment specifications.
+
+The paper's results are a *matrix* of searches — six datasets, two
+optimization targets, several seeds and folds feeding Tables I–IV and
+Figures 2–4 — yet a single :class:`~repro.core.config.ECADConfig` only
+describes one run.  :class:`ExperimentSpec` is the grid in object form: a
+list of dataset names × a list of objective specs × a list of seeds, plus
+the shared run settings (devices, execution backend, dotted-key
+configuration overrides).  Like ``ECADConfig`` it round-trips through JSON,
+so a whole experiment is one declarative file executed by
+:class:`~repro.experiment.runner.ExperimentRunner`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+
+from ..core.config import OptimizationTargetConfig
+from ..core.errors import ConfigurationError
+from ..core.fitness import objective_default_maximize
+from ..registry import normalize_key
+
+__all__ = ["RunCell", "ExperimentSpec", "objective_config_from_spec", "objective_slug"]
+
+
+def objective_config_from_spec(spec: str) -> OptimizationTargetConfig:
+    """Build the optimization-target section for one objective-grid entry.
+
+    ``"accuracy"`` and ``"codesign"`` map to the paper's two named searches
+    (Tables I/II and Table IV respectively); any other entry is one or more
+    registered objective names joined with ``+`` (e.g.
+    ``"accuracy+fpga_latency"``), each following the direction declared at
+    registration time (``maximize_by_default``).
+    """
+    key = normalize_key(spec)
+    if key == "accuracy":
+        return OptimizationTargetConfig.accuracy_only()
+    if key == "codesign":
+        return OptimizationTargetConfig.accuracy_and_throughput()
+    names = [part for part in key.split("+") if part]
+    if not names:
+        raise ConfigurationError(f"objective spec {spec!r} is empty")
+    return OptimizationTargetConfig(
+        objectives=tuple(
+            (name, 1.0, objective_default_maximize(name)) for name in names
+        )
+    )
+
+
+def objective_slug(spec: str) -> str:
+    """Filesystem-safe identifier of one objective-grid entry."""
+    return normalize_key(spec).replace("+", "-")
+
+
+@dataclass(frozen=True)
+class RunCell:
+    """One cell of the experiment grid: dataset × objective × seed.
+
+    ``run_id`` is a stable, filesystem-safe identifier derived from the cell
+    coordinates; checkpoint/resume keys per-run artifacts on it.
+    """
+
+    dataset: str
+    objective: str
+    seed: int
+    index: int
+
+    @property
+    def run_id(self) -> str:
+        return f"{normalize_key(self.dataset)}__{objective_slug(self.objective)}__s{self.seed}"
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "dataset": self.dataset,
+            "objective": self.objective,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative grid of co-design searches.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier; the default output directory is derived from
+        it.
+    datasets:
+        Registered dataset names forming the first grid axis.
+    objectives:
+        Objective specs forming the second axis (see
+        :func:`objective_config_from_spec`).
+    seeds:
+        Search seeds forming the third axis.
+    scale / data_seed:
+        Synthetic-dataset size scale and generation seed shared by all runs.
+    fpga / gpu:
+        Device-catalogue names shared by all runs.
+    backend / eval_parallelism:
+        Execution backend and in-flight candidate budget for each search.
+    run_parallelism:
+        How many whole grid cells are kept in flight at once by the runner
+        (fanned through the execution-backend stack; 1 = sequential).
+    overrides:
+        Dotted-key configuration overrides applied to every generated
+        :class:`~repro.core.config.ECADConfig` (e.g.
+        ``{"population_size": 8, "nna.max_layers": 3}``).
+    output_dir:
+        Default artifact directory; empty derives ``experiments/<name>``.
+    """
+
+    name: str
+    datasets: tuple[str, ...]
+    objectives: tuple[str, ...] = ("codesign",)
+    seeds: tuple[int, ...] = (0,)
+    scale: float = 0.1
+    data_seed: int = 0
+    fpga: str = "arria10"
+    gpu: str = "titan_x"
+    backend: str = "serial"
+    eval_parallelism: int = 1
+    run_parallelism: int = 1
+    overrides: dict = field(default_factory=dict)
+    output_dir: str = ""
+
+    def __post_init__(self) -> None:
+        if not str(self.name).strip():
+            raise ConfigurationError("experiment name must not be empty")
+        if not self.datasets:
+            raise ConfigurationError("experiment needs at least one dataset")
+        if not self.objectives:
+            raise ConfigurationError("experiment needs at least one objective spec")
+        if not self.seeds:
+            raise ConfigurationError("experiment needs at least one seed")
+        for spec in self.objectives:
+            objective_config_from_spec(spec)  # validate eagerly
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {self.scale}")
+        if self.eval_parallelism < 1:
+            raise ConfigurationError(
+                f"eval_parallelism must be >= 1, got {self.eval_parallelism}"
+            )
+        if self.run_parallelism < 1:
+            raise ConfigurationError(
+                f"run_parallelism must be >= 1, got {self.run_parallelism}"
+            )
+        # Imported lazily: repro.workers depends on repro.core at import time.
+        from ..workers.backends import BACKENDS, available_backends
+
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; registered: {', '.join(available_backends())}"
+            )
+
+    # ----------------------------------------------------------------- grid
+    def cells(self) -> list[RunCell]:
+        """All grid cells in deterministic (dataset, objective, seed) order."""
+        cells: list[RunCell] = []
+        for dataset in self.datasets:
+            for objective in self.objectives:
+                for seed in self.seeds:
+                    cells.append(
+                        RunCell(
+                            dataset=dataset,
+                            objective=objective,
+                            seed=int(seed),
+                            index=len(cells),
+                        )
+                    )
+        return cells
+
+    @property
+    def grid_size(self) -> int:
+        """Total number of runs in the grid."""
+        return len(self.datasets) * len(self.objectives) * len(self.seeds)
+
+    def cell_digest(self) -> str:
+        """Digest of the settings that shape an *individual* run.
+
+        Grid axes (datasets/objectives/seeds) and purely organizational
+        fields are excluded, so extending the grid keeps previously
+        completed cells valid while changing, say, ``training_epochs`` via
+        ``overrides`` invalidates them.
+        """
+        data = self.to_dict()
+        for key in ("name", "datasets", "objectives", "seeds", "run_parallelism", "output_dir"):
+            data.pop(key, None)
+        payload = json.dumps(data, sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    # ----------------------------------------------------------------- JSON
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        data = asdict(self)
+        data["datasets"] = list(self.datasets)
+        data["objectives"] = list(self.objectives)
+        data["seeds"] = list(self.seeds)
+        data["overrides"] = dict(self.overrides)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"malformed experiment spec: expected an object, got {type(data).__name__}"
+            )
+        allowed = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown experiment spec key(s): {', '.join(map(repr, unknown))}; "
+                f"allowed: {', '.join(sorted(allowed))}"
+            )
+        try:
+            return cls(
+                name=str(data["name"]),
+                datasets=tuple(str(d) for d in data["datasets"]),
+                objectives=tuple(str(o) for o in data.get("objectives", ("codesign",))),
+                seeds=tuple(int(s) for s in data.get("seeds", (0,))),
+                scale=float(data.get("scale", 0.1)),
+                data_seed=int(data.get("data_seed", 0)),
+                fpga=str(data.get("fpga", "arria10")),
+                gpu=str(data.get("gpu", "titan_x")),
+                backend=str(data.get("backend", "serial")),
+                eval_parallelism=int(data.get("eval_parallelism", 1)),
+                run_parallelism=int(data.get("run_parallelism", 1)),
+                overrides=dict(data.get("overrides", {})),
+                output_dir=str(data.get("output_dir", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed experiment spec: {exc}") from exc
+
+    def save(self, path: str | Path) -> None:
+        """Write the spec to a JSON file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentSpec":
+        """Read a spec from a JSON file."""
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"experiment spec file not found: {path}")
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"experiment spec {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..registry import Registry
+
 __all__ = [
     "FPGADevice",
     "GPUDevice",
@@ -30,6 +32,10 @@ __all__ = [
     "QUADRO_M5000",
     "TITAN_X",
     "RADEON_VII",
+    "FPGA_DEVICES",
+    "GPU_DEVICES",
+    "register_fpga_device",
+    "register_gpu_device",
     "fpga_device",
     "gpu_device",
     "available_fpga_devices",
@@ -246,55 +252,48 @@ RADEON_VII = GPUDevice(
     board_power_watts=300.0,
 )
 
-_FPGA_CATALOGUE: dict[str, FPGADevice] = {
-    "arria10": ARRIA10_GX1150,
-    "arria10_gx1150": ARRIA10_GX1150,
-    "a10": ARRIA10_GX1150,
-    "stratix10": STRATIX10_2800,
-    "stratix10_2800": STRATIX10_2800,
-    "s10": STRATIX10_2800,
-}
-
-_GPU_CATALOGUE: dict[str, GPUDevice] = {
-    "quadro_m5000": QUADRO_M5000,
-    "m5000": QUADRO_M5000,
-    "titan_x": TITAN_X,
-    "titanx": TITAN_X,
-    "tx": TITAN_X,
-    "radeon_vii": RADEON_VII,
-    "radeonvii": RADEON_VII,
-}
+#: Open device catalogues; plugins may register their own boards by name.
+FPGA_DEVICES: Registry[FPGADevice] = Registry("FPGA device")
+GPU_DEVICES: Registry[GPUDevice] = Registry("GPU device")
 
 
-def _normalize(name: str) -> str:
-    return str(name).strip().lower().replace("-", "_").replace(" ", "_")
+def register_fpga_device(
+    name: str, device: FPGADevice, aliases: tuple[str, ...] = (), overwrite: bool = False
+) -> FPGADevice:
+    """Add an FPGA device to the catalogue under ``name`` (plus aliases)."""
+    return FPGA_DEVICES.register(name, device, aliases=aliases, overwrite=overwrite)
+
+
+def register_gpu_device(
+    name: str, device: GPUDevice, aliases: tuple[str, ...] = (), overwrite: bool = False
+) -> GPUDevice:
+    """Add a GPU device to the catalogue under ``name`` (plus aliases)."""
+    return GPU_DEVICES.register(name, device, aliases=aliases, overwrite=overwrite)
+
+
+register_fpga_device("arria10", ARRIA10_GX1150, aliases=("arria10_gx1150", "a10"))
+register_fpga_device("stratix10", STRATIX10_2800, aliases=("stratix10_2800", "s10"))
+
+register_gpu_device("quadro_m5000", QUADRO_M5000, aliases=("m5000",))
+register_gpu_device("titan_x", TITAN_X, aliases=("titanx", "tx"))
+register_gpu_device("radeon_vii", RADEON_VII, aliases=("radeonvii",))
 
 
 def available_fpga_devices() -> list[str]:
-    """Canonical names of FPGA devices in the catalogue."""
-    return sorted({device.name for device in _FPGA_CATALOGUE.values()})
+    """Marketing names of FPGA devices in the catalogue."""
+    return sorted({device.name for device in FPGA_DEVICES.entries().values()})
 
 
 def available_gpu_devices() -> list[str]:
-    """Canonical names of GPU devices in the catalogue."""
-    return sorted({device.name for device in _GPU_CATALOGUE.values()})
+    """Marketing names of GPU devices in the catalogue."""
+    return sorted({device.name for device in GPU_DEVICES.entries().values()})
 
 
 def fpga_device(name: str) -> FPGADevice:
-    """Look up an FPGA device by name or common alias."""
-    key = _normalize(name)
-    if key not in _FPGA_CATALOGUE:
-        raise KeyError(
-            f"unknown FPGA device {name!r}; available: {', '.join(available_fpga_devices())}"
-        )
-    return _FPGA_CATALOGUE[key]
+    """Look up an FPGA device by registered name or common alias."""
+    return FPGA_DEVICES.resolve(name)
 
 
 def gpu_device(name: str) -> GPUDevice:
-    """Look up a GPU device by name or common alias."""
-    key = _normalize(name)
-    if key not in _GPU_CATALOGUE:
-        raise KeyError(
-            f"unknown GPU device {name!r}; available: {', '.join(available_gpu_devices())}"
-        )
-    return _GPU_CATALOGUE[key]
+    """Look up a GPU device by registered name or common alias."""
+    return GPU_DEVICES.resolve(name)

@@ -1,0 +1,152 @@
+"""Shared registry primitive used across the package.
+
+The paper frames ECAD as an *extensible* framework: "Simple evaluation
+functions can be specified in the configuration file and more complex ones
+are written in code and added by registering them with the framework"
+(section III-A).  The seed code grew several ad-hoc registries for that idea
+— datasets, fitness objectives, device catalogues, backend aliases — each
+with its own dict, normalization rules and error messages.  :class:`Registry`
+is the single primitive behind all of them: a named mapping with alias
+support, ``register``/``available``/``resolve`` and decorator registration,
+so plugins extend any axis of the system (datasets, execution backends,
+FPGA/GPU devices, objectives, worker types) without touching library code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, TypeVar
+
+__all__ = ["Registry", "normalize_key"]
+
+T = TypeVar("T")
+
+_MISSING = object()
+
+
+def normalize_key(name: str) -> str:
+    """Normalize a registry key: lower-case, ``-``/spaces become ``_``."""
+    return str(name).strip().lower().replace("-", "_").replace(" ", "_")
+
+
+class Registry(Generic[T]):
+    """A named mapping from string keys (plus aliases) to registered objects.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable description of what is registered ("dataset",
+        "execution backend", ...); used in error messages.
+    allow_rebind:
+        When True, re-registering the *same* canonical name updates it in
+        place (the historical dataset-registry behaviour).  When False (the
+        default) any duplicate key raises ``ValueError`` unless
+        ``overwrite=True``, so typos cannot silently shadow built-ins.
+
+    Keys are normalized (case-insensitive, ``-`` and spaces fold to ``_``) so
+    configuration files can spell names naturally.  Unknown keys resolve to
+    ``KeyError`` listing what is available.
+    """
+
+    def __init__(self, kind: str, allow_rebind: bool = False) -> None:
+        self.kind = str(kind)
+        self.allow_rebind = bool(allow_rebind)
+        self._objects: dict[str, T] = {}
+        #: alias key -> canonical (normalized) registration name
+        self._canonical: dict[str, str] = {}
+        #: canonical (normalized) name -> name as originally registered
+        self._display: dict[str, str] = {}
+
+    # ---------------------------------------------------------- registration
+    def register(
+        self,
+        name: str,
+        obj: T = _MISSING,  # type: ignore[assignment]
+        *,
+        aliases: Iterable[str] = (),
+        overwrite: bool = False,
+    ):
+        """Register ``obj`` under ``name`` (and ``aliases``).
+
+        Can also be used as a decorator when ``obj`` is omitted::
+
+            @WORKER_TYPES.register("simulation")
+            class SimulationWorker(Worker): ...
+        """
+        if obj is _MISSING:
+            def decorator(target: T) -> T:
+                self.register(name, target, aliases=aliases, overwrite=overwrite)
+                return target
+
+            return decorator
+
+        canonical = normalize_key(name)
+        if not canonical:
+            raise ValueError(f"{self.kind} name must not be empty")
+        keys = [canonical, *(normalize_key(alias) for alias in aliases)]
+        if not overwrite:
+            for key in keys:
+                bound = self._canonical.get(key)
+                if bound is None:
+                    continue
+                if bound != canonical or not self.allow_rebind:
+                    raise ValueError(f"{self.kind} {key!r} is already registered")
+        # Re-registering an entry must update *all* keys bound to it —
+        # including aliases from earlier registrations that are not repeated
+        # in this call — so name and alias never resolve different objects.
+        for key, bound in self._canonical.items():
+            if bound == canonical:
+                self._objects[key] = obj
+        for key in keys:
+            if not key:
+                raise ValueError(f"{self.kind} alias must not be empty")
+            self._objects[key] = obj
+            self._canonical[key] = canonical
+        self._display[canonical] = str(name)
+        return obj
+
+    # --------------------------------------------------------------- lookup
+    def resolve(self, name: str) -> T:
+        """Return the object registered under ``name`` (or an alias of it)."""
+        key = normalize_key(name)
+        if key not in self._objects:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; available: {', '.join(self.available())}"
+            )
+        return self._objects[key]
+
+    def get(self, name: str, default: T | None = None) -> T | None:
+        """Like :meth:`resolve` but returns ``default`` on a miss."""
+        return self._objects.get(normalize_key(name), default)
+
+    def canonical_name(self, name: str) -> str:
+        """The canonical registration name behind ``name`` (alias-resolved)."""
+        key = normalize_key(name)
+        if key not in self._canonical:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; available: {', '.join(self.available())}"
+            )
+        return self._canonical[key]
+
+    def available(self) -> list[str]:
+        """Sorted canonical names of everything registered (aliases excluded)."""
+        return sorted(self._display.values(), key=normalize_key)
+
+    def entries(self) -> dict[str, T]:
+        """Canonical name -> registered object, for iteration/reporting."""
+        return {
+            self._display[canonical]: self._objects[canonical]
+            for canonical in sorted(self._display)
+        }
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and normalize_key(name) in self._objects
+
+    def __len__(self) -> int:
+        return len(self._display)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry(kind={self.kind!r}, entries={self.available()})"
+
+
+#: Factory signature used by registries whose entries are built on demand.
+Factory = Callable[..., T]

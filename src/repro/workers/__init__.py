@@ -7,29 +7,45 @@ parallelism.
 """
 
 from .backends import (
+    BACKENDS,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
     available_backends,
+    register_backend,
     resolve_backend,
 )
-from .base import EvaluationRequest, Worker, WorkerReport
+from .base import (
+    WORKER_TYPES,
+    EvaluationRequest,
+    Worker,
+    WorkerReport,
+    available_workers,
+    register_worker,
+    resolve_worker,
+)
 from .hardware_db import HardwareDatabaseWorker
 from .master import Master
 from .physical import PhysicalWorker
 from .simulation import SimulationWorker
 
 __all__ = [
+    "BACKENDS",
     "ExecutionBackend",
     "ProcessPoolBackend",
     "SerialBackend",
     "ThreadPoolBackend",
     "available_backends",
+    "register_backend",
     "resolve_backend",
+    "WORKER_TYPES",
     "EvaluationRequest",
     "Worker",
     "WorkerReport",
+    "available_workers",
+    "register_worker",
+    "resolve_worker",
     "HardwareDatabaseWorker",
     "Master",
     "PhysicalWorker",

@@ -31,11 +31,15 @@ from concurrent.futures import (
 from concurrent.futures import as_completed as _futures_as_completed
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
+from ..registry import Registry
+
 __all__ = [
+    "BACKENDS",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "register_backend",
     "resolve_backend",
     "available_backends",
 ]
@@ -43,12 +47,8 @@ __all__ = [
 RequestT = TypeVar("RequestT")
 ResultT = TypeVar("ResultT")
 
-#: Names accepted by :func:`resolve_backend`, keyed by canonical name.
-_BACKEND_ALIASES = {
-    "serial": ("serial", "sync", "none"),
-    "threads": ("threads", "thread", "thread_pool", "threadpool"),
-    "processes": ("processes", "process", "process_pool", "processpool", "procs"),
-}
+#: Factories accepted by :func:`resolve_backend`: ``(max_workers) -> backend``.
+BACKENDS: Registry[Callable[[int], "ExecutionBackend"]] = Registry("execution backend")
 
 
 class ExecutionBackend:
@@ -174,27 +174,39 @@ class ProcessPoolBackend(_ExecutorBackend):
         return ProcessPoolExecutor(max_workers=self.max_workers)
 
 
+register_backend = BACKENDS.register
+
+BACKENDS.register("serial", lambda max_workers=1: SerialBackend(), aliases=("sync", "none"))
+BACKENDS.register(
+    "threads",
+    lambda max_workers=4: ThreadPoolBackend(max_workers=max_workers),
+    aliases=("thread", "thread_pool", "threadpool"),
+)
+BACKENDS.register(
+    "processes",
+    lambda max_workers=4: ProcessPoolBackend(max_workers=max_workers),
+    aliases=("process", "process_pool", "processpool", "procs"),
+)
+
+
 def available_backends() -> list[str]:
     """Canonical names accepted by :func:`resolve_backend`."""
-    return list(_BACKEND_ALIASES)
+    return BACKENDS.available()
 
 
 def resolve_backend(
     backend: str | ExecutionBackend | None, max_workers: int = 4
 ) -> ExecutionBackend:
-    """Resolve a backend by name ('serial', 'threads', 'processes') or pass an
-    instance through unchanged (``max_workers`` is ignored for instances)."""
+    """Resolve a backend by registered name or pass an instance through
+    unchanged (``max_workers`` is ignored for instances)."""
     if backend is None:
         return SerialBackend()
     if isinstance(backend, ExecutionBackend):
         return backend
-    key = str(backend).strip().lower()
-    if key in _BACKEND_ALIASES["serial"]:
-        return SerialBackend()
-    if key in _BACKEND_ALIASES["threads"]:
-        return ThreadPoolBackend(max_workers=max_workers)
-    if key in _BACKEND_ALIASES["processes"]:
-        return ProcessPoolBackend(max_workers=max_workers)
-    raise ValueError(
-        f"unknown execution backend {backend!r}; use one of {', '.join(available_backends())}"
-    )
+    try:
+        factory = BACKENDS.resolve(str(backend))
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; use one of {', '.join(available_backends())}"
+        ) from exc
+    return factory(max_workers=max_workers)

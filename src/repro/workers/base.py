@@ -21,8 +21,17 @@ from dataclasses import dataclass, field
 from ..core.genome import CoDesignGenome
 from ..datasets.base import Dataset
 from ..nn.training import TrainingConfig
+from ..registry import Registry
 
-__all__ = ["EvaluationRequest", "WorkerReport", "Worker"]
+__all__ = [
+    "EvaluationRequest",
+    "WorkerReport",
+    "Worker",
+    "WORKER_TYPES",
+    "register_worker",
+    "available_workers",
+    "resolve_worker",
+]
 
 
 @dataclass(frozen=True)
@@ -100,3 +109,21 @@ class Worker:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
+
+
+#: Registry of worker classes, keyed by stable type name.  The paper's three
+#: worker types register themselves on import; plugins may add (or override)
+#: types so the search front-end builds them by name.
+WORKER_TYPES: Registry[type] = Registry("worker type")
+
+register_worker = WORKER_TYPES.register
+
+
+def available_workers() -> list[str]:
+    """Canonical names of all registered worker types."""
+    return WORKER_TYPES.available()
+
+
+def resolve_worker(name: str) -> type:
+    """Look up a worker class by registered type name."""
+    return WORKER_TYPES.resolve(name)

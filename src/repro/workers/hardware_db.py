@@ -21,7 +21,7 @@ from __future__ import annotations
 from ..hardware.device import ARRIA10_GX1150, FPGADevice
 from ..hardware.fpga_model import FPGAPerformanceModel
 from ..hardware.memory import DDR4_BANK, MemorySystem
-from .base import EvaluationRequest, Worker, WorkerReport
+from .base import EvaluationRequest, Worker, WorkerReport, register_worker
 
 __all__ = ["HardwareDatabaseWorker"]
 
@@ -80,3 +80,8 @@ class HardwareDatabaseWorker(Worker):
         if request.dataset is not None:
             return request.dataset.num_features, request.dataset.num_classes
         return self.input_size, self.output_size
+
+
+register_worker(
+    "hardware_db", HardwareDatabaseWorker, aliases=("hardware_database", "hwdb")
+)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from ..hardware.device import ARRIA10_GX1150, FPGADevice
 from ..hardware.synthesis import SynthesisModel
-from .base import EvaluationRequest, Worker, WorkerReport
+from .base import EvaluationRequest, Worker, WorkerReport, register_worker
 
 __all__ = ["PhysicalWorker"]
 
@@ -40,3 +40,6 @@ class PhysicalWorker(Worker):
         except Exception as exc:  # noqa: BLE001 - report, don't crash the master
             report.error = f"synthesis model failed: {exc}"
         return report
+
+
+register_worker("physical", PhysicalWorker, aliases=("synthesis",))

@@ -26,7 +26,7 @@ from ..hardware.device import GPUDevice, TITAN_X
 from ..hardware.gpu_model import GPUPerformanceModel
 from ..nn.evaluation import evaluate_kfold, evaluate_single_fold
 from ..nn.preprocessing import train_test_split
-from .base import EvaluationRequest, Worker, WorkerReport
+from .base import EvaluationRequest, Worker, WorkerReport, register_worker
 
 __all__ = ["SimulationWorker"]
 
@@ -117,3 +117,6 @@ class SimulationWorker(Worker):
             dataset.features, dataset.labels, test_fraction=self.holdout_fraction, seed=seed
         )
         return train_x, train_y, test_x, test_y
+
+
+register_worker("simulation", SimulationWorker, aliases=("sim",))

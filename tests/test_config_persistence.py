@@ -1,0 +1,195 @@
+"""ECADConfig persistence: JSON round-trips, strict parsing, CLI precedence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, resolve_run_config
+from repro.core.config import (
+    ECADConfig,
+    OptimizationTargetConfig,
+    parse_override,
+    parse_override_value,
+)
+from repro.core.errors import ConfigurationError
+from repro.datasets.registry import load_dataset
+
+
+@pytest.fixture
+def config() -> ECADConfig:
+    dataset = load_dataset("credit-g", seed=0, scale=0.05)
+    return ECADConfig.template_for_dataset(
+        dataset,
+        optimization=OptimizationTargetConfig.accuracy_and_throughput(),
+        population_size=4,
+        max_evaluations=8,
+        training_epochs=2,
+        seed=3,
+    )
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self, config):
+        assert ECADConfig.from_dict(config.to_dict()) == config
+
+    def test_save_load_identity(self, config, tmp_path):
+        path = tmp_path / "nested" / "config.json"
+        config.save(path)
+        assert ECADConfig.load(path) == config
+
+    def test_saved_file_is_plain_json(self, config, tmp_path):
+        path = tmp_path / "config.json"
+        config.save(path)
+        data = json.loads(path.read_text())
+        assert data["dataset_name"] == config.dataset_name
+        assert data["nna"]["input_size"] == config.nna.input_size
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            ECADConfig.load(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            ECADConfig.load(path)
+
+
+class TestStrictParsing:
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigurationError, match="expected an object"):
+            ECADConfig.from_dict([1, 2, 3])
+
+    def test_missing_nna_rejected(self, config):
+        data = config.to_dict()
+        del data["nna"]
+        with pytest.raises(ConfigurationError, match="malformed"):
+            ECADConfig.from_dict(data)
+
+    def test_missing_required_fields_rejected(self, config):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            ECADConfig.from_dict({"dataset_name": "x", "nna": {"input_size": 4}})
+        data = config.to_dict()
+        del data["dataset_name"]
+        with pytest.raises(ConfigurationError, match="dataset_name"):
+            ECADConfig.from_dict(data)
+
+    def test_unknown_top_level_key_rejected(self, config):
+        data = config.to_dict()
+        data["populationsize"] = 8  # typo for population_size
+        with pytest.raises(ConfigurationError, match="unknown configuration key"):
+            ECADConfig.from_dict(data)
+
+    def test_unknown_section_key_rejected(self, config):
+        data = config.to_dict()
+        data["nna"]["maxlayers"] = 6
+        with pytest.raises(ConfigurationError, match="unknown nna key"):
+            ECADConfig.from_dict(data)
+        data = config.to_dict()
+        data["hardware"]["fgpa"] = "arria10"
+        with pytest.raises(ConfigurationError, match="unknown hardware key"):
+            ECADConfig.from_dict(data)
+
+    def test_malformed_objectives_rejected(self, config):
+        data = config.to_dict()
+        data["optimization"]["objectives"] = [["accuracy", 1.0]]  # missing maximize
+        with pytest.raises(ConfigurationError, match="triples"):
+            ECADConfig.from_dict(data)
+
+    def test_unregistered_backend_rejected(self, config):
+        data = config.to_dict()
+        data["backend"] = "mpi"
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            ECADConfig.from_dict(data)
+
+
+class TestOverrides:
+    def test_parse_override_value_types(self):
+        assert parse_override_value("3") == 3
+        assert parse_override_value("0.5") == 0.5
+        assert parse_override_value("true") is True
+        assert parse_override_value("[1, 2]") == [1, 2]
+        assert parse_override_value("stratix10") == "stratix10"
+
+    def test_parse_override_requires_equals(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            parse_override("population_size")
+        assert parse_override("a.b=7") == ("a.b", 7)
+
+    def test_with_overrides_strings(self, config):
+        updated = config.with_overrides(
+            ["backend=threads", "eval_parallelism=4", "nna.max_layers=2", "hardware.fpga=stratix10"]
+        )
+        assert updated.backend == "threads"
+        assert updated.eval_parallelism == 4
+        assert updated.nna.max_layers == 2
+        assert updated.hardware.fpga == "stratix10"
+        # the original is untouched (frozen dataclasses)
+        assert config.backend == "serial"
+
+    def test_with_overrides_mapping(self, config):
+        updated = config.with_overrides({"training_epochs": 5, "nna.min_layers": 2})
+        assert updated.training_epochs == 5
+        assert updated.nna.min_layers == 2
+
+    def test_with_overrides_unknown_key_rejected(self, config):
+        with pytest.raises(ConfigurationError, match="unknown configuration key"):
+            config.with_overrides(["no_such_field=1"])
+        with pytest.raises(ConfigurationError, match="no section"):
+            config.with_overrides(["nope.deep=1"])
+
+    def test_with_overrides_revalidates(self, config):
+        with pytest.raises(ConfigurationError):
+            config.with_overrides(["eval_parallelism=0"])
+
+
+class TestCLIPrecedence:
+    """--set beats explicit flags beats the configuration file."""
+
+    def _args(self, argv):
+        return build_parser().parse_args(argv)
+
+    def test_flags_beat_config_file(self, config, tmp_path):
+        path = tmp_path / "config.json"
+        config.save(path)
+        args = self._args(
+            ["run", "--dataset", "credit-g", "--scale", "0.05",
+             "--config", str(path), "--backend", "threads", "--eval-workers", "3"]
+        )
+        _, resolved = resolve_run_config(args)
+        assert resolved.backend == "threads"
+        assert resolved.eval_parallelism == 3
+        # everything else still comes from the file
+        assert resolved.population_size == config.population_size
+
+    def test_set_beats_flags(self, config, tmp_path):
+        path = tmp_path / "config.json"
+        config.save(path)
+        args = self._args(
+            ["run", "--dataset", "credit-g", "--scale", "0.05",
+             "--config", str(path), "--backend", "threads",
+             "--set", "backend=processes", "--set", "population_size=6"]
+        )
+        _, resolved = resolve_run_config(args)
+        assert resolved.backend == "processes"
+        assert resolved.population_size == 6
+
+    def test_config_file_wins_over_template_defaults(self, config, tmp_path):
+        path = tmp_path / "config.json"
+        config.save(path)
+        args = self._args(
+            ["run", "--dataset", "credit-g", "--scale", "0.05",
+             "--config", str(path), "--population", "99"]
+        )
+        _, resolved = resolve_run_config(args)
+        # --population only feeds the generated template; a config file wins.
+        assert resolved.population_size == config.population_size
+
+    def test_eval_workers_validation(self, config, tmp_path):
+        args = self._args(
+            ["run", "--dataset", "credit-g", "--scale", "0.05", "--eval-workers", "0"]
+        )
+        with pytest.raises(SystemExit):
+            resolve_run_config(args)

@@ -521,3 +521,108 @@ class TestRandomSearch:
             r.evaluation.fpga_outputs_per_second for r in random_result.history.records
         )
         assert evolved_best_throughput >= 0.8 * random_best_throughput
+
+
+class TestRandomSearchAsync:
+    """RandomSearch routes through the evaluator's submit/as_completed API."""
+
+    class _AsyncEvaluator:
+        """Futures-capable wrapper around a plain evaluator function."""
+
+        def __init__(self, function, max_workers: int = 4) -> None:
+            from repro.workers.backends import ThreadPoolBackend
+
+            self.function = function
+            self.backend = ThreadPoolBackend(max_workers=max_workers)
+            self.submitted = 0
+
+        def __call__(self, genome):
+            return self.function(genome)
+
+        def submit(self, genome):
+            self.submitted += 1
+            return self.backend.submit(self.function, genome)
+
+        def as_completed(self, futures):
+            return self.backend.as_completed(futures)
+
+    def test_async_path_matches_serial_results(self, small_search_space, fake_evaluator):
+        def run(evaluator):
+            return RandomSearch(
+                space=small_search_space,
+                evaluator=evaluator,
+                objectives=[FitnessObjective.accuracy(), FitnessObjective.fpga_throughput()],
+                max_evaluations=30,
+                seed=0,
+                device=ARRIA10_GX1150,
+            ).run()
+
+        serial = run(fake_evaluator)
+        async_evaluator = self._AsyncEvaluator(fake_evaluator)
+        parallel = run(async_evaluator)
+        async_evaluator.backend.shutdown()
+
+        assert parallel.best_accuracy == serial.best_accuracy
+        assert len(parallel.history) == len(serial.history) == 30
+        assert parallel.statistics.models_generated == serial.statistics.models_generated
+        # duplicates are answered by the cache, never submitted twice
+        assert async_evaluator.submitted == parallel.statistics.models_evaluated
+        assert (
+            parallel.statistics.models_evaluated + parallel.statistics.cache_hits
+            == parallel.statistics.models_generated
+        )
+        serial_order = [e.genome.cache_key() for e in serial.history.evaluations()]
+        parallel_order = [e.genome.cache_key() for e in parallel.history.evaluations()]
+        assert serial_order == parallel_order
+
+    def test_async_path_through_real_master(self, tiny_dataset):
+        config = ECADConfig.template_for_dataset(
+            tiny_dataset,
+            population_size=4,
+            max_evaluations=8,
+            training_epochs=2,
+            backend="threads",
+            eval_parallelism=4,
+        )
+        search = CoDesignSearch(tiny_dataset, config=config)
+        master = search.build_master()
+        try:
+            result = RandomSearch(
+                space=config.to_search_space(),
+                evaluator=master,
+                objectives=[FitnessObjective.accuracy()],
+                max_evaluations=6,
+                seed=2,
+                device=config.hardware.fpga_device(),
+            ).run()
+        finally:
+            master.shutdown()
+        assert len(result.history) == 6
+        assert result.statistics.models_evaluated > 0
+        assert result.statistics.total_evaluation_seconds > 0
+        assert 0 <= result.best_accuracy <= 1
+
+    def test_async_path_captures_evaluator_failures(self, small_search_space, fake_evaluator):
+        calls = {"n": 0}
+
+        def flaky(genome):
+            calls["n"] += 1
+            if calls["n"] % 3 == 0:
+                raise RuntimeError("injected failure")
+            return fake_evaluator(genome)
+
+        evaluator = self._AsyncEvaluator(flaky, max_workers=2)
+        result = RandomSearch(
+            space=small_search_space,
+            evaluator=evaluator,
+            objectives=[FitnessObjective.accuracy()],
+            max_evaluations=12,
+            seed=5,
+            device=ARRIA10_GX1150,
+        ).run()
+        evaluator.backend.shutdown()
+        assert len(result.history) == 12
+        failed = [e for e in result.history.evaluations() if e.failed]
+        assert failed  # injected failures surfaced as failed evaluations
+        assert all("injected failure" in e.error for e in failed)
+        assert 0 <= result.best_accuracy <= 1
