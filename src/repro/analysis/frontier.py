@@ -21,7 +21,7 @@ import numpy as np
 
 from ..core.callbacks import SearchHistory
 from ..core.candidate import CandidateEvaluation
-from ..core.pareto import ParetoPoint, pareto_frontier, top_tradeoff_points
+from ..core.pareto import ParetoPoint, evaluation_frontier, top_tradeoff_points
 
 __all__ = [
     "accuracy_throughput_frontier",
@@ -35,21 +35,12 @@ __all__ = [
 def accuracy_throughput_frontier(
     evaluations: list[CandidateEvaluation], device: str = "fpga"
 ) -> list[CandidateEvaluation]:
-    """Pareto frontier over (accuracy, outputs/s) for the chosen device."""
-    if device not in ("fpga", "gpu"):
-        raise ValueError(f"device must be 'fpga' or 'gpu', got {device!r}")
-    valid = [e for e in evaluations if not e.failed]
-    points = [
-        ParetoPoint(
-            values=(
-                e.accuracy,
-                e.fpga_outputs_per_second if device == "fpga" else e.gpu_outputs_per_second,
-            ),
-            payload=e,
-        )
-        for e in valid
-    ]
-    return [point.payload for point in pareto_frontier(points)]
+    """Pareto frontier over (accuracy, outputs/s) for the chosen device.
+
+    Delegates to :func:`repro.core.pareto.evaluation_frontier`, the single
+    source of truth shared with ``SearchResult``.
+    """
+    return evaluation_frontier(evaluations, device=device)
 
 
 def frontier_rows(

@@ -1,10 +1,10 @@
 """Command-line interface to the ECAD reproduction.
 
 Built around the unified experiment API: single searches (``run``),
-declarative grids with checkpoint/resume (``sweep`` / ``resume``), and
-introspection of the open registries (``datasets``, ``backends``,
-``devices``).  Any configuration field can be overridden from the command
-line with ``--set key=value``.
+Pareto-frontier searches (``frontier``), declarative grids with
+checkpoint/resume (``sweep`` / ``resume``), and introspection of the open
+registries (``datasets``, ``backends``, ``devices``).  Any configuration
+field can be overridden from the command line with ``--set key=value``.
 
 Examples
 --------
@@ -17,6 +17,12 @@ thread pool, with a generic config override::
 
     ecad run --dataset credit-g --backend threads --eval-workers 4 \
         --set nna.max_layers=3
+
+Run a Pareto-native NSGA-II search under a DSP budget and print the
+streamed frontier::
+
+    ecad frontier --dataset credit-g --strategy nsga2 \
+        --constraint "dsp_usage<=512"
 
 Execute a whole experiment grid from a declarative spec, then resume it
 after an interruption::
@@ -42,7 +48,9 @@ from .analysis.reporting import format_scientific, format_table
 from .core.callbacks import ProgressLogger
 from .core.config import ECADConfig, OptimizationTargetConfig
 from .core.errors import ConfigurationError
+from .core.pareto import knee_point, make_points
 from .core.search import CoDesignSearch
+from .core.strategy import available_strategies
 from .datasets.csv_io import load_dataset_csv
 from .datasets.registry import available_datasets, dataset_entries, load_dataset
 from .experiment import ExperimentRunner, ExperimentSpec, resume_experiment
@@ -62,44 +70,25 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser("run", help="run a single co-design search")
-    _add_dataset_arguments(run_parser)
-    run_parser.add_argument("--config", default="", help="path to a JSON ECAD configuration file")
-    run_parser.add_argument("--population", type=int, default=16, help="population size")
-    run_parser.add_argument("--max-evaluations", type=int, default=80, help="total candidate evaluations")
-    run_parser.add_argument("--seed", type=int, default=0, help="search seed")
-    run_parser.add_argument("--fpga", default="arria10", help="FPGA target (see 'ecad devices')")
-    run_parser.add_argument("--gpu", default="titan_x", help="GPU baseline (see 'ecad devices', or '' to disable)")
-    run_parser.add_argument(
-        "--objective",
-        choices=("accuracy", "codesign"),
-        default="codesign",
-        help="accuracy-only search or joint accuracy+throughput co-design",
-    )
-    run_parser.add_argument("--epochs", type=int, default=10, help="training epochs per candidate")
-    run_parser.add_argument(
-        "--backend",
-        default=None,
-        help="execution backend for candidate evaluation (see 'ecad backends'; "
-        "default: serial, or the config file's value)",
-    )
-    run_parser.add_argument(
-        "--eval-workers",
-        type=int,
-        default=None,
-        help="candidate evaluations kept in flight at once (default: 1 = reproducible serial search)",
-    )
-    run_parser.add_argument(
-        "--set",
-        action="append",
-        dest="overrides",
-        default=[],
-        metavar="KEY=VALUE",
-        help="override any configuration field by dotted key "
-        "(e.g. --set nna.max_layers=3 --set hardware.fpga=stratix10); "
-        "applied last, JSON values accepted",
-    )
+    _add_search_arguments(run_parser)
     run_parser.add_argument("--progress-every", type=int, default=10, help="progress print interval (steps)")
     run_parser.add_argument("--output", default="", help="optional path to write results as JSON")
+
+    frontier_parser = subparsers.add_parser(
+        "frontier",
+        help="run a Pareto-frontier search and print the streamed frontier",
+    )
+    _add_search_arguments(frontier_parser, default_strategy="nsga2")
+    frontier_parser.add_argument(
+        "--top", type=int, default=12, help="maximum number of frontier rows to print"
+    )
+    frontier_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the resolved search plan (strategy, objectives, constraints) without running",
+    )
+    frontier_parser.add_argument("--progress-every", type=int, default=10, help="progress print interval (steps)")
+    frontier_parser.add_argument("--output", default="", help="optional path to write the frontier as JSON")
 
     template_parser = subparsers.add_parser("template", help="generate a configuration template from a dataset")
     _add_dataset_arguments(template_parser)
@@ -138,6 +127,65 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_search_arguments(
+    parser: argparse.ArgumentParser, default_strategy: str | None = None
+) -> None:
+    """Arguments shared by the single-search commands (``run``, ``frontier``)."""
+    _add_dataset_arguments(parser)
+    parser.add_argument("--config", default="", help="path to a JSON ECAD configuration file")
+    parser.add_argument("--population", type=int, default=16, help="population size")
+    parser.add_argument("--max-evaluations", type=int, default=80, help="total candidate evaluations")
+    parser.add_argument("--seed", type=int, default=0, help="search seed")
+    parser.add_argument("--fpga", default="arria10", help="FPGA target (see 'ecad devices')")
+    parser.add_argument("--gpu", default="titan_x", help="GPU baseline (see 'ecad devices', or '' to disable)")
+    parser.add_argument(
+        "--objective",
+        choices=("accuracy", "codesign"),
+        default="codesign",
+        help="accuracy-only search or joint accuracy+throughput co-design",
+    )
+    parser.add_argument("--epochs", type=int, default=10, help="training epochs per candidate")
+    parser.add_argument(
+        "--strategy",
+        default=None,
+        help=f"search strategy ({', '.join(available_strategies())}; "
+        f"default: the config file's value, else {default_strategy or 'evolutionary'})",
+    )
+    # Applied only when neither --strategy nor a config file chooses one.
+    parser.set_defaults(fallback_strategy=default_strategy or "")
+    parser.add_argument(
+        "--constraint",
+        action="append",
+        dest="constraints",
+        default=[],
+        metavar="EXPR",
+        help="feasibility constraint on a registered objective, e.g. "
+        "--constraint dsp_usage<=512 (repeatable; violating candidates are infeasible)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="execution backend for candidate evaluation (see 'ecad backends'; "
+        "default: serial, or the config file's value)",
+    )
+    parser.add_argument(
+        "--eval-workers",
+        type=int,
+        default=None,
+        help="candidate evaluations kept in flight at once (default: 1 = reproducible serial search)",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        dest="overrides",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override any configuration field by dotted key "
+        "(e.g. --set nna.max_layers=3 --set hardware.fpga=stratix10); "
+        "applied last, JSON values accepted",
+    )
+
+
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", default="", help=f"registered dataset name ({', '.join(available_datasets())})")
     parser.add_argument("--csv", default="", help="path to a CSV dataset export (last column = label)")
@@ -173,6 +221,7 @@ def _command_datasets() -> int:
 def _command_backends() -> int:
     print("execution backends: " + ", ".join(available_backends()))
     print("worker types:       " + ", ".join(available_workers()))
+    print("search strategies:  " + ", ".join(available_strategies()))
     return 0
 
 
@@ -248,6 +297,16 @@ def resolve_run_config(args: argparse.Namespace):
         if args.eval_workers < 1:
             raise SystemExit(f"error: --eval-workers must be >= 1, got {args.eval_workers}")
         overrides["eval_parallelism"] = args.eval_workers
+    if getattr(args, "strategy", None):
+        overrides["strategy"] = args.strategy
+    elif not args.config and getattr(args, "fallback_strategy", ""):
+        # No explicit flag and no config file: the command's own default
+        # (e.g. nsga2 for `ecad frontier`) applies.
+        overrides["strategy"] = args.fallback_strategy
+    if getattr(args, "constraints", None):
+        overrides["optimization"] = config.optimization.with_constraints(
+            tuple(config.optimization.constraints) + tuple(args.constraints)
+        )
     if overrides:
         config = replace(config, **overrides)
     # Generic --set assignments are the most specific and win over both.
@@ -304,6 +363,85 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------------ frontier
+def _command_frontier(args: argparse.Namespace) -> int:
+    dataset, config = resolve_run_config(args)
+    objectives = config.optimization.to_fitness_objectives()
+    if args.dry_run:
+        print(f"dataset:     {dataset.name}  ({dataset.num_samples} samples, "
+              f"{dataset.num_features} features, {dataset.num_classes} classes)")
+        print(f"strategy:    {config.strategy}")
+        print("objectives:  " + ", ".join(
+            f"{obj.name} ({'max' if obj.maximize else 'min'}, w={obj.weight:g})"
+            for obj in objectives
+        ))
+        constraints = config.optimization.constraints
+        print("constraints: " + (", ".join(constraints) if constraints else "(none)"))
+        print(f"budget:      {config.max_evaluations} evaluations, "
+              f"population {config.population_size}, seed {config.seed}")
+        print(f"backend:     {config.backend} (eval_parallelism={config.eval_parallelism})")
+        print("\ndry run: nothing executed")
+        return 0
+
+    search = CoDesignSearch(
+        dataset, config=config, callbacks=[ProgressLogger(interval=args.progress_every)]
+    )
+    result = search.run()
+    archive = result.frontier_archive
+    if archive is None or len(archive) == 0:
+        print("the search streamed no feasible frontier points")
+        return 1
+
+    members = archive.members()
+    columns = list(archive.objective_names) + ["hidden_layers", "grid", "fpga_batch"]
+    rows = []
+    for member in members[: max(args.top, 1)]:
+        row = {name: value for name, value in member.vector.as_dict().items()}
+        row["hidden_layers"] = "x".join(str(h) for h in member.evaluation.genome.mlp.hidden_layers)
+        row["grid"] = str(member.evaluation.genome.hardware.grid)
+        row["fpga_batch"] = member.evaluation.genome.hardware.batch_size
+        rows.append(row)
+    print()
+    print(format_table(
+        rows,
+        columns=columns,
+        title=f"Pareto frontier ({len(members)} points, strategy={config.strategy})",
+    ))
+
+    if len(members) >= 2:
+        points = make_points(
+            members, *(lambda m, i=i: m.vector.canonical[i] for i in range(len(objectives)))
+        )
+        knee = knee_point(points).payload
+        knee_values = ", ".join(
+            f"{name}={value:g}" for name, value in knee.vector.as_dict().items()
+        )
+        print(f"\nknee point (best balanced trade-off): {knee_values}")
+
+    trace = " -> ".join(str(s.size) for s in archive.snapshots[-8:])
+    print(f"frontier growth (last snapshots): {trace}")
+    print()
+    print(format_table([result.statistics.to_dict()], title="Run statistics"))
+
+    if args.output:
+        payload = {
+            "dataset": dataset.name,
+            "strategy": config.strategy,
+            "objectives": archive.objective_names,
+            "constraints": list(config.optimization.constraints),
+            "frontier": archive.rows(),
+            "snapshots": [
+                {"step": s.step, "size": s.size, "evaluations_seen": s.evaluations_seen}
+                for s in archive.snapshots
+            ],
+            "statistics": result.statistics.to_dict(),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote frontier to {args.output}")
+    return 0
+
+
 # --------------------------------------------------------------------- sweep
 def _command_sweep(args: argparse.Namespace) -> int:
     spec = ExperimentSpec.load(args.spec)
@@ -347,6 +485,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_template(args)
         if args.command == "run":
             return _command_run(args)
+        if args.command == "frontier":
+            return _command_frontier(args)
         if args.command == "sweep":
             return _command_sweep(args)
         if args.command == "resume":

@@ -123,16 +123,25 @@ class OptimizationTargetConfig:
 
     Each target is ``(objective name, weight, maximize)``; the default is the
     joint accuracy + FPGA-throughput search used for Table IV and Figure 2.
+    ``constraints`` are feasibility bounds on registered objectives
+    (``"dsp_usage<=512"`` style): hardware budgets expressed as constraints
+    instead of fitness penalties — violating candidates are infeasible and
+    never selected, bred from, or admitted to the frontier.
     """
 
     objectives: tuple[tuple[str, float, bool], ...] = (
         ("accuracy", 1.0, True),
         ("fpga_throughput", 1.0, True),
     )
+    constraints: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.objectives:
             raise ConfigurationError("at least one optimization target is required")
+        object.__setattr__(
+            self, "constraints", tuple(str(c).strip() for c in self.constraints)
+        )
+        self.to_constraints()  # validate eagerly
 
     def to_fitness_objectives(self) -> list[FitnessObjective]:
         """Build the fitness-objective list for the evaluator."""
@@ -143,6 +152,18 @@ class OptimizationTargetConfig:
                 FitnessObjective(name=name, weight=float(weight), maximize=bool(maximize), scale=scale)
             )
         return objectives
+
+    def to_constraints(self) -> list:
+        """Parse the constraint expressions into ``Constraint`` objects."""
+        from .objectives import parse_constraint
+
+        return [parse_constraint(text) for text in self.constraints]
+
+    def with_constraints(self, constraints: Iterable[str]) -> "OptimizationTargetConfig":
+        """A copy of this target section with ``constraints`` replacing the old ones."""
+        return OptimizationTargetConfig(
+            objectives=self.objectives, constraints=tuple(constraints)
+        )
 
     @classmethod
     def accuracy_only(cls) -> "OptimizationTargetConfig":
@@ -191,6 +212,9 @@ class ECADConfig:
     ``backend`` ("serial", "threads" or "processes") selects how candidate
     evaluations are dispatched, and ``eval_parallelism`` bounds how many are
     kept in flight at once (1 keeps the reproducible serial search).
+    ``strategy`` names the registered search strategy driving the run:
+    ``"evolutionary"`` (the default weighted-sum steady-state search),
+    ``"nsga2"`` (Pareto-native multi-objective search) or ``"random"``.
     """
 
     dataset_name: str
@@ -208,6 +232,7 @@ class ECADConfig:
     dataset_test_csv: str = ""
     backend: str = "serial"
     eval_parallelism: int = 1
+    strategy: str = "evolutionary"
 
     def __post_init__(self) -> None:
         if self.evaluation_protocol not in ("1-fold", "10-fold"):
@@ -220,6 +245,13 @@ class ECADConfig:
         if self.backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; registered: {', '.join(available_backends())}"
+            )
+        from .strategy import STRATEGIES, available_strategies
+
+        if self.strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown search strategy {self.strategy!r}; "
+                f"registered: {', '.join(available_strategies())}"
             )
         if self.eval_parallelism < 1:
             raise ConfigurationError(
@@ -313,6 +345,7 @@ class ECADConfig:
         data["hardware"]["fpga_batch_sizes"] = list(self.hardware.fpga_batch_sizes)
         data["hardware"]["gpu_batch_sizes"] = list(self.hardware.gpu_batch_sizes)
         data["optimization"]["objectives"] = [list(obj) for obj in self.optimization.objectives]
+        data["optimization"]["constraints"] = list(self.optimization.constraints)
         return data
 
     @classmethod
@@ -365,7 +398,13 @@ class ECADConfig:
                 f"malformed optimization objectives {objectives_data!r}: "
                 "expected [name, weight, maximize] triples"
             ) from exc
-        optimization = OptimizationTargetConfig(objectives=objectives)
+        constraints_data = optimization_data.get("constraints", [])
+        if isinstance(constraints_data, str):
+            constraints_data = [constraints_data]
+        optimization = OptimizationTargetConfig(
+            objectives=objectives,
+            constraints=tuple(str(c) for c in constraints_data),
+        )
         if "dataset_name" not in data:
             raise ConfigurationError("malformed configuration: missing 'dataset_name'")
         return cls(
@@ -384,6 +423,7 @@ class ECADConfig:
             dataset_test_csv=str(data.get("dataset_test_csv", "")),
             backend=str(data.get("backend", "serial")),
             eval_parallelism=int(data.get("eval_parallelism", 1)),
+            strategy=str(data.get("strategy", "evolutionary")),
         )
 
     def with_overrides(

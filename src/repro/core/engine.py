@@ -31,6 +31,7 @@ from .candidate import CandidateEvaluation
 from .crossover import CoDesignCrossover
 from .errors import SearchError
 from .fitness import FitnessEvaluator
+from .frontier import FrontierArchive
 from .genome import CoDesignGenome, CoDesignSearchSpace
 from .mutation import CoDesignMutator, MutationConfig
 from .population import Individual, Population
@@ -149,6 +150,10 @@ class RunStatistics:
     peak_in_flight:
         Largest number of candidate evaluations that were in flight at the
         same time (1 for the serial engine).
+    frontier_size:
+        Size of the streaming Pareto-frontier archive when the search ended.
+    frontier_updates:
+        How many evaluations changed the frontier during the run.
     """
 
     models_generated: int = 0
@@ -157,6 +162,8 @@ class RunStatistics:
     total_evaluation_seconds: float = 0.0
     wall_clock_seconds: float = 0.0
     peak_in_flight: int = 0
+    frontier_size: int = 0
+    frontier_updates: int = 0
 
     @property
     def average_evaluation_seconds(self) -> float:
@@ -183,6 +190,8 @@ class RunStatistics:
             "wall_clock_seconds": self.wall_clock_seconds,
             "evaluations_per_second": self.evaluations_per_second,
             "peak_in_flight": self.peak_in_flight,
+            "frontier_size": self.frontier_size,
+            "frontier_updates": self.frontier_updates,
         }
 
 
@@ -193,6 +202,7 @@ class EngineResult:
     population: Population
     history: SearchHistory
     statistics: RunStatistics
+    frontier: FrontierArchive | None = None
     best: Individual = field(init=False)
 
     def __post_init__(self) -> None:
@@ -220,7 +230,12 @@ class EvolutionaryEngine:
     cache:
         Evaluation cache; a fresh unbounded cache is created when omitted.
     callbacks:
-        Extra callbacks in addition to the built-in :class:`SearchHistory`.
+        Extra callbacks in addition to the built-in :class:`SearchHistory`
+        and streaming :class:`FrontierArchive`.
+    frontier:
+        Streaming Pareto-frontier archive; when omitted one is created over
+        the fitness evaluator's objectives (and constraints).  It is updated
+        through the callback bus on both the serial and asynchronous paths.
     """
 
     def __init__(
@@ -234,6 +249,7 @@ class EvolutionaryEngine:
         cache: EvaluationCache | None = None,
         callbacks: list[Callback] | None = None,
         selection: SelectionScheme | None = None,
+        frontier: FrontierArchive | None = None,
     ) -> None:
         self.space = space
         self.evaluator = evaluator
@@ -252,7 +268,11 @@ class EvolutionaryEngine:
         else:
             self.selection = get_selection(self.config.selection)
         self.history = SearchHistory()
-        self.callbacks = CallbackList([self.history, *(callbacks or [])])
+        self.frontier = frontier if frontier is not None else FrontierArchive(
+            objectives=fitness.objectives,
+            constraints=getattr(fitness, "constraints", ()),
+        )
+        self.callbacks = CallbackList([self.history, self.frontier, *(callbacks or [])])
         self._rng = np.random.default_rng(self.config.seed)
         self.statistics = RunStatistics()
         self._stats_lock = threading.Lock()
@@ -277,6 +297,7 @@ class EvolutionaryEngine:
         step = len(population)
         stagnation = 0
         best_fitness = population.best.fitness_value
+        frontier_marker = self.frontier.updates
 
         while self.statistics.models_generated < self.config.max_evaluations:
             if self.config.steady_state:
@@ -289,8 +310,11 @@ class EvolutionaryEngine:
             if population.best.fitness_value > best_fitness + 1e-12:
                 best_fitness = population.best.fitness_value
                 stagnation = 0
+            elif self._frontier_progressed(frontier_marker):
+                stagnation = 0
             else:
                 stagnation += 1
+            frontier_marker = self.frontier.updates
             if (
                 self.config.max_stagnation_steps > 0
                 and stagnation >= self.config.max_stagnation_steps
@@ -300,8 +324,14 @@ class EvolutionaryEngine:
                 break
 
         self.statistics.wall_clock_seconds = time.perf_counter() - start_time
+        self._record_frontier_statistics()
         self.callbacks.on_search_end(population)
-        return EngineResult(population=population, history=self.history, statistics=self.statistics)
+        return EngineResult(
+            population=population,
+            history=self.history,
+            statistics=self.statistics,
+            frontier=self.frontier,
+        )
 
     # ------------------------------------------------------- async pipeline
     def _run_async(self) -> EngineResult:
@@ -326,6 +356,7 @@ class EvolutionaryEngine:
             step = len(population)
             stagnation = 0
             best_fitness = population.best.fitness_value
+            frontier_marker = self.frontier.updates
             in_flight: dict[Future, CoDesignGenome] = {}
             stop_generating = False
 
@@ -352,7 +383,9 @@ class EvolutionaryEngine:
                 for future in done:
                     genome = in_flight.pop(future)
                     evaluation = future.result()
-                    fitness = self.fitness.score(evaluation, reference=self.history.evaluations())
+                    fitness = self.fitness.score(
+                        evaluation, reference=self._fitness_reference(population)
+                    )
                     self.callbacks.on_evaluation(evaluation, fitness, step)
                     population.add(
                         Individual(
@@ -366,8 +399,11 @@ class EvolutionaryEngine:
                     if population.best.fitness_value > best_fitness + 1e-12:
                         best_fitness = population.best.fitness_value
                         stagnation = 0
+                    elif self._frontier_progressed(frontier_marker):
+                        stagnation = 0
                     else:
                         stagnation += 1
+                    frontier_marker = self.frontier.updates
                     if (
                         self.config.max_stagnation_steps > 0
                         and stagnation >= self.config.max_stagnation_steps
@@ -378,8 +414,46 @@ class EvolutionaryEngine:
             executor.shutdown(wait=True)
 
         self.statistics.wall_clock_seconds = time.perf_counter() - start_time
+        self._record_frontier_statistics()
         self.callbacks.on_search_end(population)
-        return EngineResult(population=population, history=self.history, statistics=self.statistics)
+        return EngineResult(
+            population=population,
+            history=self.history,
+            statistics=self.statistics,
+            frontier=self.frontier,
+        )
+
+    def _record_frontier_statistics(self) -> None:
+        self.statistics.frontier_size = len(self.frontier)
+        self.statistics.frontier_updates = self.frontier.updates
+
+    def _frontier_progressed(self, marker: int) -> bool:
+        """Frontier growth counts as progress for rank-based evaluators.
+
+        Pareto-rank scores are capped (the best front-0 member always scores
+        the same), so the scalar best-fitness trace cannot register
+        improvement; an advancing frontier archive is the honest progress
+        signal.  Weighted-sum runs keep the original scalar-only stagnation
+        behaviour.
+        """
+        return getattr(self.fitness, "population_relative", False) and (
+            self.frontier.updates > marker
+        )
+
+    def _fitness_reference(self, population: Population) -> list[CandidateEvaluation]:
+        """The reference set newcomers are scored against.
+
+        Scalarizing evaluators keep the historical behaviour (the full
+        evaluation history).  Rank-encoding evaluators
+        (``population_relative``) must be scored against the current
+        population: a newcomer's front index within the whole history is not
+        comparable to the population-relative scores ``Population.add``
+        weighs it against, and would wrongly reject non-dominated offspring
+        late in a run.
+        """
+        if getattr(self.fitness, "population_relative", False) and len(population):
+            return population.evaluations()
+        return self.history.evaluations()
 
     def _initialize_population_async(self, executor: ThreadPoolExecutor) -> Population:
         """Evaluate the whole initial population concurrently."""
@@ -412,7 +486,9 @@ class EvolutionaryEngine:
         for future in as_completed(futures):
             genome = futures[future]
             evaluation = future.result()
-            fitness = self.fitness.score(evaluation, reference=self.history.evaluations())
+            fitness = self.fitness.score(
+                evaluation, reference=self._fitness_reference(population)
+            )
             self.callbacks.on_evaluation(evaluation, fitness, len(population))
             population.add(
                 Individual(
@@ -473,7 +549,7 @@ class EvolutionaryEngine:
             genome = self.space.random_genome(self._rng, device=self.device)
             if self.config.avoid_duplicate_genomes and population.contains_genome(genome):
                 continue
-            individual = self._evaluate_and_wrap(genome, step=len(population))
+            individual = self._evaluate_and_wrap(genome, step=len(population), population=population)
             population.add(individual)
             self._rescore(population)
         if len(population) < 2:
@@ -484,7 +560,7 @@ class EvolutionaryEngine:
         genome = self._make_offspring(population)
         if genome is None:
             return False
-        individual = self._evaluate_and_wrap(genome, step)
+        individual = self._evaluate_and_wrap(genome, step, population=population)
         population.add(individual)
         self._rescore(population)
         return True
@@ -500,7 +576,7 @@ class EvolutionaryEngine:
             genome = self._make_offspring(population)
             if genome is None:
                 continue
-            offspring.append(self._evaluate_and_wrap(genome, step))
+            offspring.append(self._evaluate_and_wrap(genome, step, population=population))
         if not offspring:
             return False
         # Elitism: keep the best parent.
@@ -531,9 +607,11 @@ class EvolutionaryEngine:
         # Give up on uniqueness and explore randomly instead.
         return self.space.random_genome(self._rng, device=self.device)
 
-    def _evaluate_and_wrap(self, genome: CoDesignGenome, step: int) -> Individual:
+    def _evaluate_and_wrap(
+        self, genome: CoDesignGenome, step: int, population: Population
+    ) -> Individual:
         evaluation = self._evaluate(genome)
-        fitness = self.fitness.score(evaluation, reference=self.history.evaluations())
+        fitness = self.fitness.score(evaluation, reference=self._fitness_reference(population))
         self.callbacks.on_evaluation(evaluation, fitness, step)
         return Individual(genome=genome, evaluation=evaluation, fitness=fitness, birth_step=step)
 

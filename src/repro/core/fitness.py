@@ -7,28 +7,44 @@ functions ... Simple evaluation functions can be specified in the
 configuration file and more complex ones are written in code and added by
 registering them with the framework."*
 
-This module provides exactly that:
+The typed objective model (registry, :class:`ObjectiveSpec`,
+:class:`~repro.core.objectives.ObjectiveVector`, constraints) lives in
+:mod:`repro.core.objectives` and is re-exported here for compatibility.
+This module provides the evaluators built on top of it:
 
-* built-in objectives (accuracy, FPGA/GPU throughput, latency, efficiency,
-  parameter count) registered under stable names,
-* a registry so users can add their own objective by name,
-* :class:`FitnessObjective` — one named objective with direction and optional
-  weight/scaling — and
-* :class:`FitnessEvaluator` — combines several objectives into a scalar
-  selection fitness (weighted sum of min-max-normalized objectives) while
-  keeping the raw per-objective values for Pareto analysis.
+* :class:`FitnessEvaluator` — scalarizes several objectives into a weighted
+  sum of min-max-normalized values (the paper's selection fitness) while
+  natively producing each candidate's :class:`ObjectiveVector` for Pareto
+  analysis, and
+* :class:`ParetoRankingEvaluator` — NSGA-II scoring: fast non-dominated
+  sorting plus crowding distance, encoded as a scalar so the steady-state
+  population machinery (selection, replacement) needs no changes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
-from ..registry import Registry
 from .candidate import CandidateEvaluation
 from .errors import ConfigurationError
+from .objectives import (
+    OBJECTIVES,
+    Constraint,
+    ObjectiveFunction,
+    ObjectiveSpec,
+    ObjectiveVector,
+    available_objectives,
+    build_objective_vector,
+    get_objective,
+    objective_default_maximize,
+    parse_constraint,
+    register_objective,
+    resolve_constraints,
+)
+from .pareto import crowding_distances, fast_non_dominated_sort
 
 __all__ = [
     "OBJECTIVES",
@@ -37,185 +53,32 @@ __all__ = [
     "available_objectives",
     "get_objective",
     "objective_default_maximize",
+    "ObjectiveSpec",
+    "ObjectiveVector",
+    "Constraint",
+    "parse_constraint",
     "FitnessObjective",
     "FitnessResult",
     "FitnessEvaluator",
+    "ParetoRankingEvaluator",
 ]
 
-#: An objective maps an evaluated candidate to a raw scalar value.
-ObjectiveFunction = Callable[[CandidateEvaluation], float]
-
-#: The shared objective registry; plugins may register additional objectives.
-OBJECTIVES: Registry[ObjectiveFunction] = Registry("objective")
-
-#: Default optimization direction per registered objective (True = maximize).
-_DEFAULT_MAXIMIZE: dict[str, bool] = {}
-
-
-def register_objective(
-    name: str,
-    function: ObjectiveFunction,
-    overwrite: bool = False,
-    maximize_by_default: bool = True,
-) -> None:
-    """Register a new objective under ``name``.
-
-    Parameters
-    ----------
-    name:
-        Stable identifier usable from configuration files.
-    function:
-        Callable mapping a :class:`CandidateEvaluation` to a float.
-    overwrite:
-        Allow replacing an existing registration (off by default so typos do
-        not silently shadow built-ins).
-    maximize_by_default:
-        Direction used when the objective is named without an explicit
-        direction (e.g. in an experiment spec's objective grid); pass False
-        for cost-style objectives such as latency.
-    """
-    try:
-        OBJECTIVES.register(name, function, overwrite=overwrite)
-    except ValueError as exc:
-        raise ConfigurationError(str(exc)) from exc
-    _DEFAULT_MAXIMIZE[OBJECTIVES.canonical_name(name)] = bool(maximize_by_default)
-
-
-def objective_default_maximize(name: str) -> bool:
-    """Whether a registered objective is maximized when no direction is given."""
-    get_objective(name)  # raise the usual error for unknown names
-    return _DEFAULT_MAXIMIZE.get(OBJECTIVES.canonical_name(name), True)
-
-
-def available_objectives() -> list[str]:
-    """Sorted names of all registered objectives."""
-    return OBJECTIVES.available()
-
-
-def get_objective(name: str) -> ObjectiveFunction:
-    """Look up a registered objective by name."""
-    try:
-        return OBJECTIVES.resolve(name)
-    except KeyError as exc:
-        raise ConfigurationError(
-            f"unknown objective {name!r}; available: {', '.join(available_objectives())}"
-        ) from exc
-
-
-# ---------------------------------------------------------------------------
-# Built-in objectives
-# ---------------------------------------------------------------------------
-
-
-def _accuracy(evaluation: CandidateEvaluation) -> float:
-    return evaluation.accuracy
-
-
-def _fpga_throughput(evaluation: CandidateEvaluation) -> float:
-    return evaluation.fpga_outputs_per_second
-
-
-def _gpu_throughput(evaluation: CandidateEvaluation) -> float:
-    return evaluation.gpu_outputs_per_second
-
-
-def _fpga_latency(evaluation: CandidateEvaluation) -> float:
-    return evaluation.fpga_metrics.latency_seconds if evaluation.fpga_metrics else float("inf")
-
-
-def _fpga_efficiency(evaluation: CandidateEvaluation) -> float:
-    return evaluation.fpga_metrics.efficiency if evaluation.fpga_metrics else 0.0
-
-
-def _fpga_effective_gflops(evaluation: CandidateEvaluation) -> float:
-    return evaluation.fpga_metrics.effective_gflops if evaluation.fpga_metrics else 0.0
-
-
-def _parameter_count(evaluation: CandidateEvaluation) -> float:
-    return float(evaluation.parameter_count)
-
-
-def _dsp_usage(evaluation: CandidateEvaluation) -> float:
-    return float(evaluation.genome.hardware.grid.dsp_blocks_used)
-
-
-register_objective("accuracy", _accuracy)
-register_objective("fpga_throughput", _fpga_throughput)
-register_objective("gpu_throughput", _gpu_throughput)
-register_objective("fpga_latency", _fpga_latency, maximize_by_default=False)
-register_objective("fpga_efficiency", _fpga_efficiency)
-register_objective("fpga_effective_gflops", _fpga_effective_gflops)
-register_objective("parameter_count", _parameter_count, maximize_by_default=False)
-register_objective("dsp_usage", _dsp_usage, maximize_by_default=False)
-
-
-# ---------------------------------------------------------------------------
-# Objective configuration and evaluator
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class FitnessObjective:
-    """One named objective with an optimization direction and a weight.
-
-    Attributes
-    ----------
-    name:
-        Registered objective name.
-    maximize:
-        True to maximize, False to minimize (e.g. latency, parameter count).
-    weight:
-        Relative weight in the scalarized selection fitness.
-    scale:
-        Optional fixed normalization scale.  When > 0, the raw value is
-        divided by this scale instead of being min-max normalized against the
-        current population — useful when the expected magnitude is known
-        (e.g. accuracy is already in [0, 1]).
-    """
-
-    name: str
-    maximize: bool = True
-    weight: float = 1.0
-    scale: float = 0.0
-
-    def __post_init__(self) -> None:
-        get_objective(self.name)  # validate eagerly
-        if self.weight <= 0:
-            raise ConfigurationError(f"objective weight must be positive, got {self.weight}")
-        if self.scale < 0:
-            raise ConfigurationError(f"objective scale must be >= 0, got {self.scale}")
-
-    def raw_value(self, evaluation: CandidateEvaluation) -> float:
-        """The raw objective value for one candidate."""
-        return float(get_objective(self.name)(evaluation))
-
-    @classmethod
-    def accuracy(cls, weight: float = 1.0) -> "FitnessObjective":
-        """Convenience constructor: maximize accuracy (already in [0, 1])."""
-        return cls(name="accuracy", maximize=True, weight=weight, scale=1.0)
-
-    @classmethod
-    def fpga_throughput(cls, weight: float = 1.0) -> "FitnessObjective":
-        """Convenience constructor: maximize FPGA outputs/s."""
-        return cls(name="fpga_throughput", maximize=True, weight=weight)
-
-    @classmethod
-    def gpu_throughput(cls, weight: float = 1.0) -> "FitnessObjective":
-        """Convenience constructor: maximize GPU outputs/s."""
-        return cls(name="gpu_throughput", maximize=True, weight=weight)
-
-    @classmethod
-    def fpga_latency(cls, weight: float = 1.0) -> "FitnessObjective":
-        """Convenience constructor: minimize FPGA latency."""
-        return cls(name="fpga_latency", maximize=False, weight=weight)
+#: Historical name: a fitness objective is an objective spec.
+FitnessObjective = ObjectiveSpec
 
 
 @dataclass(frozen=True)
 class FitnessResult:
-    """Scalar fitness plus the raw objective values it was derived from."""
+    """Scalar fitness plus the raw objective values it was derived from.
+
+    ``vector`` carries the typed, direction-aware objective values (with
+    feasibility) whenever the result was produced by an evaluator; Pareto
+    machinery (NSGA-II selection, the frontier archive) consumes it.
+    """
 
     fitness: float
     objectives: dict[str, float] = field(default_factory=dict)
+    vector: ObjectiveVector | None = None
 
     def objective(self, name: str) -> float:
         """Raw value of one objective by name."""
@@ -223,6 +86,11 @@ class FitnessResult:
         if key not in self.objectives:
             raise KeyError(f"objective {name!r} was not part of this evaluation")
         return self.objectives[key]
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the candidate satisfies every configured constraint."""
+        return self.vector.feasible if self.vector is not None else np.isfinite(self.fitness)
 
 
 class FitnessEvaluator:
@@ -234,16 +102,28 @@ class FitnessEvaluator:
     supplied to :meth:`score_population`, which keeps very differently scaled
     objectives (accuracy in [0,1], throughput in the millions) comparable.
     Minimized objectives contribute ``1 - normalized`` so that larger fitness
-    is always better.  Failed evaluations always receive ``-inf``.
+    is always better.  Failed evaluations always receive ``-inf``, as do
+    candidates violating any feasibility ``constraint``.
     """
 
-    def __init__(self, objectives: list[FitnessObjective]) -> None:
+    #: Whether scalar scores are only comparable within one scored set.
+    #: The engine scores newcomers against the current *population* (not the
+    #: full history) for evaluators that set this, so admission decisions in
+    #: ``Population.add`` compare like with like.
+    population_relative = False
+
+    def __init__(
+        self,
+        objectives: list[ObjectiveSpec],
+        constraints: Sequence[Constraint | str] = (),
+    ) -> None:
         if not objectives:
             raise ConfigurationError("at least one fitness objective is required")
         names = [obj.name for obj in objectives]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate objective names in {names}")
         self.objectives = list(objectives)
+        self.constraints = resolve_constraints(constraints)
 
     @property
     def objective_names(self) -> list[str]:
@@ -257,6 +137,21 @@ class FitnessEvaluator:
             return {obj.name: float("nan") for obj in self.objectives}
         return {obj.name: obj.raw_value(evaluation) for obj in self.objectives}
 
+    def objective_vector(self, evaluation: CandidateEvaluation) -> ObjectiveVector:
+        """The typed objective vector of one candidate (constraint-aware)."""
+        return self._vector_from_raw(evaluation, self.raw_objectives(evaluation))
+
+    def _vector_from_raw(
+        self, evaluation: CandidateEvaluation, raw: dict[str, float]
+    ) -> ObjectiveVector:
+        """Build the vector from already-computed raw values (no re-evaluation)."""
+        raw_values = None
+        if not evaluation.failed:
+            raw_values = [raw[obj.name] for obj in self.objectives]
+        return build_objective_vector(
+            evaluation, self.objectives, self.constraints, raw_values=raw_values
+        )
+
     def score_population(self, evaluations: list[CandidateEvaluation]) -> list[FitnessResult]:
         """Score every candidate against the population's own value ranges."""
         if not evaluations:
@@ -265,8 +160,11 @@ class FitnessEvaluator:
         results: list[FitnessResult] = []
         normalizers = self._normalizers(raw_matrix)
         for evaluation, raw in zip(evaluations, raw_matrix):
-            if evaluation.failed:
-                results.append(FitnessResult(fitness=float("-inf"), objectives=raw))
+            vector = self._vector_from_raw(evaluation, raw)
+            if evaluation.failed or not vector.feasible:
+                results.append(
+                    FitnessResult(fitness=float("-inf"), objectives=raw, vector=vector)
+                )
                 continue
             fitness = 0.0
             for objective in self.objectives:
@@ -274,7 +172,7 @@ class FitnessEvaluator:
                 normalized = normalizers[objective.name](value)
                 contribution = normalized if objective.maximize else 1.0 - normalized
                 fitness += objective.weight * contribution
-            results.append(FitnessResult(fitness=fitness, objectives=raw))
+            results.append(FitnessResult(fitness=fitness, objectives=raw, vector=vector))
         return results
 
     def score(self, evaluation: CandidateEvaluation, reference: list[CandidateEvaluation]) -> FitnessResult:
@@ -309,6 +207,50 @@ class FitnessEvaluator:
                     lambda value, lo=low, hi=high: _clip01((value - lo) / (hi - lo))
                 )
         return normalizers
+
+
+class ParetoRankingEvaluator(FitnessEvaluator):
+    """NSGA-II scoring: non-dominated rank plus crowding-distance tiebreak.
+
+    Instead of a weighted sum, the scalar fitness encodes the candidate's
+    Pareto layer within the reference population: members of front ``r``
+    score in ``(-r, -r + CROWDING_SPAN]``, ordered within the front by
+    descending crowding distance.  Sorting by this scalar therefore exactly
+    reproduces NSGA-II's ``(rank, crowding)`` comparison, so the unchanged
+    steady-state population machinery performs NSGA-II replacement, and any
+    selection scheme reading ``fitness_value`` performs NSGA-II selection.
+    Infeasible candidates are ranked after every feasible front (constrained
+    dominance); failed evaluations keep ``-inf``.
+    """
+
+    #: Width of the in-front crowding band; < 1 keeps ranks separated.
+    CROWDING_SPAN = 0.9
+
+    #: Rank-encoded scores depend on the scored set: a front index within the
+    #: full history is meaningless next to one within the 16-member
+    #: population, so the engine must score newcomers population-relative.
+    population_relative = True
+
+    def score_population(self, evaluations: list[CandidateEvaluation]) -> list[FitnessResult]:
+        base = super().score_population(evaluations)
+        scoreable = [i for i, e in enumerate(evaluations) if not e.failed]
+        if not scoreable:
+            return base
+        vectors = [base[i].vector for i in scoreable]
+        fronts = fast_non_dominated_sort(vectors, dominates_fn=ObjectiveVector.dominates)
+        results = list(base)
+        for rank, front in enumerate(fronts):
+            distances = crowding_distances([vectors[j].canonical for j in front])
+            order = sorted(range(len(front)), key=lambda j: -distances[j])
+            for position, j in enumerate(order):
+                index = scoreable[front[j]]
+                fitness = -float(rank) + self.CROWDING_SPAN * (1.0 - position / len(front))
+                results[index] = FitnessResult(
+                    fitness=fitness,
+                    objectives=base[index].objectives,
+                    vector=base[index].vector,
+                )
+        return results
 
 
 def _clip01(value: float) -> float:

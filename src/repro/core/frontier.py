@@ -1,0 +1,170 @@
+"""Streaming Pareto-frontier archive, updated while the search runs.
+
+Section III-B: *"the Pareto frontiers that result after parsing the
+evolutionary design space define what the optimal solution is ... Having the
+data to make decisions based on trade-offs is highly valuable."*  Instead of
+re-deriving the frontier from the full history after the run,
+:class:`FrontierArchive` rides the engine's callback bus (serial and
+asynchronous paths alike) and maintains the non-dominated set incrementally:
+every evaluation either joins the frontier (evicting the members it
+dominates) or is discarded, and each change is recorded as a
+:class:`FrontierSnapshot` so the frontier's growth over the run can be
+reported.  Its final state is exactly the Pareto frontier of the run's
+unique successful evaluations.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Sequence
+
+from .callbacks import Callback
+from .candidate import CandidateEvaluation
+from .fitness import FitnessResult
+from .objectives import (
+    Constraint,
+    ObjectiveSpec,
+    ObjectiveVector,
+    build_objective_vector,
+    resolve_constraints,
+)
+
+__all__ = ["FrontierSnapshot", "FrontierMember", "FrontierArchive"]
+
+
+@dataclass(frozen=True)
+class FrontierSnapshot:
+    """One frontier change: when it happened and how big the frontier was."""
+
+    step: int
+    size: int
+    evaluations_seen: int
+
+
+@dataclass(frozen=True)
+class FrontierMember:
+    """One archived candidate: its evaluation plus its objective vector."""
+
+    evaluation: CandidateEvaluation
+    vector: ObjectiveVector
+
+
+class FrontierArchive(Callback):
+    """Maintains the running Pareto frontier over configured objectives.
+
+    Parameters
+    ----------
+    objectives:
+        Objective specs defining the frontier's axes (order matters for
+        reporting; the first objective is the primary sort key).
+    constraints:
+        Feasibility constraints; infeasible candidates never enter the
+        archive.
+
+    The archive is an engine :class:`~repro.core.callbacks.Callback`: the
+    engine feeds it through ``on_evaluation`` on both the serial and the
+    asynchronous steady-state paths, so the frontier is live *during* the
+    run.  It can also be fed directly via :meth:`observe` (e.g. by
+    ``RandomSearch``).  Updates are lock-protected, and duplicate genomes
+    (cache hits re-entering the history) are ignored so the final state
+    matches post-hoc extraction over the run's unique evaluations.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[ObjectiveSpec],
+        constraints: Sequence[Constraint | str] = (),
+    ) -> None:
+        if not objectives:
+            raise ValueError("a frontier archive needs at least one objective")
+        self.objectives = list(objectives)
+        self.constraints = resolve_constraints(constraints)
+        self.snapshots: list[FrontierSnapshot] = []
+        self.updates = 0
+        self.evaluations_seen = 0
+        self._members: dict[str, FrontierMember] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- callback
+    def on_evaluation(
+        self, evaluation: CandidateEvaluation, fitness: FitnessResult, step: int
+    ) -> None:
+        vector = fitness.vector if fitness is not None else None
+        if vector is not None and tuple(vector.names) != tuple(
+            spec.name for spec in self.objectives
+        ):
+            vector = None  # scored under different objectives; rebuild below
+        self.observe(evaluation, step=step, vector=vector)
+
+    # -------------------------------------------------------------- updates
+    def observe(
+        self,
+        evaluation: CandidateEvaluation,
+        step: int = 0,
+        vector: ObjectiveVector | None = None,
+    ) -> bool:
+        """Offer one evaluation to the archive; True when the frontier changed."""
+        with self._lock:
+            self.evaluations_seen += 1
+            if evaluation.failed:
+                return False
+            if vector is None:
+                vector = build_objective_vector(evaluation, self.objectives, self.constraints)
+            if not vector.feasible:
+                return False
+            key = evaluation.genome.cache_key()
+            if key in self._members:
+                return False
+            if any(member.vector.dominates(vector) for member in self._members.values()):
+                return False
+            dominated = [
+                existing_key
+                for existing_key, member in self._members.items()
+                if vector.dominates(member.vector)
+            ]
+            for existing_key in dominated:
+                del self._members[existing_key]
+            self._members[key] = FrontierMember(evaluation=evaluation, vector=vector)
+            self.updates += 1
+            self.snapshots.append(
+                FrontierSnapshot(
+                    step=int(step),
+                    size=len(self._members),
+                    evaluations_seen=self.evaluations_seen,
+                )
+            )
+            return True
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._members)
+
+    @property
+    def objective_names(self) -> list[str]:
+        """Names of the frontier's objectives, in order."""
+        return [spec.name for spec in self.objectives]
+
+    def members(self) -> list[FrontierMember]:
+        """Frontier members sorted by the first objective, best first."""
+        with self._lock:
+            members = list(self._members.values())
+        return sorted(members, key=lambda m: m.vector.canonical[0], reverse=True)
+
+    def frontier(self) -> list[CandidateEvaluation]:
+        """Frontier evaluations sorted by the first objective, best first."""
+        return [member.evaluation for member in self.members()]
+
+    def vectors(self) -> list[ObjectiveVector]:
+        """Frontier objective vectors, same order as :meth:`frontier`."""
+        return [member.vector for member in self.members()]
+
+    def rows(self) -> list[dict]:
+        """Flat report rows: objective values plus the candidate summary."""
+        rows = []
+        for member in self.members():
+            row = dict(member.vector.as_dict())
+            row.update(member.evaluation.summary())
+            rows.append(row)
+        return rows

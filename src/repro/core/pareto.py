@@ -20,6 +20,10 @@ __all__ = [
     "dominates",
     "pareto_frontier",
     "pareto_frontier_indices",
+    "fast_non_dominated_sort",
+    "crowding_distances",
+    "hypervolume_2d",
+    "evaluation_frontier",
     "knee_point",
     "top_tradeoff_points",
 ]
@@ -83,6 +87,147 @@ def pareto_frontier(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
     indices = pareto_frontier_indices([point.values for point in points])
     frontier = [points[i] for i in indices]
     return sorted(frontier, key=lambda point: point.values[0], reverse=True)
+
+
+def fast_non_dominated_sort(
+    items: Sequence, dominates_fn: Callable[[object, object], bool] | None = None
+) -> list[list[int]]:
+    """NSGA-II fast non-dominated sorting (Deb et al. 2002).
+
+    Partitions ``items`` into successive non-dominated fronts and returns
+    them as lists of indices: front 0 is the Pareto frontier of the whole
+    set, front 1 the frontier of the remainder, and so on.
+
+    Parameters
+    ----------
+    items:
+        Objective vectors.  By default plain sequences of floats in
+        maximization form compared with :func:`dominates`; pass
+        ``dominates_fn`` to sort richer objects (e.g.
+        ``ObjectiveVector.dominates`` for constrained dominance).
+    dominates_fn:
+        Binary predicate ``dominates_fn(a, b)`` — True when ``a`` dominates
+        ``b``.
+    """
+    compare = dominates_fn or dominates
+    count = len(items)
+    dominated_by: list[list[int]] = [[] for _ in range(count)]
+    domination_count = [0] * count
+    fronts: list[list[int]] = [[]]
+    for i in range(count):
+        for j in range(count):
+            if i == j:
+                continue
+            if compare(items[i], items[j]):
+                dominated_by[i].append(j)
+            elif compare(items[j], items[i]):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        next_front: list[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    return [front for front in fronts if front]
+
+
+def crowding_distances(values: Sequence[Sequence[float]]) -> list[float]:
+    """NSGA-II crowding distance of every point within one front.
+
+    Boundary points (extreme in any objective) get infinite distance so they
+    are always preferred; interior points get the normalized perimeter of
+    the cuboid spanned by their neighbours.  Expects maximization-form (or
+    any consistently ordered) values; direction does not matter because the
+    measure is symmetric.
+    """
+    count = len(values)
+    if count == 0:
+        return []
+    if count <= 2:
+        return [float("inf")] * count
+    matrix = np.asarray([[float(v) for v in row] for row in values], dtype=float)
+    distances = np.zeros(count, dtype=float)
+    for column in range(matrix.shape[1]):
+        order = np.argsort(matrix[:, column], kind="stable")
+        low = matrix[order[0], column]
+        high = matrix[order[-1], column]
+        distances[order[0]] = float("inf")
+        distances[order[-1]] = float("inf")
+        span = high - low
+        if span < 1e-12:
+            continue
+        for position in range(1, count - 1):
+            index = order[position]
+            if np.isinf(distances[index]):
+                continue
+            gap = matrix[order[position + 1], column] - matrix[order[position - 1], column]
+            distances[index] += gap / span
+    return [float(d) for d in distances]
+
+
+def hypervolume_2d(
+    points: Sequence[Sequence[float]], reference: Sequence[float] = (0.0, 0.0)
+) -> float:
+    """Hypervolume (area) dominated by a 2-D point set, maximization form.
+
+    The standard frontier-quality indicator: the area between the Pareto
+    frontier of ``points`` and the ``reference`` point (which should be
+    dominated by every point; contributions below it are clipped to zero).
+    Used by the benchmark harness to compare NSGA-II and weighted-sum
+    searches at equal evaluation budgets.
+    """
+    ref_x, ref_y = float(reference[0]), float(reference[1])
+    clipped = [
+        (max(float(x), ref_x), max(float(y), ref_y))
+        for x, y in points
+        if np.isfinite(float(x)) and np.isfinite(float(y))
+    ]
+    if not clipped:
+        return 0.0
+    frontier = sorted(
+        (clipped[i] for i in pareto_frontier_indices(clipped)),
+        key=lambda p: p[0],
+        reverse=True,
+    )
+    area = 0.0
+    previous_y = ref_y
+    for x, y in frontier:
+        area += (x - ref_x) * (y - previous_y)
+        previous_y = max(previous_y, y)
+    return float(area)
+
+
+def evaluation_frontier(evaluations: Sequence, device: str = "fpga") -> list:
+    """The canonical accuracy-vs-throughput Pareto frontier of evaluations.
+
+    Single source of truth used by ``SearchResult``, the analysis layer and
+    the reports: failed evaluations are dropped, the objective vector is
+    ``(accuracy, outputs/s)`` for the chosen device, and the frontier is
+    returned best-accuracy first.  ``evaluations`` is any sequence of
+    :class:`~repro.core.candidate.CandidateEvaluation`-shaped objects.
+    """
+    if device not in ("fpga", "gpu"):
+        raise ValueError(f"device must be 'fpga' or 'gpu', got {device!r}")
+    valid = [e for e in evaluations if not e.failed]
+    if not valid:
+        return []
+    points = [
+        ParetoPoint(
+            values=(
+                e.accuracy,
+                e.fpga_outputs_per_second if device == "fpga" else e.gpu_outputs_per_second,
+            ),
+            payload=e,
+        )
+        for e in valid
+    ]
+    return [point.payload for point in pareto_frontier(points)]
 
 
 def knee_point(frontier: Sequence[ParetoPoint]) -> ParetoPoint:

@@ -20,14 +20,15 @@ import numpy as np
 
 from ..datasets.base import Dataset
 from .cache import EvaluationCache
-from .callbacks import Callback, SearchHistory
+from .callbacks import Callback, CallbackList, SearchHistory
 from .candidate import CandidateEvaluation
 from .config import ECADConfig
 from .engine import EngineResult, EvolutionaryEngine, RunStatistics
 from .errors import ConfigurationError
-from .fitness import FitnessEvaluator, FitnessObjective
+from .fitness import Constraint, FitnessEvaluator, FitnessObjective
+from .frontier import FrontierArchive
 from .genome import CoDesignGenome, CoDesignSearchSpace
-from .pareto import ParetoPoint, pareto_frontier, top_tradeoff_points
+from .pareto import ParetoPoint, evaluation_frontier, top_tradeoff_points
 
 __all__ = ["SearchResult", "CoDesignSearch", "RandomSearch"]
 
@@ -46,6 +47,10 @@ class SearchResult:
     frontier:
         The accuracy-vs-FPGA-throughput Pareto frontier over all evaluated
         candidates (Table IV / Figure 2 material).
+    frontier_archive:
+        The streaming :class:`~repro.core.frontier.FrontierArchive` the
+        engine maintained over the *configured* objectives during the run
+        (``None`` for evaluators that bypass the engine).
     history:
         Full evaluation history.
     statistics:
@@ -57,11 +62,23 @@ class SearchResult:
     frontier: list[CandidateEvaluation] = field(default_factory=list)
     history: SearchHistory = field(default_factory=SearchHistory)
     statistics: RunStatistics = field(default_factory=RunStatistics)
+    frontier_archive: FrontierArchive | None = None
 
     @property
     def best_accuracy(self) -> float:
         """Highest accuracy achieved by any evaluated candidate."""
         return self.best_accuracy_candidate.accuracy
+
+    @property
+    def objective_frontier(self) -> list[CandidateEvaluation]:
+        """Frontier over the run's configured objectives (archive-backed).
+
+        Falls back to the accuracy-vs-FPGA-throughput ``frontier`` when no
+        archive was streamed (e.g. results reconstructed from history only).
+        """
+        if self.frontier_archive is not None:
+            return self.frontier_archive.frontier()
+        return list(self.frontier)
 
     def pareto_rows(self, count: int = 2) -> list[CandidateEvaluation]:
         """Representative frontier rows, Table-IV style (best accuracy first)."""
@@ -74,14 +91,12 @@ class SearchResult:
 
 
 def _extract_frontier(evaluations: list[CandidateEvaluation]) -> list[CandidateEvaluation]:
-    """Accuracy-vs-FPGA-throughput Pareto frontier of a set of evaluations."""
-    valid = [e for e in evaluations if not e.failed]
-    if not valid:
-        return []
-    points = [
-        ParetoPoint(values=(e.accuracy, e.fpga_outputs_per_second), payload=e) for e in valid
-    ]
-    return [point.payload for point in pareto_frontier(points)]
+    """Accuracy-vs-FPGA-throughput Pareto frontier of a set of evaluations.
+
+    Thin wrapper kept for compatibility; the single source of truth is
+    :func:`repro.core.pareto.evaluation_frontier`.
+    """
+    return evaluation_frontier(evaluations, device="fpga")
 
 
 class CoDesignSearch:
@@ -157,10 +172,21 @@ class CoDesignSearch:
             seed=self.config.seed,
         )
 
-    def build_engine(self, evaluator=None) -> EvolutionaryEngine:
-        """Construct the evolutionary engine (optionally with a custom evaluator)."""
+    def build_engine(
+        self, evaluator=None, fitness: FitnessEvaluator | None = None, selection=None
+    ) -> EvolutionaryEngine:
+        """Construct the evolutionary engine.
+
+        ``fitness`` and ``selection`` default to the configuration's
+        weighted-sum evaluator and selection scheme; search strategies (e.g.
+        NSGA-II) inject their own here.
+        """
         space = self.config.to_search_space()
-        fitness = FitnessEvaluator(self.config.optimization.to_fitness_objectives())
+        if fitness is None:
+            fitness = FitnessEvaluator(
+                self.config.optimization.to_fitness_objectives(),
+                constraints=self.config.optimization.to_constraints(),
+            )
         if evaluator is None:
             evaluator = self.build_master()
         return EvolutionaryEngine(
@@ -172,26 +198,25 @@ class CoDesignSearch:
             mutation_config=self.config.to_mutation_config(),
             cache=self.cache,
             callbacks=self.callbacks,
+            selection=selection,
         )
 
     # ---------------------------------------------------------------- run
-    def run(self, evaluator=None) -> SearchResult:
+    def run(self, evaluator=None, strategy=None) -> SearchResult:
         """Run the full search and package the results.
 
-        When no evaluator is supplied, the search builds (and owns) a master
-        whose execution backend is released once the search finishes.
+        The search is driven by a registered
+        :class:`~repro.core.strategy.SearchStrategy` — ``strategy`` (a name
+        or instance) when given, otherwise the configuration's ``strategy``
+        field (``"evolutionary"`` by default, which reproduces the paper's
+        weighted-sum steady-state search exactly).  When no evaluator is
+        supplied, the strategy builds (and owns) a master whose execution
+        backend is released once the search finishes.
         """
-        owned_master = None
-        if evaluator is None:
-            owned_master = self.build_master()
-            evaluator = owned_master
-        engine = self.build_engine(evaluator=evaluator)
-        try:
-            outcome: EngineResult = engine.run()
-        finally:
-            if owned_master is not None:
-                owned_master.shutdown()
-        return self._package(outcome)
+        from .strategy import get_strategy
+
+        chosen = strategy if strategy is not None else self.config.strategy
+        return get_strategy(chosen).execute(self, evaluator)
 
     def _package(self, outcome: EngineResult) -> SearchResult:
         evaluations = [e for e in outcome.history.evaluations() if not e.failed]
@@ -204,6 +229,7 @@ class CoDesignSearch:
             frontier=_extract_frontier(evaluations),
             history=outcome.history,
             statistics=outcome.statistics,
+            frontier_archive=outcome.frontier,
         )
 
 
@@ -224,16 +250,22 @@ class RandomSearch:
         max_evaluations: int = 100,
         seed: int | None = 0,
         device=None,
+        constraints: list[Constraint | str] | None = None,
+        callbacks: list[Callback] | None = None,
+        cache: EvaluationCache | None = None,
     ) -> None:
         if max_evaluations <= 0:
             raise ConfigurationError(f"max_evaluations must be positive, got {max_evaluations}")
         self.space = space
         self.evaluator = evaluator
-        self.fitness = FitnessEvaluator(objectives or [FitnessObjective.accuracy()])
+        self.fitness = FitnessEvaluator(
+            objectives or [FitnessObjective.accuracy()], constraints=constraints or ()
+        )
         self.max_evaluations = int(max_evaluations)
         self.seed = seed
         self.device = device
-        self.cache = EvaluationCache()
+        self.callbacks = list(callbacks or [])
+        self.cache = cache if cache is not None else EvaluationCache()
 
     def run(self) -> SearchResult:
         """Draw, evaluate and rank random candidates.
@@ -248,6 +280,9 @@ class RandomSearch:
         """
         rng = np.random.default_rng(self.seed)
         history = SearchHistory()
+        archive = FrontierArchive(
+            objectives=self.fitness.objectives, constraints=self.fitness.constraints
+        )
         statistics = RunStatistics()
         import time as _time
 
@@ -266,10 +301,15 @@ class RandomSearch:
         else:
             evaluations = self._evaluate_serial(genomes, statistics)
 
+        extra_callbacks = CallbackList(self.callbacks)
         for step, evaluation in enumerate(evaluations):
             fitness = self.fitness.score(evaluation, reference=evaluations[: step + 1])
             history.on_evaluation(evaluation, fitness, step)
+            archive.observe(evaluation, step=step, vector=fitness.vector)
+            extra_callbacks.on_evaluation(evaluation, fitness, step)
         statistics.wall_clock_seconds = _time.perf_counter() - start
+        statistics.frontier_size = len(archive)
+        statistics.frontier_updates = archive.updates
 
         successful = [e for e in evaluations if not e.failed]
         if not successful:
@@ -283,6 +323,7 @@ class RandomSearch:
             frontier=_extract_frontier(successful),
             history=history,
             statistics=statistics,
+            frontier_archive=archive,
         )
 
     # ------------------------------------------------------------ evaluation

@@ -3,7 +3,9 @@
 The paper cites Goldberg & Deb's comparative analysis of selection schemes
 [16]; the engine defaults to tournament selection (robust, scale-free) but
 roulette-wheel and rank selection are also provided so the ablation benchmark
-can compare them.
+can compare them.  NSGA-II selection (binary tournament on non-dominated
+rank with crowding-distance tiebreak, over the members' typed objective
+vectors) backs the multi-objective ``nsga2`` search strategy.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from .errors import SearchError
+from .pareto import crowding_distances, fast_non_dominated_sort
 from .population import Individual, Population
 
 __all__ = [
@@ -18,6 +21,7 @@ __all__ = [
     "TournamentSelection",
     "RouletteWheelSelection",
     "RankSelection",
+    "NSGA2Selection",
     "get_selection",
     "available_selection_schemes",
 ]
@@ -117,10 +121,81 @@ class RankSelection(SelectionScheme):
         return population.members[index]
 
 
+class NSGA2Selection(SelectionScheme):
+    """NSGA-II binary tournament: lower Pareto rank wins, crowding breaks ties.
+
+    Ranks are computed by fast non-dominated sorting over the members'
+    :class:`~repro.core.objectives.ObjectiveVector`s (constrained dominance,
+    so feasible members always outrank infeasible ones); within a front the
+    more isolated member (larger crowding distance) is preferred, preserving
+    frontier diversity.  Populations whose fitness results carry no vectors
+    (e.g. a plain scalarizing evaluator) fall back to scalar-fitness
+    comparison, which keeps the scheme usable everywhere.
+    """
+
+    name = "nsga2"
+
+    def __init__(self) -> None:
+        #: Ranking memo for the last-seen population state.  Keyed on the
+        #: identity of every member's fitness result: ``Population.rescore``
+        #: replaces those objects, so the key changes exactly when the
+        #: ranking could — selection between rescores reuses the sort
+        #: instead of redoing O(n^2) dominance work per parent pick.
+        self._cache_key: tuple[int, ...] = ()
+        self._cache: tuple[list[int], list[float]] = ([], [])
+
+    def select(self, population: Population, rng: np.random.Generator) -> Individual:
+        if len(population) == 0:
+            raise SearchError("cannot select from an empty population")
+        if len(population) == 1:
+            return population.members[0]
+        key = tuple(id(member.fitness) for member in population.members)
+        if key != self._cache_key:
+            self._cache = self._ranking(population)
+            self._cache_key = key
+        ranks, crowding = self._cache
+        first, second = (int(i) for i in rng.choice(len(population), size=2, replace=False))
+        return population.members[self._better(first, second, ranks, crowding)]
+
+    @staticmethod
+    def _better(i: int, j: int, ranks: list[int], crowding: list[float]) -> int:
+        if ranks[i] != ranks[j]:
+            return i if ranks[i] < ranks[j] else j
+        if crowding[i] != crowding[j]:
+            return i if crowding[i] > crowding[j] else j
+        return i
+
+    def _ranking(self, population: Population) -> tuple[list[int], list[float]]:
+        """Per-member (non-dominated rank, crowding distance)."""
+        members = population.members
+        vectors = [member.fitness.vector for member in members]
+        if any(vector is None for vector in vectors):
+            # No typed vectors: rank by scalar fitness (one member per front).
+            order = sorted(
+                range(len(members)), key=lambda k: members[k].fitness_value, reverse=True
+            )
+            ranks = [0] * len(members)
+            for rank, index in enumerate(order):
+                ranks[index] = rank
+            return ranks, [0.0] * len(members)
+        from .objectives import ObjectiveVector
+
+        fronts = fast_non_dominated_sort(vectors, dominates_fn=ObjectiveVector.dominates)
+        ranks = [0] * len(members)
+        crowding = [0.0] * len(members)
+        for rank, front in enumerate(fronts):
+            distances = crowding_distances([vectors[i].canonical for i in front])
+            for i, distance in zip(front, distances):
+                ranks[i] = rank
+                crowding[i] = distance
+        return ranks, crowding
+
+
 _REGISTRY: dict[str, type[SelectionScheme]] = {
     TournamentSelection.name: TournamentSelection,
     RouletteWheelSelection.name: RouletteWheelSelection,
     RankSelection.name: RankSelection,
+    NSGA2Selection.name: NSGA2Selection,
 }
 
 

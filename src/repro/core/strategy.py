@@ -1,0 +1,168 @@
+"""Pluggable search strategies over the co-design space.
+
+The paper's evaluation compares several ways of exploring the same search
+space — the steady-state evolutionary search, a random-search baseline, and
+frontier-oriented multi-objective selection.  :class:`SearchStrategy` is the
+protocol unifying them: a strategy drives a configured
+:class:`~repro.core.search.CoDesignSearch` end to end and returns the same
+:class:`~repro.core.search.SearchResult` shape, so every consumer (CLI,
+experiment runner, benchmarks) is strategy-agnostic.
+
+Strategies are an open registry (:data:`STRATEGIES` /
+:func:`register_strategy`), like datasets, backends, devices and objectives:
+
+* ``evolutionary`` (aliases ``weighted_sum``, ``default``) — the paper's
+  steady-state search with the scalarized weighted-sum fitness.  This is the
+  default and reproduces pre-strategy behaviour bit for bit.
+* ``nsga2`` — NSGA-II: Pareto-rank + crowding-distance scoring
+  (:class:`~repro.core.fitness.ParetoRankingEvaluator`) with the ``nsga2``
+  selection scheme, for searches whose *product* is the frontier itself.
+* ``random`` — uniform random search at the same evaluation budget (the
+  ablation baseline).
+"""
+
+from __future__ import annotations
+
+from ..registry import Registry
+from .errors import ConfigurationError
+from .fitness import ParetoRankingEvaluator
+from .selection import get_selection
+
+__all__ = [
+    "SearchStrategy",
+    "EvolutionaryStrategy",
+    "NSGA2Strategy",
+    "RandomStrategy",
+    "STRATEGIES",
+    "register_strategy",
+    "available_strategies",
+    "get_strategy",
+]
+
+
+class SearchStrategy:
+    """Protocol: drives one configured search and packages its result.
+
+    Subclasses implement :meth:`execute`; ``search`` is a
+    :class:`~repro.core.search.CoDesignSearch` (dataset + configuration +
+    builders), ``evaluator`` an optional externally owned evaluator.  When
+    ``evaluator`` is ``None`` the strategy builds (and shuts down) its own
+    master through ``search.build_master()``.
+    """
+
+    name: str = "strategy"
+
+    def execute(self, search, evaluator=None):
+        """Run the search and return a ``SearchResult``."""
+        raise NotImplementedError
+
+
+#: The open strategy registry; plugins may register additional strategies.
+STRATEGIES: Registry[type[SearchStrategy]] = Registry("search strategy")
+
+
+def register_strategy(
+    name: str,
+    strategy: type[SearchStrategy],
+    aliases: tuple[str, ...] = (),
+    overwrite: bool = False,
+) -> None:
+    """Register a strategy class under ``name`` (and ``aliases``)."""
+    try:
+        STRATEGIES.register(name, strategy, aliases=aliases, overwrite=overwrite)
+    except ValueError as exc:
+        raise ConfigurationError(str(exc)) from exc
+
+
+def available_strategies() -> list[str]:
+    """Sorted names of all registered strategies."""
+    return STRATEGIES.available()
+
+
+def get_strategy(name: str | SearchStrategy) -> SearchStrategy:
+    """Resolve a strategy by name (instances pass through unchanged)."""
+    if isinstance(name, SearchStrategy):
+        return name
+    try:
+        strategy_cls = STRATEGIES.resolve(str(name))
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown search strategy {name!r}; available: {', '.join(available_strategies())}"
+        ) from exc
+    return strategy_cls()
+
+
+class EvolutionaryStrategy(SearchStrategy):
+    """The paper's steady-state search with the weighted-sum fitness."""
+
+    name = "evolutionary"
+
+    def build_engine(self, search, evaluator):
+        """Engine factory hook; subclasses swap fitness/selection here."""
+        return search.build_engine(evaluator=evaluator)
+
+    def execute(self, search, evaluator=None):
+        owned_master = None
+        if evaluator is None:
+            owned_master = search.build_master()
+            evaluator = owned_master
+        engine = self.build_engine(search, evaluator)
+        try:
+            outcome = engine.run()
+        finally:
+            if owned_master is not None:
+                owned_master.shutdown()
+        return search._package(outcome)
+
+
+class NSGA2Strategy(EvolutionaryStrategy):
+    """NSGA-II: Pareto-rank scoring plus rank/crowding binary tournament."""
+
+    name = "nsga2"
+
+    def build_engine(self, search, evaluator):
+        config = search.config
+        fitness = ParetoRankingEvaluator(
+            config.optimization.to_fitness_objectives(),
+            constraints=config.optimization.to_constraints(),
+        )
+        return search.build_engine(
+            evaluator=evaluator,
+            fitness=fitness,
+            selection=get_selection("nsga2"),
+        )
+
+
+class RandomStrategy(SearchStrategy):
+    """Uniform random search at the configured evaluation budget."""
+
+    name = "random"
+
+    def execute(self, search, evaluator=None):
+        from .search import RandomSearch
+
+        config = search.config
+        owned_master = None
+        if evaluator is None:
+            owned_master = search.build_master()
+            evaluator = owned_master
+        try:
+            return RandomSearch(
+                space=config.to_search_space(),
+                evaluator=evaluator,
+                objectives=config.optimization.to_fitness_objectives(),
+                constraints=config.optimization.to_constraints(),
+                max_evaluations=config.max_evaluations,
+                seed=config.seed,
+                device=config.hardware.fpga_device(),
+                callbacks=search.callbacks,
+                cache=search.cache,
+            ).run()
+        finally:
+            if owned_master is not None:
+                owned_master.shutdown()
+
+
+register_strategy("evolutionary", EvolutionaryStrategy, aliases=("weighted_sum", "default"))
+register_strategy("nsga2", NSGA2Strategy)
+register_strategy("random", RandomStrategy)

@@ -33,6 +33,7 @@ REPORT_COLUMNS = (
     "hidden_layers",
     "models_generated",
     "models_evaluated",
+    "frontier_size",
     "wall_clock_seconds",
     "error",
 )
@@ -55,6 +56,11 @@ class RunArtifact:
         (:meth:`~repro.core.candidate.CandidateEvaluation.summary`).
     pareto:
         Representative accuracy-vs-throughput frontier rows (Table IV style).
+    frontier:
+        The full streamed Pareto frontier over the run's *configured*
+        objectives: per-member objective values plus candidate summary, as
+        maintained by the engine's
+        :class:`~repro.core.frontier.FrontierArchive` during the run.
     statistics:
         Run-time statistics dict (Table III style).
     wall_clock_seconds:
@@ -74,6 +80,7 @@ class RunArtifact:
     best_accuracy: float = 0.0
     best_candidate: dict = field(default_factory=dict)
     pareto: list = field(default_factory=list)
+    frontier: list = field(default_factory=list)
     statistics: dict = field(default_factory=dict)
     wall_clock_seconds: float = 0.0
     error: str = ""
@@ -103,6 +110,9 @@ class RunArtifact:
             best_accuracy=float(result.best_accuracy),
             best_candidate=result.best_accuracy_candidate.summary(),
             pareto=[candidate.summary() for candidate in result.pareto_rows(count=pareto_rows)],
+            frontier=(
+                result.frontier_archive.rows() if result.frontier_archive is not None else []
+            ),
             statistics=result.statistics.to_dict(),
             wall_clock_seconds=float(wall_clock_seconds),
             cell_digest=cell_digest,
@@ -141,6 +151,7 @@ class RunArtifact:
             ),
             "models_generated": self.statistics.get("models_generated", 0),
             "models_evaluated": self.statistics.get("models_evaluated", 0),
+            "frontier_size": self.statistics.get("frontier_size", len(self.frontier)),
             "wall_clock_seconds": self.wall_clock_seconds,
             "error": self.error,
         }
@@ -156,6 +167,7 @@ class RunArtifact:
             "best_accuracy": self.best_accuracy,
             "best_candidate": dict(self.best_candidate),
             "pareto": [dict(row) for row in self.pareto],
+            "frontier": [dict(row) for row in self.frontier],
             "statistics": dict(self.statistics),
             "wall_clock_seconds": self.wall_clock_seconds,
             "error": self.error,
@@ -174,6 +186,7 @@ class RunArtifact:
                 best_accuracy=float(data.get("best_accuracy", 0.0)),
                 best_candidate=dict(data.get("best_candidate", {})),
                 pareto=list(data.get("pareto", [])),
+                frontier=list(data.get("frontier", [])),
                 statistics=dict(data.get("statistics", {})),
                 wall_clock_seconds=float(data.get("wall_clock_seconds", 0.0)),
                 error=str(data.get("error", "")),

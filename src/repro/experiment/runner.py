@@ -29,7 +29,7 @@ from ..core.search import CoDesignSearch
 from ..datasets.registry import load_dataset
 from ..workers.backends import resolve_backend
 from .artifacts import ExperimentReport, RunArtifact
-from .spec import ExperimentSpec, RunCell, objective_config_from_spec
+from .spec import ExperimentSpec, RunCell, objective_config_from_spec, split_objective_spec
 
 __all__ = ["ExperimentRunner", "resume_experiment"]
 
@@ -180,15 +180,24 @@ class ExperimentRunner:
             )
 
     def build_config(self, cell: RunCell, dataset) -> ECADConfig:
-        """The concrete run configuration of one grid cell."""
+        """The concrete run configuration of one grid cell.
+
+        A ``strategy:`` prefix on the cell's objective spec (e.g.
+        ``"nsga2:codesign"``) overrides the spec-level default strategy, so
+        frontier-mode and weighted-sum cells can share one grid.
+        """
+        cell_strategy, _ = split_objective_spec(cell.objective)
         config = ECADConfig.template_for_dataset(
             dataset,
             fpga=self.spec.fpga,
             gpu=self.spec.gpu,
-            optimization=objective_config_from_spec(cell.objective),
+            optimization=objective_config_from_spec(
+                cell.objective, constraints=self.spec.constraints
+            ),
             seed=cell.seed,
             backend=self.spec.backend,
             eval_parallelism=self.spec.eval_parallelism,
+            strategy=cell_strategy or self.spec.strategy,
         )
         if self.spec.overrides:
             config = config.with_overrides(self.spec.overrides)

@@ -23,36 +23,64 @@ from ..core.errors import ConfigurationError
 from ..core.fitness import objective_default_maximize
 from ..registry import normalize_key
 
-__all__ = ["RunCell", "ExperimentSpec", "objective_config_from_spec", "objective_slug"]
+__all__ = [
+    "RunCell",
+    "ExperimentSpec",
+    "split_objective_spec",
+    "objective_config_from_spec",
+    "objective_slug",
+]
 
 
-def objective_config_from_spec(spec: str) -> OptimizationTargetConfig:
+def split_objective_spec(spec: str) -> tuple[str | None, str]:
+    """Split an optional ``strategy:`` prefix off one objective-grid entry.
+
+    ``"nsga2:codesign"`` → ``("nsga2", "codesign")`` — a *frontier-mode*
+    cell that runs the NSGA-II strategy; a bare ``"codesign"`` →
+    ``(None, "codesign")`` and follows the spec-level default strategy.
+    """
+    head, separator, tail = str(spec).partition(":")
+    if separator and head.strip() and tail.strip():
+        return normalize_key(head), tail.strip()
+    return None, str(spec)
+
+
+def objective_config_from_spec(
+    spec: str, constraints: tuple[str, ...] = ()
+) -> OptimizationTargetConfig:
     """Build the optimization-target section for one objective-grid entry.
 
     ``"accuracy"`` and ``"codesign"`` map to the paper's two named searches
     (Tables I/II and Table IV respectively); any other entry is one or more
     registered objective names joined with ``+`` (e.g.
     ``"accuracy+fpga_latency"``), each following the direction declared at
-    registration time (``maximize_by_default``).
+    registration time (``maximize_by_default``).  A ``strategy:`` prefix
+    (see :func:`split_objective_spec`) is ignored here; ``constraints`` are
+    attached verbatim.
     """
+    _, spec = split_objective_spec(spec)
     key = normalize_key(spec)
     if key == "accuracy":
-        return OptimizationTargetConfig.accuracy_only()
-    if key == "codesign":
-        return OptimizationTargetConfig.accuracy_and_throughput()
-    names = [part for part in key.split("+") if part]
-    if not names:
-        raise ConfigurationError(f"objective spec {spec!r} is empty")
-    return OptimizationTargetConfig(
-        objectives=tuple(
-            (name, 1.0, objective_default_maximize(name)) for name in names
+        base = OptimizationTargetConfig.accuracy_only()
+    elif key == "codesign":
+        base = OptimizationTargetConfig.accuracy_and_throughput()
+    else:
+        names = [part for part in key.split("+") if part]
+        if not names:
+            raise ConfigurationError(f"objective spec {spec!r} is empty")
+        base = OptimizationTargetConfig(
+            objectives=tuple(
+                (name, 1.0, objective_default_maximize(name)) for name in names
+            )
         )
-    )
+    if constraints:
+        base = base.with_constraints(constraints)
+    return base
 
 
 def objective_slug(spec: str) -> str:
     """Filesystem-safe identifier of one objective-grid entry."""
-    return normalize_key(spec).replace("+", "-")
+    return normalize_key(spec).replace(":", "-").replace("+", "-")
 
 
 @dataclass(frozen=True)
@@ -94,9 +122,17 @@ class ExperimentSpec:
         Registered dataset names forming the first grid axis.
     objectives:
         Objective specs forming the second axis (see
-        :func:`objective_config_from_spec`).
+        :func:`objective_config_from_spec`).  An entry may carry a
+        ``strategy:`` prefix (e.g. ``"nsga2:codesign"``) to run that cell
+        under a specific search strategy — a *frontier-mode* cell.
     seeds:
         Search seeds forming the third axis.
+    strategy:
+        Default search strategy for cells without a ``strategy:`` prefix
+        (``"evolutionary"``, ``"nsga2"`` or ``"random"``).
+    constraints:
+        Feasibility constraint expressions (``"dsp_usage<=512"``) applied to
+        every run's optimization targets.
     scale / data_seed:
         Synthetic-dataset size scale and generation seed shared by all runs.
     fpga / gpu:
@@ -125,6 +161,8 @@ class ExperimentSpec:
     backend: str = "serial"
     eval_parallelism: int = 1
     run_parallelism: int = 1
+    strategy: str = "evolutionary"
+    constraints: tuple[str, ...] = ()
     overrides: dict = field(default_factory=dict)
     output_dir: str = ""
 
@@ -137,8 +175,23 @@ class ExperimentSpec:
             raise ConfigurationError("experiment needs at least one objective spec")
         if not self.seeds:
             raise ConfigurationError("experiment needs at least one seed")
+        # Imported lazily: repro.core.strategy is registry-only but keep the
+        # import pattern consistent with the backend check below.
+        from ..core.strategy import STRATEGIES, available_strategies
+
+        if self.strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown search strategy {self.strategy!r}; "
+                f"registered: {', '.join(available_strategies())}"
+            )
         for spec in self.objectives:
-            objective_config_from_spec(spec)  # validate eagerly
+            cell_strategy, _ = split_objective_spec(spec)
+            if cell_strategy is not None and cell_strategy not in STRATEGIES:
+                raise ConfigurationError(
+                    f"objective spec {spec!r} names unknown strategy {cell_strategy!r}; "
+                    f"registered: {', '.join(available_strategies())}"
+                )
+            objective_config_from_spec(spec, constraints=self.constraints)  # validate eagerly
         if self.scale <= 0:
             raise ConfigurationError(f"scale must be positive, got {self.scale}")
         if self.eval_parallelism < 1:
@@ -190,6 +243,12 @@ class ExperimentSpec:
         data = self.to_dict()
         for key in ("name", "datasets", "objectives", "seeds", "run_parallelism", "output_dir"):
             data.pop(key, None)
+        # Fields newer than the first release are omitted at their defaults so
+        # artifacts checkpointed before the field existed stay resumable.
+        if data.get("strategy") == "evolutionary":
+            data.pop("strategy", None)
+        if not data.get("constraints"):
+            data.pop("constraints", None)
         payload = json.dumps(data, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
@@ -200,6 +259,7 @@ class ExperimentSpec:
         data["datasets"] = list(self.datasets)
         data["objectives"] = list(self.objectives)
         data["seeds"] = list(self.seeds)
+        data["constraints"] = list(self.constraints)
         data["overrides"] = dict(self.overrides)
         return data
 
@@ -230,6 +290,8 @@ class ExperimentSpec:
                 backend=str(data.get("backend", "serial")),
                 eval_parallelism=int(data.get("eval_parallelism", 1)),
                 run_parallelism=int(data.get("run_parallelism", 1)),
+                strategy=str(data.get("strategy", "evolutionary")),
+                constraints=tuple(str(c) for c in data.get("constraints", ())),
                 overrides=dict(data.get("overrides", {})),
                 output_dir=str(data.get("output_dir", "")),
             )

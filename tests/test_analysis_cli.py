@@ -201,6 +201,121 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["run"])
 
+    def test_backends_lists_strategies(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "search strategies" in out
+        assert "nsga2" in out
+
+    def test_frontier_dry_run_prints_plan_without_executing(self, capsys):
+        code = main(
+            [
+                "frontier",
+                "--dataset",
+                "credit-g",
+                "--scale",
+                "0.05",
+                "--strategy",
+                "nsga2",
+                "--constraint",
+                "dsp_usage<=512",
+                "--dry-run",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy:    nsga2" in out
+        assert "dsp_usage<=512" in out
+        assert "dry run: nothing executed" in out
+
+    def test_frontier_command_end_to_end(self, tmp_path, capsys):
+        output = tmp_path / "frontier.json"
+        code = main(
+            [
+                "frontier",
+                "--dataset",
+                "credit-g",
+                "--scale",
+                "0.08",
+                "--population",
+                "4",
+                "--max-evaluations",
+                "8",
+                "--epochs",
+                "2",
+                "--strategy",
+                "nsga2",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "frontier growth" in out
+        payload = json.loads(output.read_text())
+        assert payload["strategy"] == "nsga2"
+        assert payload["objectives"] == ["accuracy", "fpga_throughput"]
+        assert payload["frontier"]
+        assert payload["snapshots"]
+        assert payload["statistics"]["frontier_size"] == len(payload["frontier"])
+
+    def test_frontier_respects_config_file_strategy(self, tmp_path, capsys):
+        """The command default (nsga2) must not override a config file's choice."""
+        from repro.core.config import ECADConfig
+        from repro.datasets.registry import load_dataset
+
+        dataset = load_dataset("credit-g", scale=0.05)
+        config_path = tmp_path / "config.json"
+        ECADConfig.template_for_dataset(dataset, strategy="evolutionary").save(config_path)
+        code = main(
+            [
+                "frontier",
+                "--dataset",
+                "credit-g",
+                "--scale",
+                "0.05",
+                "--config",
+                str(config_path),
+                "--dry-run",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy:    evolutionary" in out
+        # ...while an explicit flag still wins over the config file.
+        code = main(
+            [
+                "frontier",
+                "--dataset",
+                "credit-g",
+                "--scale",
+                "0.05",
+                "--config",
+                str(config_path),
+                "--strategy",
+                "nsga2",
+                "--dry-run",
+            ]
+        )
+        assert code == 0
+        assert "strategy:    nsga2" in capsys.readouterr().out
+
+    def test_frontier_rejects_bad_constraint(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "frontier",
+                    "--dataset",
+                    "credit-g",
+                    "--scale",
+                    "0.05",
+                    "--constraint",
+                    "not_an_objective<=1",
+                    "--dry-run",
+                ]
+            )
+
     def test_run_from_csv(self, tiny_dataset, tmp_path, capsys):
         from repro.datasets.csv_io import save_dataset_csv
 

@@ -442,7 +442,7 @@ class TestSelection:
         assert first is not second
 
     def test_registry_and_validation(self):
-        assert set(available_selection_schemes()) == {"tournament", "roulette", "rank"}
+        assert set(available_selection_schemes()) == {"tournament", "roulette", "rank", "nsga2"}
         assert isinstance(get_selection("tournament", tournament_size=2), TournamentSelection)
         scheme = RankSelection()
         assert get_selection(scheme) is scheme

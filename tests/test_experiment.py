@@ -233,6 +233,32 @@ class TestExperimentSpec:
         )
         assert base.cell_digest() != deeper.cell_digest()
 
+    def test_cell_digest_backward_compatible_at_strategy_defaults(self):
+        """Regression: pre-strategy checkpoints must survive the upgrade.
+
+        The digest of a spec at default strategy/constraints must equal the
+        digest computed before those fields existed, so previously completed
+        artifacts are still resumable; non-default values must change it.
+        """
+        import hashlib
+        import json
+
+        base = tiny_spec("digest")
+        legacy = base.to_dict()
+        for key in ("name", "datasets", "objectives", "seeds", "run_parallelism", "output_dir"):
+            legacy.pop(key, None)
+        legacy.pop("strategy", None)
+        legacy.pop("constraints", None)
+        legacy_digest = hashlib.sha256(
+            json.dumps(legacy, sort_keys=True).encode()
+        ).hexdigest()[:16]
+        assert base.cell_digest() == legacy_digest
+        assert tiny_spec("digest", strategy="nsga2").cell_digest() != base.cell_digest()
+        assert (
+            tiny_spec("digest", constraints=("dsp_usage<=512",)).cell_digest()
+            != base.cell_digest()
+        )
+
 
 class TestExperimentRunner:
     def test_full_grid_artifacts_and_report(self, tmp_path):
