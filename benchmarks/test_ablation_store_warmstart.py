@@ -1,0 +1,150 @@
+"""Ablation — persistent evaluation store: warm repeated sweeps + bit-identity.
+
+The ECAD cache amortizes candidate evaluations within one run; the persistent
+store amortizes them *across* runs.  This benchmark measures both promises:
+
+* **Warm repeat speedup** — the same two-cell experiment sweep (real NN
+  training on the Credit-g analogue) is executed cold (empty store, every
+  candidate trained) and then repeated into a fresh output directory against
+  the now-warm store.  The warm pass must be at least 2x faster end to end,
+  because every evaluation is answered by the store instead of re-training.
+* **Cold bit-identity** — enabling the store must never change what a search
+  computes: a seeded run with a cold store attached produces exactly the
+  same evaluation history (genomes and accuracies) and the same best
+  candidate as the identical run without a store.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.config import ECADConfig, StoreConfig
+from repro.core.search import CoDesignSearch
+from repro.datasets.registry import load_dataset
+from repro.experiment import ExperimentRunner, ExperimentSpec
+
+from conftest import emit_table
+
+#: Sweep shape: one dataset x one objective x two seeds, real training.
+SWEEP_SEEDS = (0, 1)
+SWEEP_OVERRIDES = {
+    "population_size": 4,
+    "max_evaluations": 10,
+    "training_epochs": 4,
+}
+DATASET_SCALE = 0.3
+
+
+def _sweep_spec(store_path: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="store_warmstart_ablation",
+        datasets=("credit-g",),
+        objectives=("codesign",),
+        seeds=SWEEP_SEEDS,
+        scale=DATASET_SCALE,
+        store_path=store_path,
+        overrides=dict(SWEEP_OVERRIDES),
+    )
+
+
+def _run_sweep(store_path: str, output_dir) -> tuple[float, list]:
+    runner = ExperimentRunner(_sweep_spec(store_path), output_dir=output_dir)
+    start = time.perf_counter()
+    report = runner.run(resume=False)
+    elapsed = time.perf_counter() - start
+    assert not report.failed
+    return elapsed, report.artifacts
+
+
+def _sweep_row(label: str, elapsed: float, artifacts: list) -> dict:
+    return {
+        "variant": label,
+        "wall_clock_seconds": round(elapsed, 4),
+        "cells": len(artifacts),
+        "models_evaluated": sum(a.statistics["models_evaluated"] for a in artifacts),
+        "store_hits": sum(a.statistics["store_hits"] for a in artifacts),
+        "best_accuracy": round(max(a.best_accuracy for a in artifacts), 4),
+    }
+
+
+@pytest.mark.benchmark(group="ablation_store_warmstart")
+def test_repeated_sweep_with_warm_store(benchmark, results_dir, tmp_path):
+    store_path = str(tmp_path / "store.sqlite")
+
+    def comparison() -> list[dict]:
+        cold_elapsed, cold_artifacts = _run_sweep(store_path, tmp_path / "cold")
+        warm_elapsed, warm_artifacts = _run_sweep(store_path, tmp_path / "warm")
+        return [
+            _sweep_row("cold_store", cold_elapsed, cold_artifacts),
+            _sweep_row("warm_store", warm_elapsed, warm_artifacts),
+        ]
+
+    rows = benchmark.pedantic(comparison, rounds=1, iterations=1)
+    cold, warm = rows[0], rows[1]
+    speedup = cold["wall_clock_seconds"] / max(warm["wall_clock_seconds"], 1e-9)
+    for row in rows:
+        row["speedup_vs_cold"] = round(
+            cold["wall_clock_seconds"] / max(row["wall_clock_seconds"], 1e-9), 2
+        )
+    emit_table(
+        rows,
+        columns=[
+            "variant",
+            "wall_clock_seconds",
+            "cells",
+            "models_evaluated",
+            "store_hits",
+            "best_accuracy",
+            "speedup_vs_cold",
+        ],
+        title="Ablation: repeated sweep against a warm evaluation store",
+        csv_name="ablation_store_warmstart.csv",
+    )
+
+    # The cold pass trained everything; the warm pass trained nothing.
+    assert cold["models_evaluated"] > 0
+    assert cold["store_hits"] == 0
+    assert warm["models_evaluated"] == 0
+    assert warm["store_hits"] > 0
+
+    # Results are unchanged — only the time it took to get them.
+    assert warm["best_accuracy"] == cold["best_accuracy"]
+
+    # The headline claim: a warm store makes the repeated sweep >= 2x faster.
+    assert speedup >= 2.0, f"expected >=2x warm-store speedup, measured {speedup:.2f}x"
+
+
+def test_cold_store_run_is_bit_identical(tmp_path):
+    """A seeded run computes exactly the same search with or without a store."""
+    dataset = load_dataset("credit-g", seed=0, scale=DATASET_SCALE)
+
+    def run(store_path: str):
+        config = ECADConfig.template_for_dataset(
+            dataset,
+            seed=0,
+            store=StoreConfig(path=store_path),
+            **SWEEP_OVERRIDES,
+        )
+        return CoDesignSearch(dataset, config=config).run()
+
+    with_store = run(str(tmp_path / "identity.sqlite"))
+    without_store = run("")
+
+    history_with = [
+        (e.genome.cache_key(), e.accuracy) for e in with_store.history.evaluations()
+    ]
+    history_without = [
+        (e.genome.cache_key(), e.accuracy) for e in without_store.history.evaluations()
+    ]
+    assert history_with == history_without
+    assert (
+        with_store.best_fitness_candidate.genome
+        == without_store.best_fitness_candidate.genome
+    )
+    assert with_store.best_accuracy == without_store.best_accuracy
+    assert (
+        with_store.statistics.models_evaluated
+        == without_store.statistics.models_evaluated
+    )

@@ -30,6 +30,15 @@ after an interruption::
     ecad sweep --spec my_experiment.json --output-dir results/exp1
     ecad resume results/exp1
 
+Remember evaluations across runs in a persistent store and warm-start the
+next search from the best stored candidates::
+
+    ecad run --dataset credit-g --store results/ecad.sqlite
+    ecad run --dataset credit-g --store results/ecad.sqlite --warm-start 8
+    ecad store stats --store results/ecad.sqlite
+    ecad store export --store results/ecad.sqlite --output store.csv
+    ecad store prune --store results/ecad.sqlite --keep-best 50
+
 Inspect what is registered::
 
     ecad datasets
@@ -44,10 +53,10 @@ import json
 import sys
 from dataclasses import replace
 
-from .analysis.reporting import format_scientific, format_table
+from .analysis.reporting import format_scientific, format_table, save_rows_csv
 from .core.callbacks import ProgressLogger
 from .core.config import ECADConfig, OptimizationTargetConfig
-from .core.errors import ConfigurationError
+from .core.errors import ConfigurationError, StoreError
 from .core.pareto import knee_point, make_points
 from .core.search import CoDesignSearch
 from .core.strategy import available_strategies
@@ -73,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_search_arguments(run_parser)
     run_parser.add_argument("--progress-every", type=int, default=10, help="progress print interval (steps)")
     run_parser.add_argument("--output", default="", help="optional path to write results as JSON")
+    run_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the resolved search plan (strategy, objectives, store) without running",
+    )
 
     frontier_parser = subparsers.add_parser(
         "frontier",
@@ -115,6 +129,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-run every cell even when a completed artifact exists",
     )
+    sweep_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent evaluation store shared by every cell (overrides the "
+        "spec's store_path)",
+    )
+    sweep_parser.add_argument(
+        "--warm-start",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seed each cell's population with up to N stored candidates "
+        "(overrides the spec's warm_start)",
+    )
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect and maintain a persistent evaluation store"
+    )
+    store_subparsers = store_parser.add_subparsers(dest="store_command", required=True)
+    stats_parser = store_subparsers.add_parser(
+        "stats", help="summarize the store: problems, rows, best accuracies, size"
+    )
+    stats_parser.add_argument("--store", required=True, metavar="PATH", help="store file")
+    prune_parser = store_subparsers.add_parser(
+        "prune", help="delete stored evaluations to keep the store small"
+    )
+    prune_parser.add_argument("--store", required=True, metavar="PATH", help="store file")
+    prune_parser.add_argument(
+        "--keep-best",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the N highest-accuracy rows per problem digest",
+    )
+    prune_parser.add_argument(
+        "--older-than-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="delete rows written more than D days ago",
+    )
+    export_parser = store_subparsers.add_parser(
+        "export", help="export every stored evaluation as a flat CSV"
+    )
+    export_parser.add_argument("--store", required=True, metavar="PATH", help="store file")
+    export_parser.add_argument("--output", required=True, metavar="CSV", help="CSV path to write")
 
     resume_parser = subparsers.add_parser(
         "resume", help="resume a checkpointed experiment from its output directory"
@@ -173,6 +234,21 @@ def _add_search_arguments(
         type=int,
         default=None,
         help="candidate evaluations kept in flight at once (default: 1 = reproducible serial search)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent evaluation store file (SQLite); evaluations are served "
+        "from it across runs and fresh results written back",
+    )
+    parser.add_argument(
+        "--warm-start",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seed the initial population with up to N of the best stored "
+        "candidates for this problem (requires --store or a config store path)",
     )
     parser.add_argument(
         "--set",
@@ -307,16 +383,55 @@ def resolve_run_config(args: argparse.Namespace):
         overrides["optimization"] = config.optimization.with_constraints(
             tuple(config.optimization.constraints) + tuple(args.constraints)
         )
+    if getattr(args, "store", None) is not None or getattr(args, "warm_start", None) is not None:
+        store = config.store
+        if args.store is not None:
+            store = replace(store, path=args.store)
+        if args.warm_start is not None:
+            store = replace(store, warm_start=args.warm_start)
+        overrides["store"] = store
     if overrides:
         config = replace(config, **overrides)
     # Generic --set assignments are the most specific and win over both.
     if args.overrides:
         config = config.with_overrides(args.overrides)
+    if config.store.warm_start > 0 and not config.store.active:
+        raise SystemExit(
+            "error: --warm-start needs a store to read from; "
+            "pass --store PATH (or set store.path in the configuration)"
+        )
     return dataset, config
+
+
+def _print_search_plan(dataset, config) -> None:
+    """The resolved plan both ``run --dry-run`` and ``frontier --dry-run`` print."""
+    objectives = config.optimization.to_fitness_objectives()
+    print(f"dataset:     {dataset.name}  ({dataset.num_samples} samples, "
+          f"{dataset.num_features} features, {dataset.num_classes} classes)")
+    print(f"strategy:    {config.strategy}")
+    print("objectives:  " + ", ".join(
+        f"{obj.name} ({'max' if obj.maximize else 'min'}, w={obj.weight:g})"
+        for obj in objectives
+    ))
+    constraints = config.optimization.constraints
+    print("constraints: " + (", ".join(constraints) if constraints else "(none)"))
+    print(f"budget:      {config.max_evaluations} evaluations, "
+          f"population {config.population_size}, seed {config.seed}")
+    print(f"backend:     {config.backend} (eval_parallelism={config.eval_parallelism})")
+    if config.store.active:
+        mode = "readonly" if config.store.readonly else "read/write"
+        print(f"store:       {config.store.path} ({mode}, "
+              f"warm_start={config.store.warm_start})")
+    else:
+        print("store:       (disabled)")
+    print("\ndry run: nothing executed")
 
 
 def _command_run(args: argparse.Namespace) -> int:
     dataset, config = resolve_run_config(args)
+    if args.dry_run:
+        _print_search_plan(dataset, config)
+        return 0
     search = CoDesignSearch(
         dataset, config=config, callbacks=[ProgressLogger(interval=args.progress_every)]
     )
@@ -368,19 +483,7 @@ def _command_frontier(args: argparse.Namespace) -> int:
     dataset, config = resolve_run_config(args)
     objectives = config.optimization.to_fitness_objectives()
     if args.dry_run:
-        print(f"dataset:     {dataset.name}  ({dataset.num_samples} samples, "
-              f"{dataset.num_features} features, {dataset.num_classes} classes)")
-        print(f"strategy:    {config.strategy}")
-        print("objectives:  " + ", ".join(
-            f"{obj.name} ({'max' if obj.maximize else 'min'}, w={obj.weight:g})"
-            for obj in objectives
-        ))
-        constraints = config.optimization.constraints
-        print("constraints: " + (", ".join(constraints) if constraints else "(none)"))
-        print(f"budget:      {config.max_evaluations} evaluations, "
-              f"population {config.population_size}, seed {config.seed}")
-        print(f"backend:     {config.backend} (eval_parallelism={config.eval_parallelism})")
-        print("\ndry run: nothing executed")
+        _print_search_plan(dataset, config)
         return 0
 
     search = CoDesignSearch(
@@ -442,9 +545,66 @@ def _command_frontier(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- store
+def _command_store(args: argparse.Namespace) -> int:
+    from .store import EvaluationStore
+
+    if args.store_command == "stats":
+        with EvaluationStore(args.store, readonly=True) as store:
+            stats = store.stats()
+            problems = store.problems()
+        print(format_table([stats], title=f"Evaluation store {args.store}"))
+        if problems:
+            rows = [
+                {
+                    "problem": entry["problem_digest"][:12],
+                    "evaluations": entry["evaluations"],
+                    "best_accuracy": entry["best_accuracy"],
+                    "stored_eval_seconds": entry["stored_eval_seconds"],
+                }
+                for entry in problems
+            ]
+            print()
+            print(format_table(rows, title="Stored problems"))
+        return 0
+    if args.store_command == "prune":
+        if args.keep_best is None and args.older_than_days is None:
+            raise SystemExit("error: prune needs --keep-best and/or --older-than-days")
+        older_than_seconds = (
+            args.older_than_days * 86400.0 if args.older_than_days is not None else None
+        )
+        with EvaluationStore(args.store) as store:
+            removed = store.prune(
+                keep_best=args.keep_best, older_than_seconds=older_than_seconds
+            )
+            remaining = store.count()
+        print(f"pruned {removed} stored evaluation(s), {remaining} left")
+        return 0
+    if args.store_command == "export":
+        with EvaluationStore(args.store, readonly=True) as store:
+            rows = store.export_rows()
+        if not rows:
+            print("the store holds no evaluations")
+            return 1
+        columns = list(rows[0].keys())
+        save_rows_csv(rows, args.output, columns=columns)
+        print(f"exported {len(rows)} stored evaluation(s) to {args.output}")
+        return 0
+    raise SystemExit(f"error: unknown store command {args.store_command!r}")
+
+
 # --------------------------------------------------------------------- sweep
 def _command_sweep(args: argparse.Namespace) -> int:
     spec = ExperimentSpec.load(args.spec)
+    if args.store is not None:
+        spec = replace(spec, store_path=args.store)
+    if args.warm_start is not None:
+        spec = replace(spec, warm_start=args.warm_start)
+    if spec.warm_start > 0 and not spec.store_path:
+        raise SystemExit(
+            "error: warm-start needs a store to read from; "
+            "pass --store PATH (or set store_path in the spec)"
+        )
     runner = ExperimentRunner(spec, output_dir=args.output_dir or None, printer=print)
     if args.dry_run:
         rows = runner.plan(resume=not args.no_resume)
@@ -491,7 +651,9 @@ def main(argv: list[str] | None = None) -> int:
             return _command_sweep(args)
         if args.command == "resume":
             return _command_resume(args)
-    except ConfigurationError as exc:
+        if args.command == "store":
+            return _command_store(args)
+    except (ConfigurationError, StoreError) as exc:
         raise SystemExit(f"error: {exc}") from exc
     parser.error(f"unknown command {args.command!r}")
     return 2

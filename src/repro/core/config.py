@@ -37,6 +37,7 @@ __all__ = [
     "NNAStructureConfig",
     "HardwareTargetConfig",
     "OptimizationTargetConfig",
+    "StoreConfig",
     "ECADConfig",
     "parse_override",
     "parse_override_value",
@@ -176,6 +177,59 @@ class OptimizationTargetConfig:
         return cls(objectives=(("accuracy", 1.0, True), ("fpga_throughput", 1.0, True)))
 
 
+@dataclass(frozen=True)
+class StoreConfig:
+    """Persistent evaluation-store settings (the ``store`` config section).
+
+    Attributes
+    ----------
+    path:
+        Location of the SQLite store file.  Empty (the default) disables the
+        store entirely; the search then runs on the in-memory cache alone.
+    enabled:
+        Master switch — lets a config keep its ``path`` while temporarily
+        opting out (e.g. for a bit-identity A/B run).
+    readonly:
+        Open the store for reads only: evaluations are served from it but
+        fresh results are not written back.  Useful for sharing a reference
+        store between many consumers.
+    warm_start:
+        Seed the initial population with up to this many of the best stored
+        candidates matching the current problem digest (0 disables
+        warm-starting; the run then stays bit-identical to a store-less run
+        on a cold store).
+    """
+
+    path: str = ""
+    enabled: bool = True
+    readonly: bool = False
+    warm_start: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "path", str(self.path))
+        if self.warm_start < 0:
+            raise ConfigurationError(f"warm_start must be >= 0, got {self.warm_start}")
+
+    @property
+    def active(self) -> bool:
+        """Whether a store should actually be opened for this run."""
+        return self.enabled and bool(self.path)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StoreConfig":
+        """Strict parse of the ``store`` configuration section."""
+        _reject_unknown_keys(data, _STORE_KEYS, section="store")
+        try:
+            return cls(
+                path=str(data.get("path", "")),
+                enabled=bool(data.get("enabled", True)),
+                readonly=bool(data.get("readonly", False)),
+                warm_start=int(data.get("warm_start", 0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed store section: {exc!r}") from exc
+
+
 def _reject_unknown_keys(data: Mapping, allowed: set[str], section: str) -> None:
     """Raise when ``data`` contains keys outside ``allowed``."""
     unknown = sorted(set(data) - allowed)
@@ -215,6 +269,10 @@ class ECADConfig:
     ``strategy`` names the registered search strategy driving the run:
     ``"evolutionary"`` (the default weighted-sum steady-state search),
     ``"nsga2"`` (Pareto-native multi-objective search) or ``"random"``.
+    ``store`` configures the persistent cross-run evaluation store
+    (:class:`StoreConfig`): when its ``path`` is set, evaluations are served
+    from / written to an SQLite file shared across runs, and ``warm_start``
+    seeds the initial population from the best stored candidates.
     """
 
     dataset_name: str
@@ -233,6 +291,7 @@ class ECADConfig:
     backend: str = "serial"
     eval_parallelism: int = 1
     strategy: str = "evolutionary"
+    store: StoreConfig = field(default_factory=StoreConfig)
 
     def __post_init__(self) -> None:
         if self.evaluation_protocol not in ("1-fold", "10-fold"):
@@ -364,6 +423,7 @@ class ECADConfig:
             nna_data = dict(data["nna"])
             hardware_data = dict(data.get("hardware", {}))
             optimization_data = dict(data.get("optimization", {}))
+            store_data = dict(data.get("store", {}))
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed configuration: {exc}") from exc
         _reject_unknown_keys(data, _TOP_LEVEL_KEYS, section="configuration")
@@ -424,6 +484,7 @@ class ECADConfig:
             backend=str(data.get("backend", "serial")),
             eval_parallelism=int(data.get("eval_parallelism", 1)),
             strategy=str(data.get("strategy", "evolutionary")),
+            store=StoreConfig.from_dict(store_data),
         )
 
     def with_overrides(
@@ -486,3 +547,4 @@ _TOP_LEVEL_KEYS = {f.name for f in fields(ECADConfig)}
 _NNA_KEYS = {f.name for f in fields(NNAStructureConfig)}
 _HARDWARE_KEYS = {f.name for f in fields(HardwareTargetConfig)}
 _OPTIMIZATION_KEYS = {f.name for f in fields(OptimizationTargetConfig)}
+_STORE_KEYS = {f.name for f in fields(StoreConfig)}

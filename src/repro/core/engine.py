@@ -154,6 +154,14 @@ class RunStatistics:
         Size of the streaming Pareto-frontier archive when the search ended.
     frontier_updates:
         How many evaluations changed the frontier during the run.
+    store_hits:
+        Evaluations answered by the persistent evaluation store (a subset of
+        ``cache_hits``; 0 when no store is configured).
+    store_misses:
+        Store lookups that fell through to a fresh evaluation.
+    warm_start_seeds:
+        Initial-population members seeded from the store's best stored
+        candidates instead of being drawn at random.
     """
 
     models_generated: int = 0
@@ -164,6 +172,9 @@ class RunStatistics:
     peak_in_flight: int = 0
     frontier_size: int = 0
     frontier_updates: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    warm_start_seeds: int = 0
 
     @property
     def average_evaluation_seconds(self) -> float:
@@ -192,6 +203,9 @@ class RunStatistics:
             "peak_in_flight": self.peak_in_flight,
             "frontier_size": self.frontier_size,
             "frontier_updates": self.frontier_updates,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "warm_start_seeds": self.warm_start_seeds,
         }
 
 
@@ -236,6 +250,13 @@ class EvolutionaryEngine:
         Streaming Pareto-frontier archive; when omitted one is created over
         the fitness evaluator's objectives (and constraints).  It is updated
         through the callback bus on both the serial and asynchronous paths.
+    initial_genomes:
+        Genomes to seed the initial population with (warm-start from the
+        persistent evaluation store).  They are consumed before any random
+        genome is drawn, deduplicated, capped at the population size, and
+        evaluated through the normal cache path — a store-backed cache
+        answers them instantly.  The random stream is untouched when this is
+        empty, so runs without seeds stay bit-for-bit reproducible.
     """
 
     def __init__(
@@ -250,6 +271,7 @@ class EvolutionaryEngine:
         callbacks: list[Callback] | None = None,
         selection: SelectionScheme | None = None,
         frontier: FrontierArchive | None = None,
+        initial_genomes: list[CoDesignGenome] | None = None,
     ) -> None:
         self.space = space
         self.evaluator = evaluator
@@ -276,6 +298,7 @@ class EvolutionaryEngine:
         self._rng = np.random.default_rng(self.config.seed)
         self.statistics = RunStatistics()
         self._stats_lock = threading.Lock()
+        self.initial_genomes = list(initial_genomes or [])
 
     # ------------------------------------------------------------------ run
     def run(self) -> EngineResult:
@@ -460,6 +483,13 @@ class EvolutionaryEngine:
         population = Population(capacity=self.config.population_size)
         genomes: list[CoDesignGenome] = []
         keys: set[str] = set()
+        for genome in self._warm_start_pool():
+            if self.statistics.models_generated >= self.config.max_evaluations:
+                break
+            keys.add(genome.cache_key())
+            genomes.append(genome)
+            self.statistics.models_generated += 1
+            self.statistics.warm_start_seeds += 1
         attempts = 0
         max_attempts = self.config.population_size * 20
         while (
@@ -533,8 +563,40 @@ class EvolutionaryEngine:
             raise
 
     # ------------------------------------------------------------ internals
+    def _warm_start_pool(self) -> list[CoDesignGenome]:
+        """Validated, deduplicated warm-start genomes, capped at the population.
+
+        Stale store rows are filtered out: a seed must still lie inside the
+        current search space and fit the target device.
+        """
+        pool: list[CoDesignGenome] = []
+        keys: set[str] = set()
+        for genome in self.initial_genomes:
+            if len(pool) >= self.config.population_size:
+                break
+            if not self.space.contains(genome):
+                continue
+            if self.device is not None and not genome.hardware.fits(self.device):
+                continue
+            key = genome.cache_key()
+            if key in keys:
+                continue
+            keys.add(key)
+            pool.append(genome)
+        return pool
+
     def _initialize_population(self) -> Population:
         population = Population(capacity=self.config.population_size)
+        for genome in self._warm_start_pool():
+            if (
+                len(population) >= self.config.population_size
+                or self.statistics.models_generated >= self.config.max_evaluations
+            ):
+                break
+            individual = self._evaluate_and_wrap(genome, step=len(population), population=population)
+            population.add(individual)
+            self._rescore(population)
+            self.statistics.warm_start_seeds += 1
         attempts = 0
         max_attempts = self.config.population_size * 20
         while len(population) < self.config.population_size:

@@ -15,6 +15,7 @@ __all__ = [
     "InfeasibleHardwareError",
     "EvaluationError",
     "SearchError",
+    "StoreError",
 ]
 
 
@@ -45,3 +46,8 @@ class EvaluationError(ECADError):
 
 class SearchError(ECADError):
     """The evolutionary search cannot proceed (e.g. empty population)."""
+
+
+class StoreError(ECADError):
+    """The persistent evaluation store is unusable (corrupt file, schema
+    mismatch, write to a read-only store)."""

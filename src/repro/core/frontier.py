@@ -90,6 +90,20 @@ class FrontierArchive(Callback):
     def on_evaluation(
         self, evaluation: CandidateEvaluation, fitness: FitnessResult, step: int
     ) -> None:
+        """Engine callback: offer each scored evaluation to the archive.
+
+        Parameters
+        ----------
+        evaluation:
+            The candidate that just finished evaluating.
+        fitness:
+            Its fitness result; the attached objective vector is reused when
+            it was scored under the archive's own objectives, otherwise the
+            vector is rebuilt from the evaluation.
+        step:
+            The engine step the evaluation landed on (recorded in
+            snapshots).
+        """
         vector = fitness.vector if fitness is not None else None
         if vector is not None and tuple(vector.names) != tuple(
             spec.name for spec in self.objectives
@@ -104,7 +118,25 @@ class FrontierArchive(Callback):
         step: int = 0,
         vector: ObjectiveVector | None = None,
     ) -> bool:
-        """Offer one evaluation to the archive; True when the frontier changed."""
+        """Offer one evaluation to the archive.
+
+        Parameters
+        ----------
+        evaluation:
+            The candidate to consider.  Failed, infeasible and duplicate
+            candidates never enter the archive.
+        step:
+            Search step recorded in the snapshot when the frontier changes.
+        vector:
+            Pre-computed objective vector; when ``None`` (or computed under
+            different objectives) one is built from the evaluation.
+
+        Returns
+        -------
+        bool
+            True when the frontier changed (the candidate joined it,
+            possibly evicting dominated members).
+        """
         with self._lock:
             self.evaluations_seen += 1
             if evaluation.failed:
@@ -147,21 +179,36 @@ class FrontierArchive(Callback):
         return [spec.name for spec in self.objectives]
 
     def members(self) -> list[FrontierMember]:
-        """Frontier members sorted by the first objective, best first."""
+        """Current frontier members.
+
+        Returns
+        -------
+        list[FrontierMember]
+            Mutually non-dominated members, sorted by the first objective's
+            canonical (maximization-form) value, best first.
+        """
         with self._lock:
             members = list(self._members.values())
         return sorted(members, key=lambda m: m.vector.canonical[0], reverse=True)
 
     def frontier(self) -> list[CandidateEvaluation]:
-        """Frontier evaluations sorted by the first objective, best first."""
+        """Frontier evaluations, same order as :meth:`members`."""
         return [member.evaluation for member in self.members()]
 
     def vectors(self) -> list[ObjectiveVector]:
-        """Frontier objective vectors, same order as :meth:`frontier`."""
+        """Frontier objective vectors, same order as :meth:`members`."""
         return [member.vector for member in self.members()]
 
     def rows(self) -> list[dict]:
-        """Flat report rows: objective values plus the candidate summary."""
+        """Flat report rows (JSON/CSV friendly).
+
+        Returns
+        -------
+        list[dict]
+            One row per frontier member: the raw objective values merged
+            with the candidate summary
+            (:meth:`~repro.core.candidate.CandidateEvaluation.summary`).
+        """
         rows = []
         for member in self.members():
             row = dict(member.vector.as_dict())

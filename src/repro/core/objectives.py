@@ -87,7 +87,24 @@ def register_objective(
 
 
 def objective_default_maximize(name: str) -> bool:
-    """Whether a registered objective is maximized when no direction is given."""
+    """Whether a registered objective is maximized when no direction is given.
+
+    Parameters
+    ----------
+    name:
+        Registered objective name (experiment specs name objectives without
+        an explicit direction, e.g. ``"accuracy+fpga_latency"``).
+
+    Returns
+    -------
+    bool
+        The direction declared at registration time (True = maximize).
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown objective names.
+    """
     get_objective(name)  # raise the usual error for unknown names
     return _DEFAULT_MAXIMIZE.get(OBJECTIVES.canonical_name(name), True)
 
@@ -98,7 +115,24 @@ def available_objectives() -> list[str]:
 
 
 def get_objective(name: str) -> ObjectiveFunction:
-    """Look up a registered objective by name."""
+    """Look up a registered objective by name.
+
+    Parameters
+    ----------
+    name:
+        Registered objective name (registry-normalized, so ``"FPGA-Throughput"``
+        resolves to ``fpga_throughput``).
+
+    Returns
+    -------
+    ObjectiveFunction
+        The registered callable ``CandidateEvaluation -> float``.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown objective names (the message lists what is available).
+    """
     try:
         return OBJECTIVES.resolve(name)
     except KeyError as exc:
@@ -288,8 +322,21 @@ class Constraint:
 def parse_constraint(text: str) -> Constraint:
     """Parse a ``objective<=bound`` style constraint expression.
 
-    Accepts the CLI/spec syntax, e.g. ``dsp_usage<=512``,
-    ``accuracy>=0.9`` or ``fpga_latency<0.001``.
+    Parameters
+    ----------
+    text:
+        The CLI/spec syntax, e.g. ``dsp_usage<=512``, ``accuracy>=0.9`` or
+        ``fpga_latency<0.001``.
+
+    Returns
+    -------
+    Constraint
+        The parsed, validated constraint.
+
+    Raises
+    ------
+    ConfigurationError
+        For malformed expressions, unknown objectives or non-numeric bounds.
     """
     expression = str(text).strip()
     for op in _CONSTRAINT_OPS:
@@ -314,7 +361,20 @@ def parse_constraint(text: str) -> Constraint:
 
 
 def resolve_constraints(constraints: Iterable[Constraint | str]) -> list[Constraint]:
-    """Normalize a mixed list of constraint objects / expressions."""
+    """Normalize a mixed list of constraint objects / expressions.
+
+    Parameters
+    ----------
+    constraints:
+        :class:`Constraint` instances (passed through) and/or string
+        expressions (parsed with :func:`parse_constraint`); ``None`` is
+        treated as empty.
+
+    Returns
+    -------
+    list[Constraint]
+        The resolved constraints, in input order.
+    """
     resolved: list[Constraint] = []
     for constraint in constraints or ():
         if isinstance(constraint, Constraint):

@@ -53,10 +53,24 @@ class ParetoPoint:
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
-    """True when objective vector ``a`` Pareto-dominates ``b`` (maximization).
+    """Pareto dominance between two plain objective vectors (maximization).
 
-    ``a`` dominates ``b`` when it is at least as good in every objective and
-    strictly better in at least one.
+    Parameters
+    ----------
+    a, b:
+        Objective vectors of equal length, every objective expressed in
+        maximization form (negate minimized objectives first).
+
+    Returns
+    -------
+    bool
+        True when ``a`` is at least as good as ``b`` in every objective and
+        strictly better in at least one.
+
+    Raises
+    ------
+    ValueError
+        When the vectors have different lengths.
     """
     a = tuple(float(x) for x in a)
     b = tuple(float(x) for x in b)
@@ -68,7 +82,20 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
 
 
 def pareto_frontier_indices(points: Sequence[Sequence[float]]) -> list[int]:
-    """Indices of the non-dominated points (maximization in every objective)."""
+    """Indices of the non-dominated points (maximization in every objective).
+
+    Parameters
+    ----------
+    points:
+        Objective vectors, all in maximization form.
+
+    Returns
+    -------
+    list[int]
+        Indices into ``points`` of the non-dominated members, in input
+        order.  Duplicates of a frontier point are all kept (none dominates
+        the other).
+    """
     vectors = [tuple(float(v) for v in point) for point in points]
     frontier: list[int] = []
     for i, candidate in enumerate(vectors):
@@ -83,7 +110,18 @@ def pareto_frontier_indices(points: Sequence[Sequence[float]]) -> list[int]:
 
 
 def pareto_frontier(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
-    """Non-dominated subset of ``points``, sorted by the first objective (descending)."""
+    """Non-dominated subset of ``points``.
+
+    Parameters
+    ----------
+    points:
+        Candidate points (values in maximization form).
+
+    Returns
+    -------
+    list[ParetoPoint]
+        The Pareto frontier, sorted by the first objective, best first.
+    """
     indices = pareto_frontier_indices([point.values for point in points])
     frontier = [points[i] for i in indices]
     return sorted(frontier, key=lambda point: point.values[0], reverse=True)
@@ -142,9 +180,20 @@ def crowding_distances(values: Sequence[Sequence[float]]) -> list[float]:
 
     Boundary points (extreme in any objective) get infinite distance so they
     are always preferred; interior points get the normalized perimeter of
-    the cuboid spanned by their neighbours.  Expects maximization-form (or
-    any consistently ordered) values; direction does not matter because the
-    measure is symmetric.
+    the cuboid spanned by their neighbours.
+
+    Parameters
+    ----------
+    values:
+        Objective vectors of one front.  Maximization-form (or any
+        consistently ordered) values; direction does not matter because the
+        measure is symmetric.
+
+    Returns
+    -------
+    list[float]
+        Crowding distance per point, aligned with ``values``; larger means
+        lonelier (preferred for diversity).
     """
     count = len(values)
     if count == 0:
@@ -181,6 +230,19 @@ def hypervolume_2d(
     dominated by every point; contributions below it are clipped to zero).
     Used by the benchmark harness to compare NSGA-II and weighted-sum
     searches at equal evaluation budgets.
+
+    Parameters
+    ----------
+    points:
+        2-D objective vectors in maximization form; non-finite points are
+        ignored.
+    reference:
+        The reference corner the dominated area is measured against.
+
+    Returns
+    -------
+    float
+        The dominated area (0 when no finite point remains).
     """
     ref_x, ref_y = float(reference[0]), float(reference[1])
     clipped = [
@@ -209,8 +271,25 @@ def evaluation_frontier(evaluations: Sequence, device: str = "fpga") -> list:
     Single source of truth used by ``SearchResult``, the analysis layer and
     the reports: failed evaluations are dropped, the objective vector is
     ``(accuracy, outputs/s)`` for the chosen device, and the frontier is
-    returned best-accuracy first.  ``evaluations`` is any sequence of
-    :class:`~repro.core.candidate.CandidateEvaluation`-shaped objects.
+    returned best-accuracy first.
+
+    Parameters
+    ----------
+    evaluations:
+        Any sequence of
+        :class:`~repro.core.candidate.CandidateEvaluation`-shaped objects.
+    device:
+        ``"fpga"`` or ``"gpu"`` — which throughput axis to use.
+
+    Returns
+    -------
+    list
+        The non-dominated evaluations, best accuracy first.
+
+    Raises
+    ------
+    ValueError
+        For an unknown ``device``.
     """
     if device not in ("fpga", "gpu"):
         raise ValueError(f"device must be 'fpga' or 'gpu', got {device!r}")
@@ -236,6 +315,21 @@ def knee_point(frontier: Sequence[ParetoPoint]) -> ParetoPoint:
     Objectives are min-max normalized over the frontier; the knee is the point
     maximizing the minimum normalized objective (the most "balanced" point).
     Useful as a single-answer summary of a two-objective frontier.
+
+    Parameters
+    ----------
+    frontier:
+        A non-empty Pareto frontier.
+
+    Returns
+    -------
+    ParetoPoint
+        The most balanced frontier member.
+
+    Raises
+    ------
+    ValueError
+        When ``frontier`` is empty.
     """
     if not frontier:
         raise ValueError("frontier must not be empty")
@@ -291,7 +385,21 @@ def make_points(
     items: Sequence[object],
     *extractors: Callable[[object], float],
 ) -> list[ParetoPoint]:
-    """Build Pareto points from arbitrary objects and value extractors."""
+    """Build Pareto points from arbitrary objects and value extractors.
+
+    Parameters
+    ----------
+    items:
+        Payload objects (evaluations, frontier members, rows, ...).
+    *extractors:
+        One callable per objective, each mapping an item to a float in
+        maximization form.
+
+    Returns
+    -------
+    list[ParetoPoint]
+        One point per item, values in extractor order, payload attached.
+    """
     if not extractors:
         raise ValueError("at least one extractor is required")
     return [

@@ -115,6 +115,11 @@ class CoDesignSearch:
         Execution backend name for the master ("serial", "threads" or
         "processes"); ``None`` (the default) uses the configuration's
         ``backend`` field.
+    store:
+        Persistent evaluation store to read through / write behind.  ``None``
+        (the default) opens one from the configuration's ``store`` section
+        when that is active; the search owns (and eventually closes) a store
+        it opened itself but never one passed in.
     """
 
     def __init__(
@@ -123,6 +128,7 @@ class CoDesignSearch:
         config: ECADConfig | None = None,
         callbacks: list[Callback] | None = None,
         backend: str | None = None,
+        store=None,
     ) -> None:
         self.dataset = dataset
         self.config = config or ECADConfig.template_for_dataset(dataset)
@@ -138,7 +144,24 @@ class CoDesignSearch:
             )
         self.callbacks = list(callbacks or [])
         self.backend = backend if backend is not None else self.config.backend
-        self.cache = EvaluationCache()
+        self.store = store
+        self._owns_store = False
+        self.problem_digest: str | None = None
+        if self.store is None and self.config.store.active:
+            # Imported lazily: repro.store depends on repro.core at import time.
+            from ..store import EvaluationStore
+
+            self.store = EvaluationStore(
+                self.config.store.path, readonly=self.config.store.readonly
+            )
+            self._owns_store = True
+        if self.store is not None:
+            from ..store import StoreBackedCache, problem_digest
+
+            self.problem_digest = problem_digest(self.config, dataset)
+            self.cache: EvaluationCache = StoreBackedCache(self.store, self.problem_digest)
+        else:
+            self.cache = EvaluationCache()
 
     # ----------------------------------------------------------- assembly
     #: Worker types consulted for every candidate, resolved by registered
@@ -179,7 +202,9 @@ class CoDesignSearch:
 
         ``fitness`` and ``selection`` default to the configuration's
         weighted-sum evaluator and selection scheme; search strategies (e.g.
-        NSGA-II) inject their own here.
+        NSGA-II) inject their own here.  When the configuration asks for
+        warm-starting, the engine is seeded with the store's best candidates
+        for the current problem digest.
         """
         space = self.config.to_search_space()
         if fitness is None:
@@ -199,7 +224,27 @@ class CoDesignSearch:
             cache=self.cache,
             callbacks=self.callbacks,
             selection=selection,
+            initial_genomes=self.warm_start_genomes(),
         )
+
+    def warm_start_genomes(self) -> list[CoDesignGenome]:
+        """Best stored genomes for this problem, for population seeding.
+
+        Returns at most ``config.store.warm_start`` genomes, best stored
+        accuracy first; empty when warm-starting is disabled, no store is
+        attached, or the store has never seen this problem.  Stale genomes
+        (outside the current search space) are filtered later by the engine.
+        """
+        limit = self.config.store.warm_start
+        if limit <= 0 or self.store is None or self.problem_digest is None:
+            return []
+        from .errors import StoreError
+
+        try:
+            best = self.store.best(self.problem_digest, limit=limit)
+        except StoreError:
+            return []
+        return [evaluation.genome for evaluation in best]
 
     # ---------------------------------------------------------------- run
     def run(self, evaluator=None, strategy=None) -> SearchResult:
@@ -211,12 +256,37 @@ class CoDesignSearch:
         field (``"evolutionary"`` by default, which reproduces the paper's
         weighted-sum steady-state search exactly).  When no evaluator is
         supplied, the strategy builds (and owns) a master whose execution
-        backend is released once the search finishes.
+        backend is released once the search finishes.  Any write-behind
+        store rows are flushed before the result is returned, and the
+        result's statistics carry the store hit/miss counters.
         """
         from .strategy import get_strategy
 
         chosen = strategy if strategy is not None else self.config.strategy
-        return get_strategy(chosen).execute(self, evaluator)
+        try:
+            result = get_strategy(chosen).execute(self, evaluator)
+        finally:
+            self._flush_store()
+        self._record_store_statistics(result.statistics)
+        return result
+
+    def close(self) -> None:
+        """Flush pending store writes and close a search-owned store."""
+        self._flush_store()
+        if self._owns_store and self.store is not None:
+            self.store.close()
+            self.store = None
+
+    def _flush_store(self) -> None:
+        flush = getattr(self.cache, "flush", None)
+        if callable(flush):
+            flush()
+
+    def _record_store_statistics(self, statistics: RunStatistics) -> None:
+        store_stats = getattr(self.cache, "store_statistics", None)
+        if store_stats is not None:
+            statistics.store_hits = store_stats.hits
+            statistics.store_misses = store_stats.misses
 
     def _package(self, outcome: EngineResult) -> SearchResult:
         evaluations = [e for e in outcome.history.evaluations() if not e.failed]

@@ -53,7 +53,26 @@ class SearchStrategy:
     name: str = "strategy"
 
     def execute(self, search, evaluator=None):
-        """Run the search and return a ``SearchResult``."""
+        """Run the search end to end.
+
+        Parameters
+        ----------
+        search:
+            The configured :class:`~repro.core.search.CoDesignSearch` to
+            drive; supplies the dataset, configuration, evaluation cache and
+            the master/engine factories.
+        evaluator:
+            Optional externally owned evaluator (a callable
+            ``genome -> CandidateEvaluation``, typically a
+            :class:`~repro.workers.master.Master`).  When ``None``, the
+            strategy builds its own master and shuts it down afterwards.
+
+        Returns
+        -------
+        SearchResult
+            The packaged outcome (best candidates, frontier, history,
+            run-time statistics), identical in shape for every strategy.
+        """
         raise NotImplementedError
 
 
@@ -67,7 +86,26 @@ def register_strategy(
     aliases: tuple[str, ...] = (),
     overwrite: bool = False,
 ) -> None:
-    """Register a strategy class under ``name`` (and ``aliases``)."""
+    """Register a strategy class under ``name`` (and ``aliases``).
+
+    Parameters
+    ----------
+    name:
+        Stable identifier usable from configuration files, experiment specs
+        and the CLI (``--strategy``).
+    strategy:
+        The :class:`SearchStrategy` subclass to instantiate per run.
+    aliases:
+        Additional names resolving to the same strategy.
+    overwrite:
+        Allow replacing an existing registration (off by default so typos
+        do not silently shadow built-ins).
+
+    Raises
+    ------
+    ConfigurationError
+        When the name is already registered and ``overwrite`` is False.
+    """
     try:
         STRATEGIES.register(name, strategy, aliases=aliases, overwrite=overwrite)
     except ValueError as exc:
@@ -80,7 +118,24 @@ def available_strategies() -> list[str]:
 
 
 def get_strategy(name: str | SearchStrategy) -> SearchStrategy:
-    """Resolve a strategy by name (instances pass through unchanged)."""
+    """Resolve a strategy by name (instances pass through unchanged).
+
+    Parameters
+    ----------
+    name:
+        A registered strategy name (or alias), or an already constructed
+        :class:`SearchStrategy` instance.
+
+    Returns
+    -------
+    SearchStrategy
+        A fresh instance for names; the same object for instances.
+
+    Raises
+    ------
+    ConfigurationError
+        When the name is not registered.
+    """
     if isinstance(name, SearchStrategy):
         return name
     try:
@@ -93,12 +148,31 @@ def get_strategy(name: str | SearchStrategy) -> SearchStrategy:
 
 
 class EvolutionaryStrategy(SearchStrategy):
-    """The paper's steady-state search with the weighted-sum fitness."""
+    """The paper's steady-state search with the weighted-sum fitness.
+
+    This is the default strategy and reproduces pre-strategy behaviour bit
+    for bit: scalarized selection fitness, tournament parent selection, and
+    the serial or asynchronous steady-state engine depending on
+    ``eval_parallelism``.
+    """
 
     name = "evolutionary"
 
     def build_engine(self, search, evaluator):
-        """Engine factory hook; subclasses swap fitness/selection here."""
+        """Engine factory hook; subclasses swap fitness/selection here.
+
+        Parameters
+        ----------
+        search:
+            The driving :class:`~repro.core.search.CoDesignSearch`.
+        evaluator:
+            The candidate evaluator the engine will call.
+
+        Returns
+        -------
+        EvolutionaryEngine
+            A fully wired engine (cache, callbacks, warm-start seeds).
+        """
         return search.build_engine(evaluator=evaluator)
 
     def execute(self, search, evaluator=None):
@@ -134,7 +208,12 @@ class NSGA2Strategy(EvolutionaryStrategy):
 
 
 class RandomStrategy(SearchStrategy):
-    """Uniform random search at the configured evaluation budget."""
+    """Uniform random search at the configured evaluation budget.
+
+    The ablation baseline.  It shares the search's evaluation cache (and
+    therefore any attached persistent store), but ignores ``warm_start`` —
+    seeding a uniform baseline would bias the very comparison it exists for.
+    """
 
     name = "random"
 

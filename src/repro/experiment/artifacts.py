@@ -33,6 +33,7 @@ REPORT_COLUMNS = (
     "hidden_layers",
     "models_generated",
     "models_evaluated",
+    "store_hits",
     "frontier_size",
     "wall_clock_seconds",
     "error",
@@ -151,6 +152,7 @@ class RunArtifact:
             ),
             "models_generated": self.statistics.get("models_generated", 0),
             "models_evaluated": self.statistics.get("models_evaluated", 0),
+            "store_hits": self.statistics.get("store_hits", 0),
             "frontier_size": self.statistics.get("frontier_size", len(self.frontier)),
             "wall_clock_seconds": self.wall_clock_seconds,
             "error": self.error,

@@ -23,7 +23,7 @@ import time
 from pathlib import Path
 from typing import Callable
 
-from ..core.config import ECADConfig
+from ..core.config import ECADConfig, StoreConfig
 from ..core.errors import ConfigurationError
 from ..core.search import CoDesignSearch
 from ..datasets.registry import load_dataset
@@ -170,7 +170,10 @@ class ExperimentRunner:
             dataset = load_dataset(cell.dataset, seed=self.spec.data_seed, scale=self.spec.scale)
             config = self.build_config(cell, dataset)
             search = CoDesignSearch(dataset, config=config)
-            result = search.run()
+            try:
+                result = search.run()
+            finally:
+                search.close()
             return RunArtifact.from_result(
                 cell, result, time.perf_counter() - start, cell_digest=self._digest
             )
@@ -198,6 +201,7 @@ class ExperimentRunner:
             backend=self.spec.backend,
             eval_parallelism=self.spec.eval_parallelism,
             strategy=cell_strategy or self.spec.strategy,
+            store=StoreConfig(path=self.spec.store_path, warm_start=self.spec.warm_start),
         )
         if self.spec.overrides:
             config = config.with_overrides(self.spec.overrides)

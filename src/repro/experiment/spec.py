@@ -142,6 +142,13 @@ class ExperimentSpec:
     run_parallelism:
         How many whole grid cells are kept in flight at once by the runner
         (fanned through the execution-backend stack; 1 = sequential).
+    store_path:
+        Persistent evaluation-store file shared by every cell of the grid;
+        empty disables the store.  Repeating a sweep against a warm store
+        answers previously evaluated candidates without re-training them.
+    warm_start:
+        Seed each cell's initial population with up to this many of the best
+        stored candidates for that cell's problem digest (0 disables).
     overrides:
         Dotted-key configuration overrides applied to every generated
         :class:`~repro.core.config.ECADConfig` (e.g.
@@ -163,6 +170,8 @@ class ExperimentSpec:
     run_parallelism: int = 1
     strategy: str = "evolutionary"
     constraints: tuple[str, ...] = ()
+    store_path: str = ""
+    warm_start: int = 0
     overrides: dict = field(default_factory=dict)
     output_dir: str = ""
 
@@ -202,6 +211,8 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"run_parallelism must be >= 1, got {self.run_parallelism}"
             )
+        if self.warm_start < 0:
+            raise ConfigurationError(f"warm_start must be >= 0, got {self.warm_start}")
         # Imported lazily: repro.workers depends on repro.core at import time.
         from ..workers.backends import BACKENDS, available_backends
 
@@ -243,12 +254,17 @@ class ExperimentSpec:
         data = self.to_dict()
         for key in ("name", "datasets", "objectives", "seeds", "run_parallelism", "output_dir"):
             data.pop(key, None)
+        # The store location never changes what a run computes, only where
+        # results are remembered — it must not invalidate completed cells.
+        data.pop("store_path", None)
         # Fields newer than the first release are omitted at their defaults so
         # artifacts checkpointed before the field existed stay resumable.
         if data.get("strategy") == "evolutionary":
             data.pop("strategy", None)
         if not data.get("constraints"):
             data.pop("constraints", None)
+        if not data.get("warm_start"):
+            data.pop("warm_start", None)
         payload = json.dumps(data, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
@@ -292,6 +308,8 @@ class ExperimentSpec:
                 run_parallelism=int(data.get("run_parallelism", 1)),
                 strategy=str(data.get("strategy", "evolutionary")),
                 constraints=tuple(str(c) for c in data.get("constraints", ())),
+                store_path=str(data.get("store_path", "")),
+                warm_start=int(data.get("warm_start", 0)),
                 overrides=dict(data.get("overrides", {})),
                 output_dir=str(data.get("output_dir", "")),
             )

@@ -100,3 +100,35 @@ class HardwareMetrics:
             "power_watts": self.power_watts,
             "compute_bound": self.compute_bound,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict, extras: dict | None = None) -> "HardwareMetrics":
+        """Inverse of :meth:`to_dict` (used by the persistent evaluation store).
+
+        Parameters
+        ----------
+        data:
+            A dictionary produced by :meth:`to_dict`.
+        extras:
+            Optional model-specific diagnostics to reattach (``to_dict``
+            intentionally drops them from flat exports).
+
+        Returns
+        -------
+        HardwareMetrics
+            The reconstructed metrics record.
+        """
+        return cls(
+            device_name=str(data["device_name"]),
+            batch_size=int(data["batch_size"]),
+            potential_gflops=float(data["potential_gflops"]),
+            effective_gflops=float(data["effective_gflops"]),
+            total_time_seconds=float(data["total_time_seconds"]),
+            outputs_per_second=float(data["outputs_per_second"]),
+            latency_seconds=float(data["latency_seconds"]),
+            efficiency=float(data["efficiency"]),
+            dram_bytes=float(data.get("dram_bytes", 0.0)),
+            power_watts=float(data.get("power_watts", 0.0)),
+            compute_bound=bool(data.get("compute_bound", True)),
+            extras=dict(extras or {}),
+        )

@@ -88,6 +88,21 @@ class SynthesisReport:
             "power_watts": self.power_watts,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "SynthesisReport":
+        """Inverse of :meth:`to_dict` (used by the persistent evaluation store)."""
+        return cls(
+            device_name=str(data["device_name"]),
+            alm_used=int(data["alm_used"]),
+            alm_utilization=float(data["alm_utilization"]),
+            m20k_used=int(data["m20k_used"]),
+            m20k_utilization=float(data["m20k_utilization"]),
+            dsp_used=int(data["dsp_used"]),
+            dsp_utilization=float(data["dsp_utilization"]),
+            fmax_mhz=float(data["fmax_mhz"]),
+            power_watts=float(data["power_watts"]),
+        )
+
 
 class SynthesisModel:
     """Analytical stand-in for the Quartus synthesis + place-and-route flow."""

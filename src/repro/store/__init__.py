@@ -1,0 +1,23 @@
+"""Persistent cross-run evaluation store.
+
+This package makes expensive candidate evaluations durable: an SQLite-backed
+:class:`EvaluationStore` keyed by canonical problem/candidate digests, a
+:class:`StoreBackedCache` that slots under the in-memory
+:class:`~repro.core.cache.EvaluationCache` as a read-through/write-behind
+second tier, and the digest functions that decide when two runs may share
+results.  See ``docs/ARCHITECTURE.md`` for where the store sits in the
+system.
+"""
+
+from .cache import StoreBackedCache
+from .digest import dataset_fingerprint, problem_digest
+from .store import SCHEMA_VERSION, EvaluationStore, StoreStatistics
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EvaluationStore",
+    "StoreBackedCache",
+    "StoreStatistics",
+    "dataset_fingerprint",
+    "problem_digest",
+]

@@ -1,0 +1,170 @@
+"""The store-backed second cache tier.
+
+:class:`StoreBackedCache` is a drop-in
+:class:`~repro.core.cache.EvaluationCache` whose misses fall through to a
+persistent :class:`~repro.store.store.EvaluationStore` (read-through) and
+whose fresh results are queued for batched persistence (write-behind).  The
+engine's serial and asynchronous paths, ``RandomSearch`` and the master all
+talk to the familiar cache interface and get durability for free:
+
+* ``lookup`` / ``lookup_or_reserve`` — in-memory first; on a miss the store
+  is consulted and a hit is promoted into the memory tier (and served with
+  ``from_cache=True``, exactly like a warm in-memory hit).
+* ``store`` / ``complete`` — publish to the memory tier immediately, then
+  enqueue the row; the queue is flushed every ``write_batch_size`` entries
+  and on :meth:`flush`.  A failing store never fails the search — write
+  errors are counted and the search continues on the memory tier alone.
+
+Read-only stores are honoured transparently: lookups read through, writes
+stay purely in memory.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+from ..core.cache import EvaluationCache
+from ..core.candidate import CandidateEvaluation
+from ..core.errors import StoreError
+from ..core.genome import CoDesignGenome
+from .store import EvaluationStore, StoreStatistics
+
+__all__ = ["StoreBackedCache"]
+
+logger = logging.getLogger(__name__)
+
+
+class StoreBackedCache(EvaluationCache):
+    """Two-tier evaluation cache: in-memory LRU over a persistent store.
+
+    Parameters
+    ----------
+    store:
+        The persistent tier.  The cache never closes it; the owner does.
+    problem_digest:
+        Namespace of the current problem (see
+        :func:`repro.store.digest.problem_digest`); all reads and writes are
+        scoped to it.
+    max_entries:
+        Optional bound on the in-memory tier (see
+        :class:`~repro.core.cache.EvaluationCache`).
+    write_batch_size:
+        Flush the write-behind queue every this many fresh evaluations.
+    """
+
+    def __init__(
+        self,
+        store: EvaluationStore,
+        problem_digest: str,
+        max_entries: int | None = None,
+        write_batch_size: int = 16,
+    ) -> None:
+        super().__init__(max_entries=max_entries)
+        if write_batch_size < 1:
+            raise ValueError(f"write_batch_size must be >= 1, got {write_batch_size}")
+        self.backing_store = store
+        self.problem_digest = str(problem_digest)
+        self.write_batch_size = int(write_batch_size)
+        self.store_statistics = StoreStatistics()
+        self._stats_lock = threading.Lock()
+        self._write_queue: list[CandidateEvaluation] = []
+        self._write_lock = threading.Lock()
+
+    # ------------------------------------------------------------- lookups
+    def lookup(self, genome: CoDesignGenome) -> CandidateEvaluation | None:
+        """In-memory lookup with read-through to the persistent store."""
+        hit = super().lookup(genome)
+        if hit is not None:
+            return hit
+        stored = self._load(genome)
+        if stored is None:
+            return None
+        # Promote into the memory tier so repeats stay off the disk path.
+        super().store(stored)
+        return stored.as_cache_copy()
+
+    def lookup_or_reserve(self, genome: CoDesignGenome) -> tuple[CandidateEvaluation | None, bool]:
+        """Single-flight lookup with read-through to the persistent store.
+
+        A store hit releases the reservation immediately (publishing the
+        stored result to any concurrent waiters), so the caller never
+        evaluates a candidate the store already knows.
+        """
+        cached, owner = super().lookup_or_reserve(genome)
+        if not owner:
+            return cached, False
+        stored = self._load(genome)
+        if stored is None:
+            return None, True
+        # Publish through the base class: waiters wake, memory tier fills,
+        # and no write-behind entry is queued for a row the store already has.
+        super().complete(genome, stored)
+        return stored.as_cache_copy(), False
+
+    def _load(self, genome: CoDesignGenome) -> CandidateEvaluation | None:
+        try:
+            stored = self.backing_store.get(self.problem_digest, genome.cache_key())
+        except StoreError as exc:
+            logger.warning("evaluation store read failed: %s", exc)
+            return None
+        # The engine's async path calls this from several worker threads.
+        with self._stats_lock:
+            if stored is None:
+                self.store_statistics.misses += 1
+            else:
+                self.store_statistics.hits += 1
+        return stored
+
+    # -------------------------------------------------------------- stores
+    def store_evaluation_result(self, evaluation: CandidateEvaluation) -> None:
+        """Queue one fresh evaluation for write-behind persistence."""
+        if evaluation.failed or evaluation.from_cache or self.backing_store.readonly:
+            return
+        with self._write_lock:
+            self._write_queue.append(evaluation)
+            should_flush = len(self._write_queue) >= self.write_batch_size
+        if should_flush:
+            self.flush()
+
+    def store(self, evaluation: CandidateEvaluation) -> None:
+        """Publish to the memory tier and queue the write-behind row."""
+        super().store(evaluation)
+        self.store_evaluation_result(evaluation)
+
+    def complete(self, genome: CoDesignGenome, evaluation: CandidateEvaluation) -> None:
+        """Publish an owned evaluation and queue the write-behind row."""
+        super().complete(genome, evaluation)
+        self.store_evaluation_result(evaluation)
+
+    def flush(self) -> int:
+        """Write every queued row to the store now.
+
+        Returns
+        -------
+        int
+            Number of rows persisted.  Write failures are swallowed (counted
+            in ``store_statistics.write_errors``) so a broken disk never
+            kills a running search.
+        """
+        with self._write_lock:
+            batch = self._write_queue
+            self._write_queue = []
+        if not batch:
+            return 0
+        try:
+            written = self.backing_store.put_many(self.problem_digest, batch)
+        except StoreError as exc:
+            with self._stats_lock:
+                self.store_statistics.write_errors += len(batch)
+            logger.warning("evaluation store write failed (%d rows lost): %s", len(batch), exc)
+            return 0
+        with self._stats_lock:
+            self.store_statistics.writes += written
+        return written
+
+    def clear(self) -> None:
+        """Drop the memory tier and the un-flushed write queue (store untouched)."""
+        super().clear()
+        with self._write_lock:
+            self._write_queue = []

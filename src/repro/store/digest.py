@@ -1,0 +1,118 @@
+"""Canonical digests identifying *what* an evaluation was computed for.
+
+A stored evaluation is only reusable when everything that shaped its result
+matches the current run: the genome itself, the exact dataset it was trained
+on, the evaluation protocol and training budget, the target devices and the
+master's base seed.  Two digests capture this:
+
+* :func:`dataset_fingerprint` — a content hash over the dataset's actual
+  arrays (not just its name), so regenerating a synthetic dataset with a
+  different seed or scale produces a different fingerprint.
+* :func:`problem_digest` — a hash over the dataset fingerprint plus every
+  :class:`~repro.core.config.ECADConfig` field that influences a *single*
+  candidate evaluation (devices, protocol, training budget, seed), and the
+  optimization targets.  Objectives/constraints do not change what one
+  evaluation computes, but they namespace the store deliberately: warm-start
+  ranks a problem's rows, and "best stored candidate" is only meaningful
+  among runs optimizing the same thing.  Search-shape fields (population
+  size, evaluation budget, strategy, parallelism) are excluded: they change
+  which candidates get evaluated, never what one evaluation returns, so runs
+  with different budgets share one store namespace.
+
+The store keys every row on ``(problem_digest, genome_key)``; warm-start
+pulls the best rows for the current problem digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from ..core.config import ECADConfig
+from ..datasets.base import Dataset
+
+__all__ = ["dataset_fingerprint", "problem_digest"]
+
+
+def _array_digest(array: np.ndarray | None) -> str:
+    """Stable content hash of one array (empty string when absent)."""
+    if array is None:
+        return ""
+    contiguous = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(contiguous.dtype).encode())
+    digest.update(str(contiguous.shape).encode())
+    digest.update(contiguous.tobytes())
+    return digest.hexdigest()
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """Content-addressed identity of one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to fingerprint; both the training arrays and the optional
+        pre-split test partition contribute.
+
+    Returns
+    -------
+    str
+        Hex SHA-256 digest.  Identical data produces identical fingerprints
+        regardless of how the dataset object was constructed; any change to
+        samples, labels or the test split changes the fingerprint.
+    """
+    payload = {
+        "name": dataset.name,
+        "features": _array_digest(dataset.features),
+        "labels": _array_digest(dataset.labels),
+        "test_features": _array_digest(dataset.test_features),
+        "test_labels": _array_digest(dataset.test_labels),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def problem_digest(config: ECADConfig, dataset: Dataset) -> str:
+    """Digest of everything that determines a single evaluation's result.
+
+    Parameters
+    ----------
+    config:
+        The run configuration.  The evaluation-relevant fields participate —
+        the resolved FPGA/GPU devices, evaluation protocol and fold count,
+        training epochs/batch size, the base seed — plus the optimization
+        targets (objectives + constraints), which namespace the store so
+        warm-start only ranks rows from runs optimizing the same thing.
+    dataset:
+        The dataset the candidates are trained on (content-fingerprinted).
+
+    Returns
+    -------
+    str
+        Hex SHA-256 digest.  Two runs share stored evaluations exactly when
+        their problem digests match.
+    """
+    fpga = config.hardware.fpga_device()
+    gpu = config.hardware.gpu_device()
+    payload = {
+        "dataset": dataset_fingerprint(dataset),
+        "evaluation_protocol": config.evaluation_protocol,
+        "num_folds": config.num_folds,
+        "training_epochs": config.training_epochs,
+        "training_batch_size": config.training_batch_size,
+        "seed": config.seed,
+        "fpga": {
+            "name": fpga.name,
+            "dsp_count": fpga.dsp_count,
+            "clock_mhz": fpga.clock_mhz,
+            "ddr_banks": fpga.ddr_banks,
+        },
+        "gpu": gpu.name if gpu is not None else "",
+        "objectives": [list(obj) for obj in config.optimization.objectives],
+        "constraints": list(config.optimization.constraints),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

@@ -249,11 +249,23 @@ class TestExperimentSpec:
             legacy.pop(key, None)
         legacy.pop("strategy", None)
         legacy.pop("constraints", None)
+        # Store fields post-date the first release too: a legacy spec dict
+        # never carried them, and at their defaults they must not change
+        # the digest.
+        legacy.pop("store_path", None)
+        legacy.pop("warm_start", None)
         legacy_digest = hashlib.sha256(
             json.dumps(legacy, sort_keys=True).encode()
         ).hexdigest()[:16]
         assert base.cell_digest() == legacy_digest
         assert tiny_spec("digest", strategy="nsga2").cell_digest() != base.cell_digest()
+        # The store location is purely organizational: it must never
+        # invalidate completed cells, while enabling warm-start must.
+        assert (
+            tiny_spec("digest", store_path="some/store.sqlite").cell_digest()
+            == base.cell_digest()
+        )
+        assert tiny_spec("digest", warm_start=4).cell_digest() != base.cell_digest()
         assert (
             tiny_spec("digest", constraints=("dsp_usage<=512",)).cell_digest()
             != base.cell_digest()

@@ -1,0 +1,624 @@
+"""Tests for the persistent cross-run evaluation store (``repro.store``).
+
+Covers the serialization round-trip, the SQLite store itself (including the
+corruption/migration/readonly failure modes), the read-through/write-behind
+cache tier, warm-started searches, and concurrent writes from two processes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.core.cache import EvaluationCache
+from repro.core.candidate import CandidateEvaluation
+from repro.core.config import ECADConfig, StoreConfig
+from repro.core.engine import EngineConfig, EvolutionaryEngine
+from repro.core.errors import ConfigurationError, StoreError
+from repro.core.fitness import FitnessEvaluator, FitnessObjective
+from repro.core.genome import CoDesignSearchSpace
+from repro.core.search import CoDesignSearch
+from repro.datasets.registry import load_dataset
+from repro.hardware.synthesis import SynthesisReport
+from repro.store import (
+    SCHEMA_VERSION,
+    EvaluationStore,
+    StoreBackedCache,
+    dataset_fingerprint,
+    problem_digest,
+)
+from repro.store.serialize import evaluation_from_payload, evaluation_to_payload
+
+from repro.hardware.results import HardwareMetrics
+
+PROBLEM = "problem-a"
+OTHER_PROBLEM = "problem-b"
+
+
+def make_fake_evaluation(genome, accuracy, fpga_outputs=0.0, gpu_outputs=0.0):
+    """A CandidateEvaluation with synthetic hardware metrics.
+
+    Mirrors the helper in ``tests/conftest.py``, duplicated here because the
+    root pytest run also loads ``benchmarks/conftest.py`` under the module
+    name ``conftest`` — importing from it by name is ambiguous.
+    """
+
+    def metrics(device, outputs):
+        if outputs <= 0:
+            return None
+        return HardwareMetrics(
+            device_name=device,
+            batch_size=1024,
+            potential_gflops=100.0,
+            effective_gflops=min(50.0, outputs / 1e5),
+            total_time_seconds=1024 / outputs,
+            outputs_per_second=outputs,
+            latency_seconds=1e-4,
+            efficiency=min(1.0, outputs / 1e7),
+        )
+
+    return CandidateEvaluation(
+        genome=genome,
+        accuracy=accuracy,
+        parameter_count=genome.mlp.total_hidden_neurons * 10,
+        fpga_metrics=metrics("fpga", fpga_outputs),
+        gpu_metrics=metrics("gpu", gpu_outputs),
+        evaluation_seconds=0.01,
+    )
+
+
+def _evaluations(space: CoDesignSearchSpace, count: int, seed: int = 0):
+    """Distinct fake evaluations with descending accuracy."""
+    rng = np.random.default_rng(seed)
+    evaluations, keys = [], set()
+    while len(evaluations) < count:
+        genome = space.random_genome(rng)
+        if genome.cache_key() in keys:
+            continue
+        keys.add(genome.cache_key())
+        accuracy = 0.95 - 0.01 * len(evaluations)
+        evaluations.append(make_fake_evaluation(genome, accuracy, fpga_outputs=1e6))
+    return evaluations
+
+
+class TestSerialization:
+    def test_full_round_trip_is_exact(self, sample_genome):
+        original = make_fake_evaluation(sample_genome, 0.87654321, fpga_outputs=1.23e6,
+                                        gpu_outputs=4.56e6)
+        original = CandidateEvaluation(
+            genome=original.genome,
+            accuracy=original.accuracy,
+            accuracy_std=0.0123,
+            parameter_count=original.parameter_count,
+            fpga_metrics=original.fpga_metrics,
+            gpu_metrics=original.gpu_metrics,
+            synthesis=SynthesisReport(
+                device_name="arria10", alm_used=1000, alm_utilization=0.1,
+                m20k_used=50, m20k_utilization=0.05, dsp_used=64,
+                dsp_utilization=0.04, fmax_mhz=250.0, power_watts=30.0,
+            ),
+            train_seconds=1.5,
+            evaluation_seconds=2.25,
+            extras={"simulation": {"folds": 3}},
+        )
+        back = evaluation_from_payload(json.loads(json.dumps(evaluation_to_payload(original))))
+        assert back.genome == original.genome
+        assert back.accuracy == original.accuracy
+        assert back.accuracy_std == original.accuracy_std
+        assert back.parameter_count == original.parameter_count
+        assert back.fpga_metrics == original.fpga_metrics
+        assert back.gpu_metrics == original.gpu_metrics
+        assert back.synthesis == original.synthesis
+        assert back.train_seconds == original.train_seconds
+        assert back.evaluation_seconds == original.evaluation_seconds
+        assert back.extras == original.extras
+        assert not back.from_cache
+
+    def test_metrics_extras_survive(self, sample_genome):
+        evaluation = make_fake_evaluation(sample_genome, 0.8, fpga_outputs=1e6)
+        metrics = evaluation.fpga_metrics
+        object.__setattr__(metrics, "extras", {"per_layer": [0.1, 0.2]})
+        back = evaluation_from_payload(evaluation_to_payload(evaluation))
+        assert back.fpga_metrics.extras == {"per_layer": [0.1, 0.2]}
+
+    def test_malformed_payload_raises_store_error(self):
+        with pytest.raises(StoreError):
+            evaluation_from_payload({"accuracy": 0.5})
+
+
+class TestEvaluationStore:
+    def test_put_get_round_trip(self, tmp_path, small_search_space):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        evaluation = _evaluations(small_search_space, 1)[0]
+        store.put(PROBLEM, evaluation)
+        back = store.get(PROBLEM, evaluation.genome.cache_key())
+        assert back is not None
+        assert back.genome == evaluation.genome
+        assert back.accuracy == evaluation.accuracy
+        assert store.get(PROBLEM, "unknown-key") is None
+        assert store.get(OTHER_PROBLEM, evaluation.genome.cache_key()) is None
+        store.close()
+
+    def test_failed_evaluations_are_not_stored(self, tmp_path, sample_genome):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        failed = CandidateEvaluation(genome=sample_genome, error="worker exploded")
+        assert store.put_many(PROBLEM, [failed]) == 0
+        assert store.count() == 0
+        store.close()
+
+    def test_best_orders_by_accuracy_and_respects_limit(self, tmp_path, small_search_space):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        evaluations = _evaluations(small_search_space, 6)
+        store.put_many(PROBLEM, evaluations)
+        best = store.best(PROBLEM, limit=3)
+        assert [e.accuracy for e in best] == sorted(
+            (e.accuracy for e in evaluations), reverse=True
+        )[:3]
+        assert store.best(OTHER_PROBLEM, limit=3) == []
+        assert store.best(PROBLEM, limit=0) == []
+        store.close()
+
+    def test_replacing_a_row_keeps_counts_stable(self, tmp_path, small_search_space):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        evaluation = _evaluations(small_search_space, 1)[0]
+        store.put(PROBLEM, evaluation)
+        store.put(PROBLEM, evaluation)
+        assert store.count(PROBLEM) == 1
+        store.close()
+
+    def test_prune_keep_best_per_problem(self, tmp_path, small_search_space):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        store.put_many(PROBLEM, _evaluations(small_search_space, 5, seed=0))
+        store.put_many(OTHER_PROBLEM, _evaluations(small_search_space, 4, seed=99))
+        removed = store.prune(keep_best=2)
+        assert removed == 5
+        assert store.count(PROBLEM) == 2
+        assert store.count(OTHER_PROBLEM) == 2
+        # The survivors are the best rows.
+        assert [e.accuracy for e in store.best(PROBLEM, 10)] == [0.95, 0.94]
+        with pytest.raises(StoreError):
+            store.prune()
+        store.close()
+
+    def test_stats_problems_and_export(self, tmp_path, small_search_space):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        store.put_many(PROBLEM, _evaluations(small_search_space, 3))
+        stats = store.stats()
+        assert stats["evaluations"] == 3
+        assert stats["problems"] == 1
+        assert stats["schema_version"] == SCHEMA_VERSION
+        problems = store.problems()
+        assert problems[0]["problem_digest"] == PROBLEM
+        assert problems[0]["best_accuracy"] == pytest.approx(0.95)
+        rows = store.export_rows()
+        assert len(rows) == 3
+        assert rows[0]["problem_digest"] == PROBLEM
+        assert "accuracy" in rows[0] and "cache_key" in rows[0]
+        store.close()
+
+    # ------------------------------------------------- corruption/migration
+    def test_truncated_file_raises_store_error(self, tmp_path):
+        path = tmp_path / "broken.sqlite"
+        path.write_bytes(b"SQLite format 3\x00this-is-not-a-real-database")
+        with pytest.raises(StoreError, match="not a valid evaluation store"):
+            EvaluationStore(path)
+
+    def test_foreign_sqlite_file_raises_store_error(self, tmp_path):
+        path = tmp_path / "other.sqlite"
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE something_else (x INTEGER)")
+        connection.commit()
+        connection.close()
+        with pytest.raises(StoreError, match="not an evaluation store"):
+            EvaluationStore(path)
+
+    def test_missing_table_raises_store_error_on_reads(self, tmp_path):
+        # Valid schema metadata but a dropped evaluations table: opening
+        # succeeds (the version check passes), reads must fail loudly.
+        path = tmp_path / "store.sqlite"
+        EvaluationStore(path).close()
+        connection = sqlite3.connect(path)
+        connection.execute("DROP TABLE evaluations")
+        connection.commit()
+        connection.close()
+        store = EvaluationStore(path, readonly=True)
+        with pytest.raises(StoreError, match="cannot read"):
+            store.count()
+        with pytest.raises(StoreError, match="cannot read"):
+            store.problems()
+        with pytest.raises(StoreError, match="cannot read"):
+            store.export_rows()
+        store.close()
+
+    def test_schema_version_mismatch_raises_store_error(self, tmp_path, small_search_space):
+        path = tmp_path / "store.sqlite"
+        store = EvaluationStore(path)
+        store.put_many(PROBLEM, _evaluations(small_search_space, 1))
+        store.close()
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "UPDATE store_meta SET value='99' WHERE key='schema_version'"
+        )
+        connection.commit()
+        connection.close()
+        with pytest.raises(StoreError, match="schema version 99"):
+            EvaluationStore(path)
+
+    # --------------------------------------------------------------- readonly
+    def test_readonly_store(self, tmp_path, small_search_space):
+        path = tmp_path / "store.sqlite"
+        writer = EvaluationStore(path)
+        evaluations = _evaluations(small_search_space, 2)
+        writer.put_many(PROBLEM, evaluations)
+        writer.close()
+
+        reader = EvaluationStore(path, readonly=True)
+        assert reader.count() == 2
+        assert reader.get(PROBLEM, evaluations[0].genome.cache_key()) is not None
+        with pytest.raises(StoreError, match="read-only"):
+            reader.put(PROBLEM, evaluations[0])
+        with pytest.raises(StoreError, match="read-only"):
+            reader.prune(keep_best=1)
+        reader.close()
+
+    def test_readonly_missing_file_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="not found"):
+            EvaluationStore(tmp_path / "absent.sqlite", readonly=True)
+
+    def test_in_memory_store(self, small_search_space):
+        store = EvaluationStore(":memory:")
+        store.put_many(PROBLEM, _evaluations(small_search_space, 2))
+        assert store.count() == 2
+        store.close()
+
+
+class TestStoreBackedCache:
+    def test_read_through_promotes_into_memory(self, tmp_path, small_search_space):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        evaluation = _evaluations(small_search_space, 1)[0]
+        store.put(PROBLEM, evaluation)
+        cache = StoreBackedCache(store, PROBLEM)
+        first = cache.lookup(evaluation.genome)
+        assert first is not None and first.from_cache
+        assert cache.store_statistics.hits == 1
+        # The second lookup is answered by the memory tier.
+        second = cache.lookup(evaluation.genome)
+        assert second is not None
+        assert cache.store_statistics.hits == 1
+        store.close()
+
+    def test_write_behind_flushes_in_batches(self, tmp_path, small_search_space):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        cache = StoreBackedCache(store, PROBLEM, write_batch_size=3)
+        evaluations = _evaluations(small_search_space, 4)
+        for evaluation in evaluations[:2]:
+            cache.store(evaluation)
+        assert store.count() == 0  # still queued
+        cache.store(evaluations[2])
+        assert store.count() == 3  # batch threshold crossed
+        cache.store(evaluations[3])
+        assert cache.flush() == 1
+        assert store.count() == 4
+        assert cache.flush() == 0
+        store.close()
+
+    def test_lookup_or_reserve_serves_store_hits_without_ownership(
+        self, tmp_path, small_search_space
+    ):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        evaluation = _evaluations(small_search_space, 1)[0]
+        store.put(PROBLEM, evaluation)
+        cache = StoreBackedCache(store, PROBLEM)
+        served, owner = cache.lookup_or_reserve(evaluation.genome)
+        assert not owner
+        assert served is not None and served.from_cache
+        assert cache.in_flight_count == 0
+        store.close()
+
+    def test_complete_queues_fresh_results(self, tmp_path, small_search_space):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        cache = StoreBackedCache(store, PROBLEM, write_batch_size=1)
+        evaluation = _evaluations(small_search_space, 1)[0]
+        served, owner = cache.lookup_or_reserve(evaluation.genome)
+        assert owner and served is None
+        cache.complete(evaluation.genome, evaluation)
+        assert store.count() == 1
+        store.close()
+
+    def test_readonly_store_disables_writes(self, tmp_path, small_search_space):
+        path = tmp_path / "store.sqlite"
+        writer = EvaluationStore(path)
+        evaluations = _evaluations(small_search_space, 2)
+        writer.put(PROBLEM, evaluations[0])
+        writer.close()
+        store = EvaluationStore(path, readonly=True)
+        cache = StoreBackedCache(store, PROBLEM, write_batch_size=1)
+        assert cache.lookup(evaluations[0].genome) is not None
+        cache.store(evaluations[1])
+        assert cache.flush() == 0
+        assert store.count() == 1
+        store.close()
+
+    def test_failed_and_cached_results_are_not_persisted(self, tmp_path, small_search_space):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        cache = StoreBackedCache(store, PROBLEM, write_batch_size=1)
+        evaluation = _evaluations(small_search_space, 1)[0]
+        cache.store(CandidateEvaluation(genome=evaluation.genome, error="boom"))
+        cache.store(evaluation.as_cache_copy())
+        cache.flush()
+        assert store.count() == 0
+        store.close()
+
+
+def _run_engine(space, evaluator, cache, seed=3, population=6, budget=18, initial=None):
+    fitness = FitnessEvaluator([FitnessObjective.accuracy(), FitnessObjective.fpga_throughput()])
+    engine = EvolutionaryEngine(
+        space=space,
+        evaluator=evaluator,
+        fitness=fitness,
+        config=EngineConfig(population_size=population, max_evaluations=budget, seed=seed),
+        cache=cache,
+        initial_genomes=initial,
+    )
+    return engine.run()
+
+
+class TestWarmStartEngine:
+    def test_cold_store_run_is_bit_identical_to_storeless_run(
+        self, tmp_path, small_search_space, fake_evaluator
+    ):
+        plain = _run_engine(small_search_space, fake_evaluator, EvaluationCache())
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        stored = _run_engine(
+            small_search_space, fake_evaluator, StoreBackedCache(store, PROBLEM)
+        )
+        assert [
+            (e.genome.cache_key(), e.accuracy) for e in plain.history.evaluations()
+        ] == [(e.genome.cache_key(), e.accuracy) for e in stored.history.evaluations()]
+        assert plain.best.genome == stored.best.genome
+        store.close()
+
+    def test_second_run_is_served_from_the_store(
+        self, tmp_path, small_search_space, fake_evaluator
+    ):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        cache = StoreBackedCache(store, PROBLEM)
+        first = _run_engine(small_search_space, fake_evaluator, cache)
+        cache.flush()
+        assert first.statistics.models_evaluated > 0
+
+        warm_cache = StoreBackedCache(store, PROBLEM)
+        second = _run_engine(small_search_space, fake_evaluator, warm_cache)
+        assert second.statistics.models_evaluated == 0
+        assert warm_cache.store_statistics.hits == second.statistics.cache_hits
+        assert second.best.genome == first.best.genome
+        store.close()
+
+    def test_warm_start_seeds_population_from_best_stored(
+        self, tmp_path, small_search_space, fake_evaluator
+    ):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        cache = StoreBackedCache(store, PROBLEM)
+        _run_engine(small_search_space, fake_evaluator, cache)
+        cache.flush()
+
+        seeds = [e.genome for e in store.best(PROBLEM, limit=4)]
+        outcome = _run_engine(
+            small_search_space,
+            fake_evaluator,
+            StoreBackedCache(store, PROBLEM),
+            seed=4,  # different RNG stream: seeds must still come from the store
+            initial=seeds,
+        )
+        assert outcome.statistics.warm_start_seeds == len(seeds)
+        best_stored_key = seeds[0].cache_key()
+        seen_keys = {e.genome.cache_key() for e in outcome.history.evaluations()}
+        assert best_stored_key in seen_keys
+        store.close()
+
+    def test_stale_seeds_outside_the_space_are_filtered(
+        self, tmp_path, small_search_space, fake_evaluator, sample_genome
+    ):
+        # A 64-neuron layer is outside small_search_space's layer-size menu,
+        # mimicking a store row written under an older, wider configuration.
+        from repro.core.genome import MLPGenome
+
+        stale = sample_genome.with_mlp(
+            MLPGenome(hidden_layers=(64,), activations=("relu",))
+        )
+        assert not small_search_space.contains(stale)
+        outcome = _run_engine(
+            small_search_space, fake_evaluator, EvaluationCache(), initial=[stale]
+        )
+        assert outcome.statistics.warm_start_seeds == 0
+
+
+class TestSearchIntegration:
+    @pytest.fixture
+    def dataset(self):
+        return load_dataset("credit-g", seed=0, scale=0.08)
+
+    def _config(self, dataset, store_path="", warm_start=0, **overrides):
+        settings = dict(
+            population_size=4,
+            max_evaluations=8,
+            seed=0,
+            training_epochs=2,
+            store=StoreConfig(path=str(store_path), warm_start=warm_start),
+        )
+        settings.update(overrides)
+        return ECADConfig.template_for_dataset(dataset, **settings)
+
+    def test_search_populates_store_and_reruns_from_it(self, tmp_path, dataset):
+        path = tmp_path / "store.sqlite"
+        cold = CoDesignSearch(dataset, config=self._config(dataset, path)).run()
+        assert cold.statistics.store_hits == 0
+        assert cold.statistics.store_misses == cold.statistics.models_evaluated
+
+        warm = CoDesignSearch(dataset, config=self._config(dataset, path)).run()
+        assert warm.statistics.models_evaluated == 0
+        assert warm.statistics.store_hits > 0
+        assert warm.best_accuracy == cold.best_accuracy
+
+    def test_warm_start_through_the_config(self, tmp_path, dataset):
+        path = tmp_path / "store.sqlite"
+        CoDesignSearch(dataset, config=self._config(dataset, path)).run()
+        warm = CoDesignSearch(
+            dataset, config=self._config(dataset, path, warm_start=4)
+        ).run()
+        assert warm.statistics.warm_start_seeds == 4
+
+    def test_different_seed_is_a_different_problem(self, tmp_path, dataset):
+        path = tmp_path / "store.sqlite"
+        CoDesignSearch(dataset, config=self._config(dataset, path)).run()
+        other = CoDesignSearch(
+            dataset, config=self._config(dataset, path, seed=1)
+        ).run()
+        # Nothing is shared across problem digests: everything re-evaluates.
+        assert other.statistics.store_hits == 0
+
+    def test_process_backend_search_writes_to_the_store(self, tmp_path, dataset):
+        path = tmp_path / "store.sqlite"
+        config = self._config(dataset, path, backend="processes", eval_parallelism=2)
+        result = CoDesignSearch(dataset, config=config).run()
+        assert result.statistics.models_evaluated > 0
+        with EvaluationStore(path, readonly=True) as store:
+            assert store.count() == result.statistics.models_evaluated
+
+
+class TestDigests:
+    def test_dataset_fingerprint_tracks_content(self):
+        a = load_dataset("credit-g", seed=0, scale=0.05)
+        b = load_dataset("credit-g", seed=0, scale=0.05)
+        c = load_dataset("credit-g", seed=1, scale=0.05)
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
+        assert dataset_fingerprint(a) != dataset_fingerprint(c)
+
+    def test_problem_digest_sensitivity(self):
+        dataset = load_dataset("credit-g", seed=0, scale=0.05)
+        base = ECADConfig.template_for_dataset(dataset)
+        assert problem_digest(base, dataset) == problem_digest(base, dataset)
+        from dataclasses import replace
+
+        assert problem_digest(replace(base, seed=7), dataset) != problem_digest(base, dataset)
+        assert problem_digest(
+            replace(base, training_epochs=99), dataset
+        ) != problem_digest(base, dataset)
+        # Search-shape fields do not change what one evaluation computes.
+        assert problem_digest(
+            replace(base, max_evaluations=999, population_size=50, eval_parallelism=4),
+            dataset,
+        ) == problem_digest(base, dataset)
+
+
+class TestStoreConfig:
+    def test_defaults_are_inactive(self):
+        config = StoreConfig()
+        assert not config.active
+        assert StoreConfig(path="x.sqlite").active
+        assert not StoreConfig(path="x.sqlite", enabled=False).active
+
+    def test_negative_warm_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StoreConfig(warm_start=-1)
+
+    def test_ecad_config_round_trip_and_strictness(self):
+        dataset = load_dataset("credit-g", seed=0, scale=0.05)
+        config = ECADConfig.template_for_dataset(
+            dataset, store=StoreConfig(path="s.sqlite", warm_start=3)
+        )
+        back = ECADConfig.from_dict(config.to_dict())
+        assert back.store == config.store
+        bad = config.to_dict()
+        bad["store"]["warm_starts"] = 3
+        del bad["store"]["warm_start"]
+        with pytest.raises(ConfigurationError, match="store"):
+            ECADConfig.from_dict(bad)
+
+    def test_cli_warm_start_without_store_errors(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="warm-start needs a store"):
+            main(["run", "--dataset", "credit-g", "--scale", "0.05",
+                  "--warm-start", "4", "--dry-run"])
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "ws", "datasets": ["credit-g"], "seeds": [0], "scale": 0.05,
+        }))
+        with pytest.raises(SystemExit, match="warm-start needs a store"):
+            main(["sweep", "--spec", str(spec_path), "--warm-start", "4", "--dry-run"])
+        # With a store attached the same invocations are accepted.
+        assert main(["run", "--dataset", "credit-g", "--scale", "0.05",
+                     "--warm-start", "4", "--store", str(tmp_path / "s.sqlite"),
+                     "--dry-run"]) == 0
+
+    def test_store_fields_reachable_via_set_overrides(self):
+        dataset = load_dataset("credit-g", seed=0, scale=0.05)
+        config = ECADConfig.template_for_dataset(dataset)
+        updated = config.with_overrides(["store.path=results/e.sqlite", "store.warm_start=5"])
+        assert updated.store.path == "results/e.sqlite"
+        assert updated.store.warm_start == 5
+
+
+# ---------------------------------------------------------------------------
+# Two-process concurrent writes (the process-pool deployment shape).
+# ---------------------------------------------------------------------------
+
+
+def _write_worker(path: str, seed: int, count: int) -> int:
+    """Child-process body: open the shared store and write ``count`` rows."""
+    space = CoDesignSearchSpace()
+    rng = np.random.default_rng(seed)
+    store = EvaluationStore(path)
+    written = 0
+    try:
+        for index in range(count):
+            genome = space.random_genome(rng)
+            evaluation = CandidateEvaluation(
+                genome=genome, accuracy=0.5 + 0.4 * rng.random(), parameter_count=1
+            )
+            written += store.put_many(f"problem-{seed}", [evaluation])
+    finally:
+        store.close()
+    return written
+
+
+class TestConcurrentWrites:
+    def test_two_processes_write_the_same_store(self, tmp_path):
+        path = str(tmp_path / "shared.sqlite")
+        EvaluationStore(path).close()  # create the schema up front
+        count = 25
+        processes = [
+            multiprocessing.Process(target=_write_worker, args=(path, seed, count))
+            for seed in (1, 2)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        with EvaluationStore(path, readonly=True) as store:
+            assert store.count("problem-1") + store.count("problem-2") == 2 * count
+            # Every row is still readable (no torn writes).
+            assert len(store.export_rows()) == 2 * count
+
+    def test_threaded_writers_share_one_store_instance(self, tmp_path, small_search_space):
+        import threading
+
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        evaluations = _evaluations(small_search_space, 24)
+        chunks = [evaluations[i::4] for i in range(4)]
+        threads = [
+            threading.Thread(target=store.put_many, args=(PROBLEM, chunk))
+            for chunk in chunks
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.count(PROBLEM) == 24
+        store.close()

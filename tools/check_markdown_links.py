@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Check that relative Markdown links point at files that exist.
+
+Scans every ``*.md`` file in the repository (skipping dot-directories) for
+inline links/images ``[text](target)`` and reference definitions
+``[label]: target``, and verifies each relative target resolves to an
+existing file or directory. External links (``http(s)://``, ``mailto:``)
+and pure in-page anchors (``#section``) are not checked — the job must not
+depend on network access.
+
+Exit status: 0 when every link resolves, 1 otherwise (broken links are
+listed).  Used by the CI docs job; run locally with::
+
+    python tools/check_markdown_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links/images: [text](target) — target ends at the first unescaped
+#: ')' (no nested parentheses in this repo's docs).
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference-style definitions: [label]: target
+REFERENCE_LINK = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+#: Schemes that are intentionally not validated.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root: Path):
+    """Every tracked-looking Markdown file under ``root``."""
+    for path in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") for part in path.relative_to(root).parts[:-1]):
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Broken-link descriptions for one Markdown file."""
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks frequently hold example-URL text; strip them.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    targets = INLINE_LINK.findall(text) + REFERENCE_LINK.findall(text)
+    problems = []
+    for target in targets:
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        candidate = target.split("#", 1)[0]
+        if not candidate:
+            continue
+        resolved = (path.parent / candidate).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    problems: list[str] = []
+    checked = 0
+    for path in iter_markdown_files(root):
+        checked += 1
+        problems.extend(check_file(path, root))
+    if problems:
+        print("\n".join(problems))
+        print(f"\n{len(problems)} broken link(s) across {checked} Markdown file(s)")
+        return 1
+    print(f"all relative links resolve across {checked} Markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
