@@ -236,6 +236,13 @@ def _add_search_arguments(
         help="candidate evaluations kept in flight at once (default: 1 = reproducible serial search)",
     )
     parser.add_argument(
+        "--eval-batch",
+        type=int,
+        default=None,
+        help="offspring fused into one batched dispatch so workers can run "
+        "fused GEMM training over whole candidate groups (default: 1)",
+    )
+    parser.add_argument(
         "--store",
         default=None,
         metavar="PATH",
@@ -373,6 +380,10 @@ def resolve_run_config(args: argparse.Namespace):
         if args.eval_workers < 1:
             raise SystemExit(f"error: --eval-workers must be >= 1, got {args.eval_workers}")
         overrides["eval_parallelism"] = args.eval_workers
+    if getattr(args, "eval_batch", None) is not None:
+        if args.eval_batch < 1:
+            raise SystemExit(f"error: --eval-batch must be >= 1, got {args.eval_batch}")
+        overrides["eval_batch_size"] = args.eval_batch
     if getattr(args, "strategy", None):
         overrides["strategy"] = args.strategy
     elif not args.config and getattr(args, "fallback_strategy", ""):
@@ -417,7 +428,8 @@ def _print_search_plan(dataset, config) -> None:
     print("constraints: " + (", ".join(constraints) if constraints else "(none)"))
     print(f"budget:      {config.max_evaluations} evaluations, "
           f"population {config.population_size}, seed {config.seed}")
-    print(f"backend:     {config.backend} (eval_parallelism={config.eval_parallelism})")
+    print(f"backend:     {config.backend} (eval_parallelism={config.eval_parallelism}, "
+          f"eval_batch_size={config.eval_batch_size})")
     if config.store.active:
         mode = "readonly" if config.store.readonly else "read/write"
         print(f"store:       {config.store.path} ({mode}, "

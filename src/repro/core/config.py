@@ -264,8 +264,11 @@ class ECADConfig:
     """The full ECAD configuration file.
 
     ``backend`` ("serial", "threads" or "processes") selects how candidate
-    evaluations are dispatched, and ``eval_parallelism`` bounds how many are
-    kept in flight at once (1 keeps the reproducible serial search).
+    evaluations are dispatched, ``eval_parallelism`` bounds how many are
+    kept in flight at once (1 keeps the reproducible serial search), and
+    ``eval_batch_size`` fuses that many offspring into one batched dispatch
+    so workers can run fused GEMM training and vectorized hardware lookups
+    over whole candidate groups (results stay bit-identical).
     ``strategy`` names the registered search strategy driving the run:
     ``"evolutionary"`` (the default weighted-sum steady-state search),
     ``"nsga2"`` (Pareto-native multi-objective search) or ``"random"``.
@@ -290,6 +293,7 @@ class ECADConfig:
     dataset_test_csv: str = ""
     backend: str = "serial"
     eval_parallelism: int = 1
+    eval_batch_size: int = 1
     strategy: str = "evolutionary"
     store: StoreConfig = field(default_factory=StoreConfig)
 
@@ -315,6 +319,10 @@ class ECADConfig:
         if self.eval_parallelism < 1:
             raise ConfigurationError(
                 f"eval_parallelism must be >= 1, got {self.eval_parallelism}"
+            )
+        if self.eval_batch_size < 1:
+            raise ConfigurationError(
+                f"eval_batch_size must be >= 1, got {self.eval_batch_size}"
             )
         if self.num_folds < 2:
             raise ConfigurationError(f"num_folds must be >= 2, got {self.num_folds}")
@@ -374,6 +382,7 @@ class ECADConfig:
             max_evaluations=self.max_evaluations,
             seed=self.seed,
             eval_parallelism=self.eval_parallelism,
+            eval_batch_size=self.eval_batch_size,
         )
 
     def to_training_config(self) -> TrainingConfig:
@@ -483,6 +492,7 @@ class ECADConfig:
             dataset_test_csv=str(data.get("dataset_test_csv", "")),
             backend=str(data.get("backend", "serial")),
             eval_parallelism=int(data.get("eval_parallelism", 1)),
+            eval_batch_size=int(data.get("eval_batch_size", 1)),
             strategy=str(data.get("strategy", "evolutionary")),
             store=StoreConfig.from_dict(store_data),
         )

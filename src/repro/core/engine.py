@@ -84,6 +84,13 @@ class EngineConfig:
         search to the asynchronous batched pipeline (offspring are generated
         in windows, dispatched concurrently, and inserted in completion
         order).
+    eval_batch_size:
+        Number of offspring bred and dispatched together as one evaluator
+        call.  ``1`` (the default) keeps per-candidate dispatch; larger
+        values let a batch-capable evaluator (``evaluate_batch``, e.g. the
+        master fanning out fused-GEMM workers) amortize training and
+        hardware-model work across the batch.  Any value above 1 routes the
+        steady-state search through the asynchronous pipeline.
     """
 
     population_size: int = 24
@@ -97,6 +104,7 @@ class EngineConfig:
     seed: int | None = None
     max_stagnation_steps: int = 0
     eval_parallelism: int = 1
+    eval_batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -110,6 +118,8 @@ class EngineConfig:
             )
         if self.eval_parallelism < 1:
             raise SearchError(f"eval_parallelism must be >= 1, got {self.eval_parallelism}")
+        if self.eval_batch_size < 1:
+            raise SearchError(f"eval_batch_size must be >= 1, got {self.eval_batch_size}")
         if self.max_evaluations < self.population_size:
             raise SearchError(
                 "max_evaluations must be at least population_size "
@@ -185,8 +195,14 @@ class RunStatistics:
 
     @property
     def evaluations_per_second(self) -> float:
-        """Fresh evaluations completed per wall-clock second (0 when unknown)."""
-        if self.wall_clock_seconds <= 0.0:
+        """Fresh evaluations completed per wall-clock second (0 when unknown).
+
+        Guards both degenerate cases: no fresh evaluations (an all-cache-hit
+        run is not infinitely fast) and a zero/near-zero wall clock (timer
+        resolution can report 0.0 for trivial runs, which would otherwise
+        divide to ``inf`` and poison downstream throughput tables).
+        """
+        if self.models_evaluated == 0 or self.wall_clock_seconds <= 1e-9:
             return 0.0
         return self.models_evaluated / self.wall_clock_seconds
 
@@ -308,9 +324,12 @@ class EvolutionaryEngine:
         steady-state loop, bit-for-bit reproducible for a fixed seed.  With
         ``eval_parallelism > 1`` the steady-state search runs as an
         asynchronous batched pipeline that keeps up to that many candidate
-        evaluations in flight.
+        evaluations in flight; ``eval_batch_size > 1`` additionally fuses
+        offspring into batch evaluator calls on that pipeline.
         """
-        if self.config.steady_state and self.config.eval_parallelism > 1:
+        if self.config.steady_state and (
+            self.config.eval_parallelism > 1 or self.config.eval_batch_size > 1
+        ):
             return self._run_async()
         start_time = time.perf_counter()
         self.statistics.peak_in_flight = 1
@@ -380,7 +399,7 @@ class EvolutionaryEngine:
             stagnation = 0
             best_fitness = population.best.fitness_value
             frontier_marker = self.frontier.updates
-            in_flight: dict[Future, CoDesignGenome] = {}
+            in_flight: dict[Future, list[CoDesignGenome]] = {}
             stop_generating = False
 
             while True:
@@ -389,50 +408,68 @@ class EvolutionaryEngine:
                     and len(in_flight) < self.config.eval_parallelism
                     and self.statistics.models_generated < self.config.max_evaluations
                 ):
-                    pending_keys = {genome.cache_key() for genome in in_flight.values()}
-                    genome = self._make_offspring(population, in_flight_keys=pending_keys)
-                    if genome is None:
-                        stop_generating = True
+                    pending_keys = {
+                        genome.cache_key()
+                        for batch in in_flight.values()
+                        for genome in batch
+                    }
+                    chunk: list[CoDesignGenome] = []
+                    while (
+                        len(chunk) < self.config.eval_batch_size
+                        and self.statistics.models_generated < self.config.max_evaluations
+                    ):
+                        genome = self._make_offspring(population, in_flight_keys=pending_keys)
+                        if genome is None:
+                            stop_generating = True
+                            break
+                        self.statistics.models_generated += 1
+                        pending_keys.add(genome.cache_key())
+                        chunk.append(genome)
+                    if not chunk:
                         break
-                    self.statistics.models_generated += 1
-                    in_flight[executor.submit(self._evaluate_concurrent, genome)] = genome
+                    in_flight[executor.submit(self._evaluate_concurrent_batch, chunk)] = chunk
                     self.statistics.peak_in_flight = max(
-                        self.statistics.peak_in_flight, len(in_flight)
+                        self.statistics.peak_in_flight,
+                        sum(len(batch) for batch in in_flight.values()),
                     )
                 if not in_flight:
                     break
 
                 done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
                 for future in done:
-                    genome = in_flight.pop(future)
-                    evaluation = future.result()
-                    fitness = self.fitness.score(
-                        evaluation, reference=self._fitness_reference(population)
-                    )
-                    self.callbacks.on_evaluation(evaluation, fitness, step)
-                    population.add(
-                        Individual(
-                            genome=genome, evaluation=evaluation, fitness=fitness, birth_step=step
+                    batch = in_flight.pop(future)
+                    evaluations = future.result()
+                    for genome, evaluation in zip(batch, evaluations):
+                        fitness = self.fitness.score(
+                            evaluation, reference=self._fitness_reference(population)
                         )
-                    )
-                    self._rescore(population)
-                    step += 1
-                    self.callbacks.on_step_end(population, step)
+                        self.callbacks.on_evaluation(evaluation, fitness, step)
+                        population.add(
+                            Individual(
+                                genome=genome,
+                                evaluation=evaluation,
+                                fitness=fitness,
+                                birth_step=step,
+                            )
+                        )
+                        self._rescore(population)
+                        step += 1
+                        self.callbacks.on_step_end(population, step)
 
-                    if population.best.fitness_value > best_fitness + 1e-12:
-                        best_fitness = population.best.fitness_value
-                        stagnation = 0
-                    elif self._frontier_progressed(frontier_marker):
-                        stagnation = 0
-                    else:
-                        stagnation += 1
-                    frontier_marker = self.frontier.updates
-                    if (
-                        self.config.max_stagnation_steps > 0
-                        and stagnation >= self.config.max_stagnation_steps
-                    ):
-                        # Stop breeding; candidates already in flight still land.
-                        stop_generating = True
+                        if population.best.fitness_value > best_fitness + 1e-12:
+                            best_fitness = population.best.fitness_value
+                            stagnation = 0
+                        elif self._frontier_progressed(frontier_marker):
+                            stagnation = 0
+                        else:
+                            stagnation += 1
+                        frontier_marker = self.frontier.updates
+                        if (
+                            self.config.max_stagnation_steps > 0
+                            and stagnation >= self.config.max_stagnation_steps
+                        ):
+                            # Stop breeding; candidates already in flight still land.
+                            stop_generating = True
         finally:
             executor.shutdown(wait=True)
 
@@ -509,26 +546,31 @@ class EvolutionaryEngine:
             genomes.append(genome)
             self.statistics.models_generated += 1
 
-        futures = {executor.submit(self._evaluate_concurrent, genome): genome for genome in genomes}
+        chunk_size = self.config.eval_batch_size
+        chunks = [genomes[i : i + chunk_size] for i in range(0, len(genomes), chunk_size)]
+        futures = {
+            executor.submit(self._evaluate_concurrent_batch, chunk): chunk for chunk in chunks
+        }
         self.statistics.peak_in_flight = max(
-            self.statistics.peak_in_flight, min(len(futures), self.config.eval_parallelism)
+            self.statistics.peak_in_flight,
+            min(len(genomes), self.config.eval_parallelism * chunk_size),
         )
         for future in as_completed(futures):
-            genome = futures[future]
-            evaluation = future.result()
-            fitness = self.fitness.score(
-                evaluation, reference=self._fitness_reference(population)
-            )
-            self.callbacks.on_evaluation(evaluation, fitness, len(population))
-            population.add(
-                Individual(
-                    genome=genome,
-                    evaluation=evaluation,
-                    fitness=fitness,
-                    birth_step=len(population),
+            chunk = futures[future]
+            for genome, evaluation in zip(chunk, future.result()):
+                fitness = self.fitness.score(
+                    evaluation, reference=self._fitness_reference(population)
                 )
-            )
-            self._rescore(population)
+                self.callbacks.on_evaluation(evaluation, fitness, len(population))
+                population.add(
+                    Individual(
+                        genome=genome,
+                        evaluation=evaluation,
+                        fitness=fitness,
+                        birth_step=len(population),
+                    )
+                )
+                self._rescore(population)
         if len(population) < 2:
             raise SearchError("initial population has fewer than two members")
         return population
@@ -561,6 +603,67 @@ class EvolutionaryEngine:
         except BaseException:
             self.cache.abandon(genome)
             raise
+
+    def _evaluate_concurrent_batch(
+        self, genomes: list[CoDesignGenome]
+    ) -> list[CandidateEvaluation]:
+        """Evaluate a chunk of genomes as one fused call, in input order.
+
+        Cache hits are resolved individually (and counted as such); the
+        remaining fresh genomes go through the evaluator's ``evaluate_batch``
+        when it has one, or a per-genome loop otherwise.  Each fresh
+        candidate is stored in the cache under its own key, so downstream
+        cache/store semantics are identical to per-candidate dispatch, and
+        per-candidate ``evaluation_seconds`` is the chunk wall clock split
+        evenly.
+        """
+        results: list[CandidateEvaluation | None] = [None] * len(genomes)
+        fresh: list[tuple[int, CoDesignGenome]] = []
+        for index, genome in enumerate(genomes):
+            cached, owner = self.cache.lookup_or_reserve(genome)
+            if not owner:
+                with self._stats_lock:
+                    self.statistics.cache_hits += 1
+                results[index] = cached
+                continue
+            fresh.append((index, genome))
+        if not fresh:
+            return results  # type: ignore[return-value]
+
+        fresh_genomes = [genome for _index, genome in fresh]
+        try:
+            start = time.perf_counter()
+            try:
+                batch_evaluate = getattr(self.evaluator, "evaluate_batch", None)
+                if batch_evaluate is not None and len(fresh_genomes) > 1:
+                    evaluations = list(batch_evaluate(fresh_genomes))
+                else:
+                    evaluations = [self.evaluator(genome) for genome in fresh_genomes]
+                if len(evaluations) != len(fresh_genomes):
+                    raise SearchError(
+                        "batch evaluator returned "
+                        f"{len(evaluations)} evaluations for {len(fresh_genomes)} genomes"
+                    )
+            except Exception as exc:  # noqa: BLE001 - worker failures must not kill the search
+                evaluations = [
+                    CandidateEvaluation(genome=genome, error=str(exc))
+                    for genome in fresh_genomes
+                ]
+            elapsed = time.perf_counter() - start
+            per_candidate = elapsed / len(fresh_genomes)
+            with self._stats_lock:
+                self.statistics.models_evaluated += len(fresh_genomes)
+                self.statistics.total_evaluation_seconds += elapsed
+            for (index, genome), evaluation in zip(fresh, evaluations):
+                evaluation = self._stamp_elapsed(evaluation, per_candidate)
+                self.cache.complete(genome, evaluation)
+                results[index] = evaluation
+        except BaseException:
+            for index, genome in fresh:
+                if results[index] is None:
+                    self.cache.abandon(genome)
+            raise
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------ internals
     def _warm_start_pool(self) -> list[CoDesignGenome]:

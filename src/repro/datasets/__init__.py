@@ -8,7 +8,15 @@ substitution rationale.
 
 from .base import Dataset, DatasetInfo
 from .csv_io import load_dataset_csv, save_dataset_csv
+from .prepared import PreparedDataset, clear_prepared_cache, prepare_dataset
 from .registry import DatasetEntry, available_datasets, dataset_entry, load_dataset, register_dataset
+from .shared import (
+    SharedArraySpec,
+    SharedDataset,
+    SharedDatasetHandle,
+    attach_shared_dataset,
+    clear_attached_cache,
+)
 from .synthetic import (
     PAPER_DATASET_SPECS,
     SyntheticSpec,
@@ -26,6 +34,14 @@ __all__ = [
     "DatasetInfo",
     "load_dataset_csv",
     "save_dataset_csv",
+    "PreparedDataset",
+    "clear_prepared_cache",
+    "prepare_dataset",
+    "SharedArraySpec",
+    "SharedDataset",
+    "SharedDatasetHandle",
+    "attach_shared_dataset",
+    "clear_attached_cache",
     "DatasetEntry",
     "available_datasets",
     "dataset_entry",

@@ -28,6 +28,7 @@ from .power import FPGAPowerModel, GPUPowerModel
 from .results import HardwareMetrics
 from .synthesis import SynthesisModel, SynthesisReport
 from .systolic import GridConfig, GridSearchSpace
+from .vectorized import SWEEP_OBJECTIVES, GridSweep, evaluate_workloads, sweep_grid_configs
 
 __all__ = [
     "ARRIA10_GX1150",
@@ -65,4 +66,8 @@ __all__ = [
     "SynthesisReport",
     "GridConfig",
     "GridSearchSpace",
+    "SWEEP_OBJECTIVES",
+    "GridSweep",
+    "evaluate_workloads",
+    "sweep_grid_configs",
 ]

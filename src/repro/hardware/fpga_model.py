@@ -28,7 +28,11 @@ the model follows the paper's recipe:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..nn.layers import GemmShape
 from ..nn.mlp import MLPSpec
@@ -83,6 +87,9 @@ class FPGALayerTiming:
 class FPGAPerformanceModel:
     """Estimates overlay performance for (MLP, grid configuration) pairs."""
 
+    #: Entries kept in the per-instance ``best_grid_for`` memo.
+    BEST_GRID_CACHE_SIZE = 1024
+
     def __init__(
         self,
         device: FPGADevice,
@@ -94,6 +101,22 @@ class FPGAPerformanceModel:
             memory = MemorySystem(DDR4_BANK, banks=device.ddr_banks)
         self.memory = memory
         self.power_model = power_model or FPGAPowerModel()
+        # Memo for best_grid_for: repeated topologies across a run re-ask the
+        # same (layer shapes, batch, objective, candidate set) question.
+        self._best_grid_cache: OrderedDict[tuple, tuple[GridConfig, HardwareMetrics]] = OrderedDict()
+        self._best_grid_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Locks don't pickle; the memo is process-local, so workers shipped to
+        # a process pool start with an empty cache and a fresh lock.
+        state = self.__dict__.copy()
+        state["_best_grid_cache"] = OrderedDict()
+        state["_best_grid_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._best_grid_lock = threading.Lock()
 
     # ----------------------------------------------------------- rooflines
     def potential_gflops(self, config: GridConfig) -> float:
@@ -224,10 +247,54 @@ class FPGAPerformanceModel:
         """Exhaustively pick the best grid from ``candidates`` for one MLP.
 
         Used by tests and the greedy baseline; the evolutionary engine instead
-        mutates grid parameters as part of the genome.
+        mutates grid parameters as part of the genome.  The sweep is scored in
+        one vectorized pass (see :mod:`repro.hardware.vectorized`) and the
+        answer memoized per (layer shapes, batch size, objective, candidate
+        set) — repeated topologies across a run skip the scan entirely.  Both
+        the winner and its metrics are identical to the original
+        candidate-by-candidate loop.
         """
         if not candidates:
             raise ValueError("candidates must not be empty")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        key = (tuple(spec.gemm_shapes(batch_size)), batch_size, objective, tuple(candidates))
+        with self._best_grid_lock:
+            cached = self._best_grid_cache.get(key)
+            if cached is not None:
+                self._best_grid_cache.move_to_end(key)
+                return cached
+
+        from .vectorized import SWEEP_OBJECTIVES, sweep_grid_configs
+
+        if objective in SWEEP_OBJECTIVES:
+            sweep = sweep_grid_configs(self, spec.gemm_shapes(batch_size), candidates, batch_size)
+            feasible = np.flatnonzero(sweep.fits)
+            if feasible.size == 0:
+                raise ValueError("no candidate grid configuration fits the device")
+            # First occurrence of the maximum — the scalar loop's strict
+            # ``value > best`` keeps the earliest winner among equals.
+            winner = int(feasible[np.argmax(sweep.objective(objective)[feasible])])
+            best_config = candidates[winner]
+            best = (best_config, self.evaluate(spec, best_config, batch_size))
+        else:
+            best = self._best_grid_scalar(spec, candidates, batch_size, objective)
+
+        with self._best_grid_lock:
+            self._best_grid_cache[key] = best
+            self._best_grid_cache.move_to_end(key)
+            while len(self._best_grid_cache) > self.BEST_GRID_CACHE_SIZE:
+                self._best_grid_cache.popitem(last=False)
+        return best
+
+    def _best_grid_scalar(
+        self,
+        spec: MLPSpec,
+        candidates: list[GridConfig],
+        batch_size: int,
+        objective: str,
+    ) -> tuple[GridConfig, HardwareMetrics]:
+        """Reference candidate-by-candidate scan (fallback + equivalence oracle)."""
         best_config: GridConfig | None = None
         best_metrics: HardwareMetrics | None = None
         for config in candidates:

@@ -1,0 +1,335 @@
+"""Array-valued sweeps over the FPGA model's grid design space.
+
+`FPGAPerformanceModel.best_grid_for` used to call :meth:`evaluate` once per
+candidate configuration — thousands of Python-level blocked-GEMM
+decompositions per topology.  This module computes the same quantities as
+NumPy arrays over *all* configurations (or over a batch of workloads) at
+once.
+
+Bit-exactness contract: every formula here mirrors the scalar model
+operation-for-operation — ceiling divisions on integers, the same
+left-to-right float expression order, and a *sequential* accumulation over
+layers (``total = total + layer`` exactly like ``sum()`` over the timing
+list).  The equivalence suite in ``tests/test_hardware_vectorized.py``
+asserts ``==`` against the scalar path across the whole default grid space,
+so the vectorized sweep can drive selection decisions without perturbing
+search trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.layers import GemmShape
+from .results import HardwareMetrics
+from .systolic import _M20K_BYTES, GridConfig
+
+__all__ = ["GridSweep", "sweep_grid_configs", "evaluate_workloads", "SWEEP_OBJECTIVES"]
+
+#: Metric names a sweep can rank configurations by (HardwareMetrics attributes).
+SWEEP_OBJECTIVES = (
+    "outputs_per_second",
+    "total_time_seconds",
+    "latency_seconds",
+    "efficiency",
+    "effective_gflops",
+    "potential_gflops",
+    "power_watts",
+    "dram_bytes",
+)
+
+
+@dataclass
+class GridSweep:
+    """Metrics of one workload across many grid configurations.
+
+    Array index ``i`` corresponds to ``configs[i]``; every array matches the
+    scalar model's :class:`~repro.hardware.results.HardwareMetrics` field of
+    the same name bit-for-bit.
+    """
+
+    configs: list[GridConfig]
+    fits: np.ndarray
+    potential_gflops: np.ndarray
+    effective_gflops: np.ndarray
+    total_time_seconds: np.ndarray
+    outputs_per_second: np.ndarray
+    latency_seconds: np.ndarray
+    efficiency: np.ndarray
+    dram_bytes: np.ndarray
+    power_watts: np.ndarray
+    compute_bound: np.ndarray
+
+    def objective(self, name: str) -> np.ndarray:
+        if name not in SWEEP_OBJECTIVES:
+            raise ValueError(f"unsupported sweep objective {name!r}; use one of {SWEEP_OBJECTIVES}")
+        return getattr(self, name)
+
+
+def _config_arrays(configs: list[GridConfig]) -> dict[str, np.ndarray]:
+    return {
+        "rows": np.asarray([c.rows for c in configs], dtype=np.int64),
+        "columns": np.asarray([c.columns for c in configs], dtype=np.int64),
+        "interleave_rows": np.asarray([c.interleave_rows for c in configs], dtype=np.int64),
+        "interleave_columns": np.asarray([c.interleave_columns for c in configs], dtype=np.int64),
+        "vector_width": np.asarray([c.vector_width for c in configs], dtype=np.int64),
+    }
+
+
+def _ceil_div(numerator, denominator):
+    return -(-numerator // denominator)
+
+
+def fits_mask(configs: list[GridConfig], device, k_depth: int = 512) -> np.ndarray:
+    """Vectorized ``GridConfig.fits`` over many configurations."""
+    arrays = _config_arrays(configs)
+    block_m = arrays["rows"] * arrays["interleave_rows"]
+    block_n = arrays["columns"] * arrays["interleave_columns"]
+    dsp_used = arrays["rows"] * arrays["columns"] * arrays["vector_width"]
+    double_buffer_bytes = 2 * 4 * ((block_m + block_n) * k_depth)
+    m20k_required = _ceil_div(double_buffer_bytes, _M20K_BYTES)
+    return (dsp_used <= device.dsp_count) & (m20k_required <= 0.75 * device.m20k_count)
+
+
+def _sweep_core(
+    model,
+    layer_shapes: list[tuple[np.ndarray | int, np.ndarray | int, np.ndarray | int]],
+    arrays: dict[str, np.ndarray],
+    batch_size: np.ndarray | int,
+) -> dict[str, np.ndarray]:
+    """The scalar model's evaluate_shapes, over an array of (config, shape) lanes.
+
+    ``layer_shapes`` is the ordered per-layer list of ``(m, k, n)`` — each
+    entry a scalar (grid sweep: one workload, many configs) or an array (pair
+    batch: one lane per workload).  Operation order deliberately mirrors
+    ``FPGAPerformanceModel.layer_timing``/``evaluate_shapes``; see the module
+    docstring.
+    """
+    from .fpga_model import _KERNEL_ENQUEUE_CYCLES, _PIPELINE_FILL_CYCLES
+
+    device = model.device
+    memory = model.memory
+    power_model = model.power_model
+    clock_hz = device.clock_hz
+    bandwidth = memory.effective_bandwidth_bytes_per_second
+    access_latency_ns = memory.spec.access_latency_ns
+
+    rows = arrays["rows"]
+    interleave_rows = arrays["interleave_rows"]
+    interleave_columns = arrays["interleave_columns"]
+    columns = arrays["columns"]
+    vector_width = arrays["vector_width"]
+    block_m = rows * interleave_rows
+    block_n = columns * interleave_columns
+    block_k = vector_width
+    dsp_used = rows * columns * vector_width
+
+    overhead_seconds = _KERNEL_ENQUEUE_CYCLES / clock_hz
+    lanes = np.broadcast(rows, np.asarray(batch_size)).shape
+
+    total_time = np.zeros(lanes)
+    latency = np.zeros(lanes)
+    dram_total = np.zeros(lanes, dtype=np.int64)
+    useful_flops = np.zeros(lanes, dtype=np.int64)
+    compute_bound = np.ones(lanes, dtype=bool)
+    num_layers = len(layer_shapes)
+
+    for index, (m, k, n) in enumerate(layer_shapes):
+        m = np.asarray(m, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        n = np.asarray(n, dtype=np.int64)
+        tiles_m = _ceil_div(m, block_m)
+        tiles_n = _ceil_div(n, block_n)
+        k_steps = _ceil_div(k, block_k)
+        total_tiles = tiles_m * tiles_n
+        cycles_per_tile = interleave_rows * interleave_columns * k_steps
+        compute_cycles = total_tiles * cycles_per_tile
+        padded_k = k_steps * block_k
+        tile_a = 4 * block_m * padded_k
+        tile_b = 4 * padded_k * block_n
+        tile_c = 4 * block_m * block_n
+        dram_bytes = tiles_m * tile_a + total_tiles * tile_b + total_tiles * tile_c
+
+        compute_seconds = (compute_cycles + tiles_n * _PIPELINE_FILL_CYCLES) / clock_hz
+        memory_seconds = (total_tiles * access_latency_ns) * 1e-9 + dram_bytes / bandwidth
+        layer_seconds = np.maximum(compute_seconds, memory_seconds) + overhead_seconds
+
+        total_time = total_time + layer_seconds
+        dram_total = dram_total + dram_bytes
+        useful_flops = useful_flops + 2 * m * k * n
+        compute_bound &= ~(memory_seconds > compute_seconds)
+
+        if index < num_layers - 1:
+            latency = latency + layer_seconds
+        else:
+            first_tile_compute = (cycles_per_tile + _PIPELINE_FILL_CYCLES) / clock_hz
+            first_tile_memory = (1 * access_latency_ns) * 1e-9 + (tile_a + tile_b + tile_c) / bandwidth
+            first_result = np.maximum(first_tile_compute, first_tile_memory) + overhead_seconds
+            latency = latency + first_result
+
+    # Configuration roofline (potential_gflops), bandwidth-derated.
+    compute_gflops = (2 * dsp_used) * device.clock_mhz / 1e3
+    reference_k = np.maximum(block_k, 512)
+    roofline_k_steps = _ceil_div(reference_k, block_k)
+    roofline_cycles = interleave_rows * interleave_columns * roofline_k_steps
+    roofline_bytes = 4 * (block_k * roofline_k_steps * block_n + block_m * block_n)
+    required_bytes_per_second = roofline_bytes / roofline_cycles * clock_hz
+    ratio = bandwidth / required_bytes_per_second
+    potential = np.where(ratio >= 1.0, compute_gflops, compute_gflops * ratio)
+
+    effective = useful_flops / total_time / 1e9
+    with np.errstate(divide="ignore", invalid="ignore"):
+        efficiency = np.where(potential > 0, np.minimum(1.0, effective / potential), 0.0)
+    outputs_per_second = batch_size / total_time
+
+    active_fraction = np.minimum(1.0, dsp_used / device.dsp_count)
+    clock_scale = device.clock_mhz / power_model.clock_reference_mhz
+    power = power_model.static_watts + power_model.dynamic_range_watts * active_fraction * clock_scale
+
+    return {
+        "potential_gflops": potential,
+        "effective_gflops": effective,
+        "total_time_seconds": total_time,
+        "outputs_per_second": outputs_per_second,
+        "latency_seconds": latency,
+        "efficiency": efficiency,
+        "dram_bytes": dram_total.astype(float),
+        "power_watts": power + np.zeros(lanes),
+        "compute_bound": compute_bound,
+    }
+
+
+def sweep_grid_configs(
+    model,
+    shapes: list[GemmShape],
+    configs: list[GridConfig],
+    batch_size: int,
+) -> GridSweep:
+    """Score one GEMM workload on every configuration in one vectorized pass.
+
+    Infeasible configurations (``fits`` False) still get metric values — they
+    are plain arithmetic — but selection helpers must mask them out with
+    :attr:`GridSweep.fits`, matching the scalar loop's skip.
+    """
+    if not shapes:
+        raise ValueError("cannot evaluate an empty GEMM workload")
+    if not configs:
+        raise ValueError("candidates must not be empty")
+    arrays = _config_arrays(configs)
+    metrics = _sweep_core(
+        model,
+        [(shape.m, shape.k, shape.n) for shape in shapes],
+        arrays,
+        batch_size,
+    )
+    return GridSweep(
+        configs=list(configs),
+        fits=fits_mask(configs, model.device),
+        **metrics,
+    )
+
+
+def evaluate_workloads(
+    model,
+    workloads: list[tuple[list[GemmShape], GridConfig, int]],
+) -> list[HardwareMetrics]:
+    """Evaluate a batch of ``(shapes, config, batch_size)`` workloads at once.
+
+    Returns one :class:`HardwareMetrics` per workload, equal (``==``) to what
+    ``model.evaluate_shapes(shapes, config, batch_size)`` returns.  Workloads
+    are grouped by layer count internally; each group is one vectorized pass.
+    Raises exactly like the scalar path on empty or infeasible workloads.
+    """
+    for shapes, config, _batch in workloads:
+        if not shapes:
+            raise ValueError("cannot evaluate an empty GEMM workload")
+        config.validate_for(model.device)
+
+    results: list[HardwareMetrics | None] = [None] * len(workloads)
+    groups: dict[int, list[int]] = {}
+    for position, (shapes, _config, _batch) in enumerate(workloads):
+        groups.setdefault(len(shapes), []).append(position)
+
+    for num_layers, positions in groups.items():
+        configs = [workloads[p][1] for p in positions]
+        arrays = _config_arrays(configs)
+        batch_sizes = np.asarray([workloads[p][2] for p in positions], dtype=np.int64)
+        layer_shapes = []
+        for layer in range(num_layers):
+            layer_shapes.append(
+                (
+                    np.asarray([workloads[p][0][layer].m for p in positions], dtype=np.int64),
+                    np.asarray([workloads[p][0][layer].k for p in positions], dtype=np.int64),
+                    np.asarray([workloads[p][0][layer].n for p in positions], dtype=np.int64),
+                )
+            )
+        metrics = _sweep_core(model, layer_shapes, arrays, batch_sizes)
+        per_layer = _per_layer_diagnostics(model, layer_shapes, arrays)
+        for lane, position in enumerate(positions):
+            config = workloads[position][1]
+            results[position] = HardwareMetrics(
+                device_name=model.device.name,
+                batch_size=int(batch_sizes[lane]),
+                potential_gflops=float(metrics["potential_gflops"][lane]),
+                effective_gflops=float(metrics["effective_gflops"][lane]),
+                total_time_seconds=float(metrics["total_time_seconds"][lane]),
+                outputs_per_second=float(metrics["outputs_per_second"][lane]),
+                latency_seconds=float(metrics["latency_seconds"][lane]),
+                efficiency=float(metrics["efficiency"][lane]),
+                dram_bytes=float(metrics["dram_bytes"][lane]),
+                power_watts=float(metrics["power_watts"][lane]),
+                compute_bound=bool(metrics["compute_bound"][lane]),
+                extras={
+                    "layer_seconds": [float(seconds[lane]) for seconds in per_layer["layer_seconds"]],
+                    "layer_memory_bound": [bool(bound[lane]) for bound in per_layer["memory_bound"]],
+                    "padding_efficiency": [float(eff[lane]) for eff in per_layer["padding_efficiency"]],
+                    "dsp_blocks_used": config.dsp_blocks_used,
+                    "device_peak_gflops": model.device_peak_gflops(),
+                },
+            )
+    return [result for result in results if result is not None]
+
+
+def _per_layer_diagnostics(
+    model,
+    layer_shapes: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    arrays: dict[str, np.ndarray],
+) -> dict[str, list[np.ndarray]]:
+    """Per-layer extras (layer_seconds, memory_bound, padding_efficiency)."""
+    from .fpga_model import _KERNEL_ENQUEUE_CYCLES, _PIPELINE_FILL_CYCLES
+
+    clock_hz = model.device.clock_hz
+    bandwidth = model.memory.effective_bandwidth_bytes_per_second
+    access_latency_ns = model.memory.spec.access_latency_ns
+    block_m = arrays["rows"] * arrays["interleave_rows"]
+    block_n = arrays["columns"] * arrays["interleave_columns"]
+    block_k = arrays["vector_width"]
+    overhead_seconds = _KERNEL_ENQUEUE_CYCLES / clock_hz
+
+    diagnostics: dict[str, list[np.ndarray]] = {
+        "layer_seconds": [],
+        "memory_bound": [],
+        "padding_efficiency": [],
+    }
+    for m, k, n in layer_shapes:
+        tiles_m = _ceil_div(m, block_m)
+        tiles_n = _ceil_div(n, block_n)
+        k_steps = _ceil_div(k, block_k)
+        total_tiles = tiles_m * tiles_n
+        cycles_per_tile = arrays["interleave_rows"] * arrays["interleave_columns"] * k_steps
+        padded_k = k_steps * block_k
+        tile_a = 4 * block_m * padded_k
+        tile_b = 4 * padded_k * block_n
+        tile_c = 4 * block_m * block_n
+        dram_bytes = tiles_m * tile_a + total_tiles * tile_b + total_tiles * tile_c
+        compute_seconds = (total_tiles * cycles_per_tile + tiles_n * _PIPELINE_FILL_CYCLES) / clock_hz
+        memory_seconds = (total_tiles * access_latency_ns) * 1e-9 + dram_bytes / bandwidth
+        diagnostics["layer_seconds"].append(
+            np.maximum(compute_seconds, memory_seconds) + overhead_seconds
+        )
+        diagnostics["memory_bound"].append(memory_seconds > compute_seconds)
+        padded_flops = 2 * (tiles_m * block_m) * padded_k * (tiles_n * block_n)
+        diagnostics["padding_efficiency"].append((2 * m * k * n) / padded_flops)
+    return diagnostics

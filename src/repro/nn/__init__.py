@@ -19,7 +19,15 @@ from .activations import (
     available_activations,
     get_activation,
 )
-from .evaluation import EvaluationResult, evaluate_kfold, evaluate_single_fold, kfold_indices
+from .batched import BatchedTrainer, StackedMLPGroup, train_and_score_batch
+from .evaluation import (
+    EvaluationResult,
+    evaluate_kfold,
+    evaluate_kfold_batch,
+    evaluate_single_fold,
+    evaluate_single_fold_batch,
+    kfold_indices,
+)
 from .initializers import available_initializers, default_initializer_for, get_initializer
 from .layers import DenseLayer, GemmShape
 from .losses import BinaryCrossEntropy, CategoricalCrossEntropy, MeanSquaredError, get_loss
@@ -41,9 +49,14 @@ __all__ = [
     "Tanh",
     "available_activations",
     "get_activation",
+    "BatchedTrainer",
+    "StackedMLPGroup",
+    "train_and_score_batch",
     "EvaluationResult",
     "evaluate_kfold",
+    "evaluate_kfold_batch",
     "evaluate_single_fold",
+    "evaluate_single_fold_batch",
     "kfold_indices",
     "available_initializers",
     "default_initializer_for",

@@ -29,6 +29,8 @@ __all__ = [
     "kfold_indices",
     "evaluate_single_fold",
     "evaluate_kfold",
+    "evaluate_single_fold_batch",
+    "evaluate_kfold_batch",
 ]
 
 
@@ -196,3 +198,184 @@ def evaluate_kfold(
         parameter_count=spec.parameter_count,
         histories=histories,
     )
+
+
+# ------------------------------------------------------------ batched paths
+def _score_runs_batched(
+    spec: MLPSpec,
+    runs: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int | None]],
+    training_config: TrainingConfig,
+    standardize: bool,
+    max_group_size: int,
+) -> list[tuple[float, "TrainingHistory"]]:
+    """Batch-train heterogeneous runs of one spec, preserving input order.
+
+    Each run is ``(train_x, train_y, test_x, test_y, seed)``.  Runs are
+    standardized per run (scaler fit on that run's train split, exactly as
+    :func:`_train_and_score`), grouped by array shape so stacking is legal,
+    chunked to bound peak memory, and trained through
+    :func:`~repro.nn.batched.train_and_score_batch`.  Results are
+    bit-identical to looping :func:`_train_and_score` with the same seeds.
+    """
+    from .batched import train_and_score_batch
+
+    if max_group_size < 1:
+        raise ValueError(f"max_group_size must be >= 1, got {max_group_size}")
+
+    # Convert each distinct input array exactly once.  Runs that share array
+    # objects (the shared pre-split path) keep sharing them after conversion,
+    # which lets the batched trainer stack the group with zero-copy broadcast
+    # views instead of per-run copies.
+    label_cache: dict[int, np.ndarray] = {}
+
+    def _flat_labels(labels: np.ndarray) -> np.ndarray:
+        flat = label_cache.get(id(labels))
+        if flat is None:
+            flat = np.asarray(labels).reshape(-1)
+            label_cache[id(labels)] = flat
+        return flat
+
+    prepared: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int | None]] = []
+    for train_x, train_y, test_x, test_y, seed in runs:
+        train_x = np.asarray(train_x, dtype=float)
+        test_x = np.asarray(test_x, dtype=float)
+        if standardize:
+            scaler = StandardScaler().fit(train_x)
+            train_x = scaler.transform(train_x)
+            test_x = scaler.transform(test_x)
+        prepared.append((train_x, _flat_labels(train_y), test_x, _flat_labels(test_y), seed))
+
+    groups: dict[tuple, list[int]] = {}
+    for position, (train_x, _, test_x, _, _) in enumerate(prepared):
+        groups.setdefault((train_x.shape, test_x.shape), []).append(position)
+
+    results: list[tuple[float, "TrainingHistory"] | None] = [None] * len(runs)
+    for positions in groups.values():
+        for start in range(0, len(positions), max_group_size):
+            chunk = positions[start : start + max_group_size]
+            scored = train_and_score_batch(
+                spec,
+                [prepared[p][0] for p in chunk],
+                [prepared[p][1] for p in chunk],
+                [prepared[p][2] for p in chunk],
+                [prepared[p][3] for p in chunk],
+                training_config=training_config,
+                seeds=[prepared[p][4] for p in chunk],
+            )
+            for position, outcome in zip(chunk, scored):
+                results[position] = outcome
+    return results  # type: ignore[return-value]
+
+
+def evaluate_single_fold_batch(
+    spec: MLPSpec,
+    train_features: np.ndarray,
+    train_labels: np.ndarray,
+    test_features: np.ndarray,
+    test_labels: np.ndarray,
+    training_config: TrainingConfig | None = None,
+    seeds: list[int | None] | None = None,
+    standardize: bool = True,
+    max_group_size: int = 8,
+) -> list[EvaluationResult]:
+    """Single-fold evaluation of many same-spec candidates on one train/test split.
+
+    The candidates share the dataset arrays and differ only in seed (the
+    master derives one per genome), so preprocessing is shared and training
+    is fused across the group.  Returns one :class:`EvaluationResult` per
+    seed, bit-identical to calling :func:`evaluate_single_fold` in a loop —
+    except the wall-clock fields, which report each candidate's share of the
+    fused group time.
+    """
+    training_config = training_config or TrainingConfig()
+    if seeds is None:
+        seeds = [None]
+    start = time.perf_counter()
+    runs = [
+        (
+            np.asarray(train_features, dtype=float),
+            np.asarray(train_labels).reshape(-1),
+            np.asarray(test_features, dtype=float),
+            np.asarray(test_labels).reshape(-1),
+            seed,
+        )
+        for seed in seeds
+    ]
+    scored = _score_runs_batched(spec, runs, training_config, standardize, max_group_size)
+    elapsed = time.perf_counter() - start
+    per_candidate_seconds = elapsed / len(seeds)
+    return [
+        EvaluationResult(
+            accuracy=score,
+            fold_accuracies=[score],
+            train_seconds=per_candidate_seconds,
+            parameter_count=spec.parameter_count,
+            histories=[history],
+        )
+        for score, history in scored
+    ]
+
+
+def evaluate_kfold_batch(
+    spec: MLPSpec,
+    features: np.ndarray,
+    labels: np.ndarray,
+    num_folds: int = 10,
+    training_config: TrainingConfig | None = None,
+    seeds: list[int | None] | None = None,
+    standardize: bool = True,
+    max_group_size: int = 8,
+) -> list[EvaluationResult]:
+    """k-fold evaluation of many same-spec candidates with fused training.
+
+    Every candidate keeps its own fold split (``kfold_indices`` seeded by its
+    seed) and per-fold seeds, exactly as :func:`evaluate_kfold`; the
+    candidate x fold runs are pooled and batch-trained together.  Returns one
+    :class:`EvaluationResult` per seed, bit-identical to the looped scalar
+    path up to wall-clock fields.
+    """
+    training_config = training_config or TrainingConfig()
+    if seeds is None:
+        seeds = [None]
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels).reshape(-1)
+
+    start = time.perf_counter()
+    runs: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int | None]] = []
+    owners: list[tuple[int, int]] = []
+    for candidate, seed in enumerate(seeds):
+        folds = kfold_indices(features.shape[0], num_folds, seed=seed)
+        for fold_number, (train_idx, test_idx) in enumerate(folds):
+            fold_seed = None if seed is None else seed + fold_number
+            runs.append(
+                (
+                    features[train_idx],
+                    labels[train_idx],
+                    features[test_idx],
+                    labels[test_idx],
+                    fold_seed,
+                )
+            )
+            owners.append((candidate, fold_number))
+    scored = _score_runs_batched(spec, runs, training_config, standardize, max_group_size)
+    elapsed = time.perf_counter() - start
+    per_candidate_seconds = elapsed / len(seeds)
+
+    results: list[EvaluationResult] = []
+    for candidate in range(len(seeds)):
+        fold_accuracies: list[float] = []
+        histories: list[TrainingHistory] = []
+        for (owner, _), (score, history) in zip(owners, scored):
+            if owner == candidate:
+                fold_accuracies.append(score)
+                histories.append(history)
+        results.append(
+            EvaluationResult(
+                accuracy=float(np.mean(fold_accuracies)),
+                fold_accuracies=fold_accuracies,
+                train_seconds=per_candidate_seconds,
+                parameter_count=spec.parameter_count,
+                histories=histories,
+            )
+        )
+    return results

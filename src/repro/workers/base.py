@@ -16,12 +16,16 @@ so workers stay stateless with respect to the search and can be distributed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from ..core.genome import CoDesignGenome
 from ..datasets.base import Dataset
 from ..nn.training import TrainingConfig
 from ..registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datasets.shared import SharedDatasetHandle
 
 __all__ = [
     "EvaluationRequest",
@@ -61,6 +65,7 @@ class EvaluationRequest:
     num_folds: int = 10
     training_config: TrainingConfig = field(default_factory=TrainingConfig)
     seed: int | None = None
+    shared_dataset: "SharedDatasetHandle | None" = None
 
     def __post_init__(self) -> None:
         if self.evaluation_protocol not in ("1-fold", "10-fold"):
@@ -69,6 +74,20 @@ class EvaluationRequest:
             )
         if self.num_folds < 2:
             raise ValueError(f"num_folds must be >= 2, got {self.num_folds}")
+
+    def materialize(self) -> "EvaluationRequest":
+        """Resolve the shared-memory dataset handle, if any, into a dataset.
+
+        With the processes backend the master ships a tiny
+        :class:`~repro.datasets.shared.SharedDatasetHandle` instead of the
+        arrays; the receiving process attaches (memoized per process) before
+        the workers run.  Requests without a handle pass through unchanged.
+        """
+        if self.dataset is not None or self.shared_dataset is None:
+            return self
+        from ..datasets.shared import attach_shared_dataset
+
+        return replace(self, dataset=attach_shared_dataset(self.shared_dataset), shared_dataset=None)
 
 
 @dataclass
@@ -106,6 +125,16 @@ class Worker:
     def evaluate(self, request: EvaluationRequest) -> WorkerReport:
         """Evaluate one request and return the raw measurements."""
         raise NotImplementedError
+
+    def evaluate_batch(self, requests: list[EvaluationRequest]) -> list[WorkerReport]:
+        """Evaluate many requests, one report per request, in input order.
+
+        The default simply loops :meth:`evaluate`; workers that can amortize
+        work across a population (fused training, vectorized hardware sweeps)
+        override this.  Overrides must return results identical to the looped
+        default for the same requests.
+        """
+        return [self.evaluate(request) for request in requests]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

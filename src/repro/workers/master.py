@@ -39,7 +39,7 @@ from ..core.candidate import CandidateEvaluation
 from ..core.genome import CoDesignGenome
 from ..datasets.base import Dataset
 from ..nn.training import TrainingConfig
-from .backends import ExecutionBackend, SerialBackend, resolve_backend
+from .backends import ExecutionBackend, ProcessPoolBackend, SerialBackend, resolve_backend
 from .base import EvaluationRequest, Worker, WorkerReport
 
 __all__ = ["Master"]
@@ -47,7 +47,7 @@ __all__ = ["Master"]
 
 def _evaluate_worker(worker: Worker, request: EvaluationRequest) -> WorkerReport:
     """Run one worker on one request (module-level so process pools can pickle it)."""
-    return worker.evaluate(request)
+    return worker.evaluate(request.materialize())
 
 
 def _run_workers_serial(task: tuple[list[Worker], EvaluationRequest]) -> tuple[list[WorkerReport], float]:
@@ -59,8 +59,29 @@ def _run_workers_serial(task: tuple[list[Worker], EvaluationRequest]) -> tuple[l
     """
     workers, request = task
     start = time.perf_counter()
+    request = request.materialize()
     reports = [worker.evaluate(request) for worker in workers]
     return reports, time.perf_counter() - start
+
+
+def _run_workers_serial_batch(
+    task: tuple[list[Worker], list[EvaluationRequest]],
+) -> tuple[list[list[WorkerReport]], float]:
+    """Evaluate every worker for a whole batch of requests in one task.
+
+    Each worker sees the full batch through :meth:`Worker.evaluate_batch`, so
+    workers that fuse work across candidates (batched GEMM training,
+    vectorized hardware sweeps) amortize it here.  Returns one report list
+    per request, in request order, plus the total elapsed wall clock.
+    """
+    workers, requests = task
+    if not requests:
+        return [], 0.0
+    start = time.perf_counter()
+    requests = [request.materialize() for request in requests]
+    per_worker = [worker.evaluate_batch(requests) for worker in workers]
+    reports_per_request = [list(reports) for reports in zip(*per_worker)]
+    return reports_per_request, time.perf_counter() - start
 
 
 class Master:
@@ -117,20 +138,42 @@ class Master:
         # Futures submitted but not yet collected by drain()/evaluate_population().
         self._pending: list[Future] = []
         self._pending_lock = threading.Lock()
+        # Lazily-created shared-memory export of the dataset (processes backend
+        # only): requests then ship a tiny handle instead of the arrays.
+        self._shared_dataset = None
+        self._shared_lock = threading.Lock()
 
     # ------------------------------------------------------------- requests
+    def _shared_handle(self):
+        """Handle of the shared-memory dataset export, or None.
+
+        Only the processes backend pays a per-request serialization cost for
+        the dataset, so only it gets the shared-memory path; serial and
+        thread backends share the dataset object directly.
+        """
+        if self.dataset is None or not isinstance(self.backend, ProcessPoolBackend):
+            return None
+        with self._shared_lock:
+            if self._shared_dataset is None:
+                from ..datasets.shared import SharedDataset
+
+                self._shared_dataset = SharedDataset(self.dataset)
+            return self._shared_dataset.handle
+
     def build_request(self, genome: CoDesignGenome) -> EvaluationRequest:
         """Build the evaluation request for one genome."""
         derived_seed = None
         if self.seed is not None:
             derived_seed = (self.seed + int(genome.cache_key()[:8], 16)) % (2**32)
+        shared_handle = self._shared_handle()
         return EvaluationRequest(
             genome=genome,
-            dataset=self.dataset,
+            dataset=self.dataset if shared_handle is None else None,
             evaluation_protocol=self.evaluation_protocol,
             num_folds=self.num_folds,
             training_config=self.training_config,
             seed=derived_seed,
+            shared_dataset=shared_handle,
         )
 
     # ------------------------------------------------------------ evaluation
@@ -174,6 +217,54 @@ class Master:
             self._pending.append(outer)
         return outer
 
+    def submit_batch(self, genomes: list[CoDesignGenome]) -> "Future[list[CandidateEvaluation]]":
+        """Schedule a whole batch of candidates as one backend task.
+
+        The batch runs through :meth:`Worker.evaluate_batch` on each worker,
+        so same-topology candidates share fused training and hardware sweeps.
+        The returned future resolves to one merged evaluation per genome, in
+        input order; per-candidate ``evaluation_seconds`` is the batch wall
+        clock split evenly across candidates.
+        """
+        genomes = list(genomes)
+        requests = [self.build_request(genome) for genome in genomes]
+        inner = self.backend.submit(_run_workers_serial_batch, (self.workers, requests))
+        outer: Future = Future()
+        outer.set_running_or_notify_cancel()
+
+        def _finish(done: Future) -> None:
+            try:
+                exc = done.exception()
+                if exc is not None:
+                    outer.set_exception(exc)
+                else:
+                    reports_per_request, elapsed = done.result()
+                    per_candidate = elapsed / max(1, len(genomes))
+                    outer.set_result(
+                        [
+                            self._merge(genome, reports, per_candidate)
+                            for genome, reports in zip(genomes, reports_per_request)
+                        ]
+                    )
+            except Exception as unexpected:  # noqa: BLE001 - never lose a waiter
+                outer.set_exception(unexpected)
+
+        inner.add_done_callback(_finish)
+        with self._pending_lock:
+            self._pending.append(outer)
+        return outer
+
+    def evaluate_batch(self, genomes: list[CoDesignGenome]) -> list[CandidateEvaluation]:
+        """Evaluate a batch of candidates as one fused task, in input order."""
+        genomes = list(genomes)
+        if not genomes:
+            return []
+        future = self.submit_batch(genomes)
+        results = future.result()
+        with self._pending_lock:
+            self._pending = [f for f in self._pending if f is not future]
+        return results
+
     @property
     def in_flight_count(self) -> int:
         """Number of submitted candidate evaluations not yet completed."""
@@ -182,11 +273,21 @@ class Master:
 
     def drain(self) -> list[CandidateEvaluation]:
         """Collect every submitted-but-not-yet-drained evaluation, blocking
-        until all have finished; results come back in completion order."""
+        until all have finished; results come back in completion order.
+
+        Batch futures (from :meth:`submit_batch`) are flattened in place, so
+        the result is always one flat list of evaluations."""
         with self._pending_lock:
             pending = list(self._pending)
             self._pending.clear()
-        return [future.result() for future in self.backend.as_completed(pending)]
+        results: list[CandidateEvaluation] = []
+        for future in self.backend.as_completed(pending):
+            value = future.result()
+            if isinstance(value, list):
+                results.extend(value)
+            else:
+                results.append(value)
+        return results
 
     def as_completed(self, futures) -> Iterator["Future[CandidateEvaluation]"]:
         """Yield candidate futures in completion order (backend passthrough)."""
@@ -259,6 +360,12 @@ class Master:
             except Exception:  # noqa: BLE001 - shutdown must not raise on failed work
                 pass
         self.backend.shutdown()
+        # Unlink shared-memory segments only after the pool is gone, so no
+        # child can race an unlinked segment on first attach.
+        with self._shared_lock:
+            shared, self._shared_dataset = self._shared_dataset, None
+        if shared is not None:
+            shared.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         worker_names = ", ".join(worker.name for worker in self.workers)

@@ -1,0 +1,387 @@
+"""Batched population evaluation: workers, master and engine plumbing.
+
+The batched paths exist purely for throughput — they must produce the *same*
+numbers as per-candidate dispatch (same seeds, same cache keys, same error
+strings).  Accuracy comparisons here are exact ``==``, never ``approx``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.candidate import CandidateEvaluation
+from repro.core.engine import EngineConfig, EvolutionaryEngine, RunStatistics
+from repro.core.errors import SearchError
+from repro.core.fitness import FitnessEvaluator, FitnessObjective
+from repro.core.genome import CoDesignGenome, HardwareGenome, MLPGenome
+from repro.datasets.shared import clear_attached_cache
+from repro.hardware.device import ARRIA10_GX1150, TITAN_X
+from repro.hardware.systolic import GridConfig
+from repro.workers.base import EvaluationRequest, Worker, WorkerReport
+from repro.workers.hardware_db import HardwareDatabaseWorker
+from repro.workers.master import Master
+from repro.workers.physical import PhysicalWorker
+from repro.workers.simulation import SimulationWorker
+
+
+def _genomes(small_grid) -> list[CoDesignGenome]:
+    """A small population with repeated and distinct topologies."""
+    topologies = [
+        ((16, 8), ("relu", "tanh")),
+        ((16, 8), ("relu", "tanh")),  # same topology, same fused group
+        ((32,), ("relu",)),
+        ((8, 8), ("tanh", "tanh")),
+        ((16, 8), ("relu", "tanh")),
+    ]
+    return [
+        CoDesignGenome(
+            mlp=MLPGenome(hidden_layers=layers, activations=acts),
+            hardware=HardwareGenome(grid=small_grid, batch_size=256 * (1 + i % 2)),
+            gpu_batch_size=128,
+        )
+        for i, (layers, acts) in enumerate(topologies)
+    ]
+
+
+def _requests(genomes, dataset, training_config, protocol="1-fold", num_folds=10):
+    return [
+        EvaluationRequest(
+            genome=genome,
+            dataset=dataset,
+            evaluation_protocol=protocol,
+            num_folds=num_folds,
+            training_config=training_config,
+            seed=100 + index,
+        )
+        for index, genome in enumerate(genomes)
+    ]
+
+
+def _assert_reports_identical(batched: WorkerReport, scalar: WorkerReport) -> None:
+    assert batched.worker_name == scalar.worker_name
+    assert batched.accuracy == scalar.accuracy
+    assert batched.accuracy_std == scalar.accuracy_std
+    assert batched.parameter_count == scalar.parameter_count
+    assert batched.error == scalar.error
+    assert batched.fpga_metrics == scalar.fpga_metrics
+    assert batched.gpu_metrics == scalar.gpu_metrics
+    assert batched.extras.get("fold_accuracies") == scalar.extras.get("fold_accuracies")
+
+
+class TestWorkerBatchDefault:
+    def test_base_default_loops_evaluate(self, sample_genome):
+        class CountingWorker(Worker):
+            name = "counting"
+
+            def __init__(self):
+                self.seen = []
+
+            def evaluate(self, request):
+                self.seen.append(request.seed)
+                return WorkerReport(worker_name=self.name)
+
+        worker = CountingWorker()
+        requests = [
+            EvaluationRequest(genome=sample_genome, seed=seed) for seed in (1, 2, 3)
+        ]
+        reports = worker.evaluate_batch(requests)
+        assert len(reports) == 3
+        assert worker.seen == [1, 2, 3]
+
+
+class TestSimulationWorkerBatch:
+    @pytest.mark.parametrize("dataset_fixture", ["tiny_dataset", "tiny_presplit_dataset"])
+    def test_single_fold_batch_is_bit_identical(
+        self, request, dataset_fixture, small_grid, fast_training_config
+    ):
+        dataset = request.getfixturevalue(dataset_fixture)
+        worker = SimulationWorker(gpu=TITAN_X)
+        requests = _requests(_genomes(small_grid), dataset, fast_training_config)
+        batched = worker.evaluate_batch(requests)
+        for batched_report, req in zip(batched, requests):
+            _assert_reports_identical(batched_report, worker.evaluate(req))
+
+    def test_kfold_batch_is_bit_identical(self, tiny_dataset, small_grid, fast_training_config):
+        worker = SimulationWorker(gpu=None, measure_gpu=False)
+        requests = _requests(
+            _genomes(small_grid), tiny_dataset, fast_training_config,
+            protocol="10-fold", num_folds=3,
+        )
+        batched = worker.evaluate_batch(requests)
+        for batched_report, req in zip(batched, requests):
+            scalar = worker.evaluate(req)
+            _assert_reports_identical(batched_report, scalar)
+            assert len(batched_report.extras["fold_accuracies"]) == 3
+
+    def test_missing_dataset_error_matches_scalar(self, small_grid, fast_training_config):
+        worker = SimulationWorker(gpu=None, measure_gpu=False)
+        requests = _requests(_genomes(small_grid)[:2], None, fast_training_config)
+        batched = worker.evaluate_batch(requests)
+        for batched_report, req in zip(batched, requests):
+            scalar = worker.evaluate(req)
+            assert batched_report.failed and scalar.failed
+            assert batched_report.error == scalar.error
+
+    def test_same_topology_requests_share_one_fused_group(
+        self, tiny_dataset, small_grid, fast_training_config
+    ):
+        worker = SimulationWorker(gpu=None, measure_gpu=False)
+        calls = []
+        original = worker._evaluate_group
+
+        def spying(group):
+            calls.append(len(group))
+            return original(group)
+
+        worker._evaluate_group = spying
+        worker.evaluate_batch(_requests(_genomes(small_grid), tiny_dataset, fast_training_config))
+        # 5 requests over 3 distinct topologies -> 3 groups, largest of size 3.
+        assert sorted(calls) == [1, 1, 3]
+
+
+class TestHardwareDatabaseWorkerBatch:
+    def test_batch_is_bit_identical(self, tiny_dataset, small_grid, fast_training_config):
+        worker = HardwareDatabaseWorker(device=ARRIA10_GX1150)
+        requests = _requests(_genomes(small_grid), tiny_dataset, fast_training_config)
+        batched = worker.evaluate_batch(requests)
+        for batched_report, req in zip(batched, requests):
+            _assert_reports_identical(batched_report, worker.evaluate(req))
+
+    def test_infeasible_and_missing_dims_fall_back_to_scalar_errors(
+        self, tiny_dataset, small_grid, fast_training_config
+    ):
+        worker = HardwareDatabaseWorker(device=ARRIA10_GX1150)
+        feasible = _genomes(small_grid)[0]
+        infeasible = CoDesignGenome(
+            mlp=MLPGenome(hidden_layers=(16,), activations=("relu",)),
+            hardware=HardwareGenome(
+                grid=GridConfig(rows=32, columns=32, vector_width=16), batch_size=512
+            ),
+        )
+        requests = [
+            EvaluationRequest(genome=feasible, dataset=tiny_dataset, seed=1),
+            EvaluationRequest(genome=infeasible, dataset=tiny_dataset, seed=2),
+            EvaluationRequest(genome=feasible, dataset=None, seed=3),  # missing dims
+        ]
+        batched = worker.evaluate_batch(requests)
+        for batched_report, req in zip(batched, requests):
+            scalar = worker.evaluate(req)
+            assert batched_report.error == scalar.error
+            assert batched_report.fpga_metrics == scalar.fpga_metrics
+        assert not batched[0].failed
+        assert batched[1].failed
+        assert batched[2].failed
+
+
+class TestMasterBatch:
+    def _master(self, dataset, training_config, backend=None) -> Master:
+        return Master(
+            workers=[
+                SimulationWorker(gpu=TITAN_X),
+                HardwareDatabaseWorker(device=ARRIA10_GX1150),
+                PhysicalWorker(device=ARRIA10_GX1150),
+            ],
+            dataset=dataset,
+            evaluation_protocol="1-fold",
+            training_config=training_config,
+            backend=backend,
+            seed=0,
+        )
+
+    def _assert_evaluations_identical(self, batched, scalar):
+        assert batched.genome.cache_key() == scalar.genome.cache_key()
+        assert batched.accuracy == scalar.accuracy
+        assert batched.accuracy_std == scalar.accuracy_std
+        assert batched.parameter_count == scalar.parameter_count
+        assert batched.fpga_metrics == scalar.fpga_metrics
+        assert batched.gpu_metrics == scalar.gpu_metrics
+        assert batched.synthesis == scalar.synthesis
+        assert batched.error == scalar.error
+
+    def test_evaluate_batch_matches_per_candidate(self, tiny_dataset, fast_training_config, small_grid):
+        master = self._master(tiny_dataset, fast_training_config)
+        genomes = _genomes(small_grid)
+        batched = master.evaluate_batch(genomes)
+        assert len(batched) == len(genomes)
+        for genome, evaluation in zip(genomes, batched):
+            self._assert_evaluations_identical(evaluation, master.evaluate(genome))
+            assert evaluation.evaluation_seconds > 0
+        master.shutdown()
+
+    def test_empty_batch(self, tiny_dataset, fast_training_config):
+        master = self._master(tiny_dataset, fast_training_config)
+        assert master.evaluate_batch([]) == []
+        master.shutdown()
+
+    def test_submit_batch_and_drain_flatten(self, tiny_dataset, fast_training_config, small_grid):
+        master = self._master(tiny_dataset, fast_training_config, backend="threads")
+        genomes = _genomes(small_grid)
+        master.submit_batch(genomes[:3])
+        master.submit(genomes[3])
+        drained = master.drain()
+        assert len(drained) == 4
+        assert all(isinstance(e, CandidateEvaluation) for e in drained)
+        assert {e.genome.cache_key() for e in drained} == {g.cache_key() for g in genomes[:4]}
+        assert master.drain() == []
+        master.shutdown()
+
+    def test_processes_backend_ships_shared_dataset(
+        self, tiny_dataset, fast_training_config, small_grid
+    ):
+        serial = self._master(tiny_dataset, fast_training_config, backend="serial")
+        procs = self._master(tiny_dataset, fast_training_config, backend="processes")
+        try:
+            genomes = _genomes(small_grid)[:3]
+            request = procs.build_request(genomes[0])
+            assert request.dataset is None
+            assert request.shared_dataset is not None
+            materialized = request.materialize()
+            assert np.array_equal(materialized.dataset.features, tiny_dataset.features)
+
+            batched = procs.evaluate_batch(genomes)
+            for evaluation, genome in zip(batched, genomes):
+                self._assert_evaluations_identical(evaluation, serial.evaluate(genome))
+        finally:
+            segments = list(procs._shared_dataset.segment_names) if procs._shared_dataset else []
+            procs.shutdown()
+            serial.shutdown()
+            clear_attached_cache()
+        assert procs._shared_dataset is None
+        import os
+
+        for name in segments:
+            assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_serial_backends_do_not_export_shared_memory(self, tiny_dataset, fast_training_config, small_grid):
+        master = self._master(tiny_dataset, fast_training_config, backend="serial")
+        request = master.build_request(_genomes(small_grid)[0])
+        assert request.dataset is tiny_dataset
+        assert request.shared_dataset is None
+        assert master._shared_dataset is None
+        master.shutdown()
+
+
+class _BatchRecordingEvaluator:
+    """Evaluator double that records batch sizes (engine-side contract)."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.batch_sizes: list[int] = []
+        self.single_calls = 0
+
+    def __call__(self, genome):
+        self.single_calls += 1
+        return self.fn(genome)
+
+    def evaluate_batch(self, genomes):
+        self.batch_sizes.append(len(genomes))
+        return [self.fn(genome) for genome in genomes]
+
+
+class TestEngineBatching:
+    def _engine(self, space, evaluator, **overrides) -> EvolutionaryEngine:
+        config = EngineConfig(
+            population_size=overrides.pop("population_size", 6),
+            max_evaluations=overrides.pop("max_evaluations", 24),
+            seed=overrides.pop("seed", 0),
+            **overrides,
+        )
+        return EvolutionaryEngine(
+            space=space,
+            evaluator=evaluator,
+            fitness=FitnessEvaluator(
+                [FitnessObjective.accuracy(), FitnessObjective.fpga_throughput()]
+            ),
+            config=config,
+            device=ARRIA10_GX1150,
+        )
+
+    def test_eval_batch_size_validation(self):
+        with pytest.raises(SearchError):
+            EngineConfig(eval_batch_size=0)
+        with pytest.raises(SearchError):
+            EngineConfig(eval_batch_size=-4)
+        EngineConfig(eval_batch_size=8)
+
+    def test_batched_run_uses_evaluate_batch_and_accounts_correctly(
+        self, small_search_space, fake_evaluator
+    ):
+        evaluator = _BatchRecordingEvaluator(fake_evaluator)
+        engine = self._engine(
+            small_search_space, evaluator, eval_parallelism=2, eval_batch_size=4
+        )
+        result = engine.run()
+        stats = result.statistics
+        assert len(result.population) == 6
+        assert stats.models_generated == 24
+        assert stats.models_evaluated + stats.cache_hits == 24
+        assert stats.models_evaluated == sum(evaluator.batch_sizes) + evaluator.single_calls
+        assert max(evaluator.batch_sizes, default=0) > 1
+        assert len(result.history) == 24
+        assert stats.peak_in_flight >= 4
+
+    def test_batch_size_one_matches_per_candidate_async_run(
+        self, small_search_space, fake_evaluator
+    ):
+        base = self._engine(small_search_space, fake_evaluator, eval_parallelism=1)
+        batched = self._engine(
+            small_search_space, fake_evaluator, eval_parallelism=1, eval_batch_size=1
+        )
+        assert base.run().statistics.models_generated == batched.run().statistics.models_generated
+
+    def test_batch_evaluator_errors_become_error_evaluations(self, small_search_space):
+        def explode(genome):
+            raise RuntimeError("synthetic batch failure")
+
+        evaluator = _BatchRecordingEvaluator(explode)
+        engine = self._engine(
+            small_search_space,
+            evaluator,
+            eval_parallelism=2,
+            eval_batch_size=3,
+            max_evaluations=12,
+        )
+        result = engine.run()
+        # A failing evaluator degrades every candidate to an error
+        # evaluation, exactly like the per-candidate path — no crash.
+        assert all(
+            member.evaluation.failed
+            and "synthetic batch failure" in member.evaluation.error
+            for member in result.population.members
+        )
+
+    def test_duplicate_genomes_hit_cache_within_batch_path(
+        self, small_search_space, fake_evaluator, rng
+    ):
+        evaluator = _BatchRecordingEvaluator(fake_evaluator)
+        engine = self._engine(small_search_space, evaluator, eval_batch_size=2)
+        genome = small_search_space.random_genome(rng, device=ARRIA10_GX1150)
+        first = engine._evaluate_concurrent_batch([genome])
+        second = engine._evaluate_concurrent_batch([genome])
+        assert not first[0].from_cache
+        assert second[0].from_cache
+        assert first[0].accuracy == second[0].accuracy
+        assert engine.statistics.cache_hits == 1
+        assert engine.statistics.models_evaluated == 1
+
+
+class TestRunStatisticsGuards:
+    def test_zero_wall_clock_is_not_infinite(self):
+        stats = RunStatistics(models_evaluated=10, wall_clock_seconds=0.0)
+        assert stats.evaluations_per_second == 0.0
+        stats.wall_clock_seconds = 1e-12
+        assert stats.evaluations_per_second == 0.0
+
+    def test_no_fresh_evaluations_is_zero_throughput(self):
+        stats = RunStatistics(models_evaluated=0, cache_hits=50, wall_clock_seconds=2.0)
+        assert stats.evaluations_per_second == 0.0
+        assert stats.average_evaluation_seconds == 0.0
+
+    def test_normal_case(self):
+        stats = RunStatistics(
+            models_evaluated=20, wall_clock_seconds=4.0, total_evaluation_seconds=8.0
+        )
+        assert stats.evaluations_per_second == 5.0
+        assert stats.average_evaluation_seconds == 0.4
+        assert np.isfinite(stats.to_dict()["evaluations_per_second"])

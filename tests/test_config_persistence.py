@@ -193,3 +193,26 @@ class TestCLIPrecedence:
         )
         with pytest.raises(SystemExit):
             resolve_run_config(args)
+
+    def test_eval_batch_flag_and_validation(self, config, tmp_path):
+        path = tmp_path / "config.json"
+        config.save(path)
+        args = self._args(
+            ["run", "--dataset", "credit-g", "--scale", "0.05",
+             "--config", str(path), "--eval-batch", "8"]
+        )
+        _, resolved = resolve_run_config(args)
+        assert resolved.eval_batch_size == 8
+        assert resolved.to_engine_config().eval_batch_size == 8
+        args = self._args(
+            ["run", "--dataset", "credit-g", "--scale", "0.05", "--eval-batch", "0"]
+        )
+        with pytest.raises(SystemExit):
+            resolve_run_config(args)
+
+    def test_eval_batch_size_roundtrip_and_validation(self, config):
+        updated = config.with_overrides(["eval_batch_size=4"])
+        assert updated.eval_batch_size == 4
+        assert ECADConfig.from_dict(updated.to_dict()).eval_batch_size == 4
+        with pytest.raises(ConfigurationError, match="eval_batch_size"):
+            config.with_overrides(["eval_batch_size=0"])

@@ -1,0 +1,170 @@
+"""Exact equivalence of the vectorized hardware sweeps vs the scalar model.
+
+The vectorized paths may only replace the scalar loops if they compute the
+*same floats* — a selection decision flipped by a reassociated sum would
+change search trajectories.  Every comparison here is ``==``/``array_equal``,
+never ``allclose``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    ARRIA10_GX1150,
+    FPGAPerformanceModel,
+    GridConfig,
+    GridSearchSpace,
+    evaluate_workloads,
+    sweep_grid_configs,
+)
+from repro.nn.mlp import MLPSpec
+
+SPECS = [
+    MLPSpec(input_size=784, output_size=10, hidden_sizes=(128, 64), activations=("relu", "relu")),
+    MLPSpec(input_size=20, output_size=2, hidden_sizes=(32,), activations=("tanh",)),
+    MLPSpec(input_size=561, output_size=6, hidden_sizes=(100, 50, 25), activations=("relu",) * 3),
+]
+
+# A deliberately mixed slice of the design space: tiny, large, uneven,
+# infeasible-on-Arria10 and default-shaped configurations.
+CONFIG_SAMPLE = [
+    GridConfig(1, 1, 1, 1, 1),
+    GridConfig(4, 4, 8, 8, 4),
+    GridConfig(8, 8, 8, 8, 8),
+    GridConfig(16, 16, 4, 2, 8),
+    GridConfig(32, 32, 8, 8, 16),  # blows the DSP budget
+    GridConfig(2, 32, 16, 16, 2),
+    GridConfig(32, 2, 1, 32, 4),
+    GridConfig(1, 16, 32, 32, 16),
+]
+
+
+@pytest.fixture()
+def model():
+    return FPGAPerformanceModel(ARRIA10_GX1150)
+
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("spec_index", range(len(SPECS)))
+    @pytest.mark.parametrize("batch_size", [16, 1024])
+    def test_sweep_matches_scalar_evaluate_bitwise(self, model, spec_index, batch_size):
+        spec = SPECS[spec_index]
+        shapes = spec.gemm_shapes(batch_size)
+        sweep = sweep_grid_configs(model, shapes, CONFIG_SAMPLE, batch_size)
+        for index, config in enumerate(CONFIG_SAMPLE):
+            assert bool(sweep.fits[index]) == config.fits(model.device)
+            if not config.fits(model.device):
+                continue
+            scalar = model.evaluate_shapes(shapes, config, batch_size)
+            assert sweep.potential_gflops[index] == scalar.potential_gflops
+            assert sweep.effective_gflops[index] == scalar.effective_gflops
+            assert sweep.total_time_seconds[index] == scalar.total_time_seconds
+            assert sweep.outputs_per_second[index] == scalar.outputs_per_second
+            assert sweep.latency_seconds[index] == scalar.latency_seconds
+            assert sweep.efficiency[index] == scalar.efficiency
+            assert sweep.dram_bytes[index] == scalar.dram_bytes
+            assert sweep.power_watts[index] == scalar.power_watts
+            assert bool(sweep.compute_bound[index]) == scalar.compute_bound
+
+    def test_sweep_over_full_default_space(self, model):
+        # The whole 6480-config default space in one pass, spot-checked
+        # bitwise against the scalar model on a deterministic sample.
+        spec = SPECS[1]
+        shapes = spec.gemm_shapes(64)
+        configs = GridSearchSpace().all_configs()
+        sweep = sweep_grid_configs(model, shapes, configs, 64)
+        assert len(sweep.configs) == len(configs)
+        rng = np.random.default_rng(0)
+        for index in rng.choice(len(configs), size=60, replace=False):
+            config = configs[index]
+            assert bool(sweep.fits[index]) == config.fits(model.device)
+            if config.fits(model.device):
+                scalar = model.evaluate_shapes(shapes, config, 64)
+                assert sweep.outputs_per_second[index] == scalar.outputs_per_second
+                assert sweep.efficiency[index] == scalar.efficiency
+
+    def test_empty_inputs_raise(self, model):
+        with pytest.raises(ValueError, match="empty GEMM workload"):
+            sweep_grid_configs(model, [], CONFIG_SAMPLE, 16)
+        with pytest.raises(ValueError, match="candidates must not be empty"):
+            sweep_grid_configs(model, SPECS[0].gemm_shapes(16), [], 16)
+
+
+class TestWorkloadBatchEquivalence:
+    def test_batch_metrics_equal_scalar_metrics(self, model):
+        workloads = []
+        for spec, batch_size in [(SPECS[0], 16), (SPECS[1], 256), (SPECS[2], 64), (SPECS[0], 64)]:
+            config = GridConfig(8, 8, 8, 8, 8) if batch_size != 64 else GridConfig(4, 4, 8, 8, 4)
+            workloads.append((spec.gemm_shapes(batch_size), config, batch_size))
+        batched = evaluate_workloads(model, workloads)
+        assert len(batched) == len(workloads)
+        for (shapes, config, batch_size), metrics in zip(workloads, batched):
+            scalar = model.evaluate_shapes(shapes, config, batch_size)
+            assert metrics == scalar
+
+    def test_infeasible_workload_raises_like_scalar(self, model):
+        workloads = [(SPECS[0].gemm_shapes(16), GridConfig(32, 32, 8, 8, 16), 16)]
+        with pytest.raises(ValueError, match="DSP blocks"):
+            evaluate_workloads(model, workloads)
+
+
+class TestBestGridEquivalence:
+    def test_vectorized_selection_matches_scalar_loop(self, model):
+        reference = FPGAPerformanceModel(ARRIA10_GX1150)
+        candidates = CONFIG_SAMPLE
+        for spec in SPECS:
+            for objective in ("outputs_per_second", "efficiency", "latency_seconds"):
+                config, metrics = model.best_grid_for(
+                    spec, candidates, batch_size=32, objective=objective
+                )
+                expected_config, expected_metrics = reference._best_grid_scalar(
+                    spec, candidates, batch_size=32, objective=objective
+                )
+                assert config == expected_config
+                assert metrics == expected_metrics
+
+    def test_selection_over_default_space_matches(self, model):
+        reference = FPGAPerformanceModel(ARRIA10_GX1150)
+        candidates = GridSearchSpace(
+            rows=(1, 4, 16),
+            columns=(2, 8),
+            interleave_rows=(1, 8),
+            interleave_columns=(4, 16),
+            vector_width=(1, 8),
+        ).all_configs()
+        config, metrics = model.best_grid_for(SPECS[2], candidates, batch_size=128)
+        expected_config, expected_metrics = reference._best_grid_scalar(
+            SPECS[2], candidates, batch_size=128, objective="outputs_per_second"
+        )
+        assert config == expected_config
+        assert metrics == expected_metrics
+
+    def test_best_grid_memoized(self, model):
+        candidates = CONFIG_SAMPLE
+        first = model.best_grid_for(SPECS[0], candidates, batch_size=16)
+        assert len(model._best_grid_cache) == 1
+        second = model.best_grid_for(SPECS[0], candidates, batch_size=16)
+        assert second[0] is first[0]
+        assert second[1] is first[1]
+        assert len(model._best_grid_cache) == 1
+        model.best_grid_for(SPECS[0], candidates, batch_size=32)
+        assert len(model._best_grid_cache) == 2
+
+    def test_no_fitting_candidate_raises(self, model):
+        with pytest.raises(ValueError, match="no candidate grid configuration fits"):
+            model.best_grid_for(SPECS[0], [GridConfig(32, 32, 8, 8, 16)], batch_size=16)
+        with pytest.raises(ValueError, match="candidates must not be empty"):
+            model.best_grid_for(SPECS[0], [], batch_size=16)
+
+    def test_unsupported_objective_falls_back_to_scalar(self, model):
+        config, metrics = model.best_grid_for(
+            SPECS[1], CONFIG_SAMPLE, batch_size=16, objective="batch_size"
+        )
+        reference = FPGAPerformanceModel(ARRIA10_GX1150)
+        expected_config, expected_metrics = reference._best_grid_scalar(
+            SPECS[1], CONFIG_SAMPLE, batch_size=16, objective="batch_size"
+        )
+        assert config == expected_config
+        assert metrics == expected_metrics

@@ -1,0 +1,301 @@
+"""Bit-identical equivalence of the batched training path vs the scalar path.
+
+The batched evaluation pipeline is only usable because its results are
+*exactly* those of the per-candidate path at fixed seeds — same cache keys,
+same store rows, same search trajectories.  These tests pin that contract:
+every accuracy, loss curve and early-stop epoch must match to the last bit
+(``==``, not ``allclose``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticSpec, make_classification
+from repro.nn import MLPSpec, TrainingConfig
+from repro.nn.batched import BatchedTrainer, train_and_score_batch
+from repro.nn.evaluation import (
+    evaluate_kfold,
+    evaluate_kfold_batch,
+    evaluate_single_fold,
+    evaluate_single_fold_batch,
+)
+from repro.nn.mlp import MLP
+from repro.nn.training import Trainer
+
+
+def _dataset(seed: int = 0, samples: int = 160, features: int = 12, classes: int = 3):
+    spec = SyntheticSpec(
+        name="batched-test",
+        num_features=features,
+        num_classes=classes,
+        num_samples=samples,
+    )
+    return make_classification(spec, seed=seed)
+
+
+def _assert_histories_identical(batched, scalar) -> None:
+    assert batched.train_loss == scalar.train_loss
+    assert batched.train_accuracy == scalar.train_accuracy
+    assert batched.validation_accuracy == scalar.validation_accuracy
+    assert batched.epochs_run == scalar.epochs_run
+    assert batched.stopped_early == scalar.stopped_early
+
+
+def _scalar_fit(spec, config, features, labels, seed):
+    model = MLP(spec, seed=seed)
+    trainer = Trainer(config, seed=seed)
+    history = trainer.fit(model, features, labels)
+    return model, history
+
+
+SPEC = MLPSpec(input_size=12, output_size=3, hidden_sizes=(16, 8), activations=("relu", "tanh"))
+
+
+class TestBatchedTrainerEquivalence:
+    @pytest.mark.parametrize("optimizer", ["sgd", "momentum", "rmsprop", "adam"])
+    def test_single_member_group_matches_scalar(self, optimizer):
+        dataset = _dataset(seed=1)
+        config = TrainingConfig(epochs=6, batch_size=16, optimizer=optimizer, learning_rate=0.01)
+        scalar_model, scalar_history = _scalar_fit(
+            SPEC, config, dataset.features, dataset.labels, seed=7
+        )
+        group, histories = BatchedTrainer(config).fit(
+            SPEC, [dataset.features], [dataset.labels], seeds=[7]
+        )
+        _assert_histories_identical(histories[0], scalar_history)
+        for index, layer in enumerate(scalar_model.layers):
+            assert np.array_equal(group.weights[index][0], layer.weights)
+            assert np.array_equal(group.biases[index][0], layer.bias)
+
+    def test_group_matches_per_candidate_loop_across_seeds(self):
+        dataset = _dataset(seed=2)
+        config = TrainingConfig(epochs=8, batch_size=32, learning_rate=0.005)
+        seeds = [3, 11, 42, 1234]
+        group, histories = BatchedTrainer(config).fit(
+            SPEC,
+            [dataset.features] * len(seeds),
+            [dataset.labels] * len(seeds),
+            seeds=seeds,
+        )
+        for position, seed in enumerate(seeds):
+            scalar_model, scalar_history = _scalar_fit(
+                SPEC, config, dataset.features, dataset.labels, seed=seed
+            )
+            _assert_histories_identical(histories[position], scalar_history)
+            for index, layer in enumerate(scalar_model.layers):
+                assert np.array_equal(group.weights[index][position], layer.weights)
+                assert np.array_equal(group.biases[index][position], layer.bias)
+
+    def test_early_stopping_epochs_match_per_seed(self):
+        # A patient config on an easy dataset makes candidates stop at
+        # different epochs; frozen candidates must not perturb the others.
+        dataset = _dataset(seed=3, samples=200)
+        config = TrainingConfig(
+            epochs=20, batch_size=16, learning_rate=0.05, early_stopping_patience=2
+        )
+        seeds = [0, 1, 2, 3, 4, 5]
+        _, histories = BatchedTrainer(config).fit(
+            SPEC,
+            [dataset.features] * len(seeds),
+            [dataset.labels] * len(seeds),
+            seeds=seeds,
+        )
+        stop_epochs = set()
+        for position, seed in enumerate(seeds):
+            _, scalar_history = _scalar_fit(
+                SPEC, config, dataset.features, dataset.labels, seed=seed
+            )
+            _assert_histories_identical(histories[position], scalar_history)
+            stop_epochs.add(scalar_history.epochs_run)
+        # The scenario must actually exercise divergent stopping points.
+        assert len(stop_epochs) > 1
+
+    def test_no_bias_and_no_shuffle(self):
+        dataset = _dataset(seed=4)
+        spec = MLPSpec(
+            input_size=12, output_size=3, hidden_sizes=(10,), activations=("sigmoid",), use_bias=False
+        )
+        config = TrainingConfig(epochs=4, batch_size=16, shuffle=False)
+        _, histories = BatchedTrainer(config).fit(
+            spec, [dataset.features] * 2, [dataset.labels] * 2, seeds=[9, 10]
+        )
+        for position, seed in enumerate([9, 10]):
+            _, scalar_history = _scalar_fit(
+                spec, config, dataset.features, dataset.labels, seed=seed
+            )
+            _assert_histories_identical(histories[position], scalar_history)
+
+    def test_validation_disabled_runs_all_epochs(self):
+        dataset = _dataset(seed=5)
+        config = TrainingConfig(epochs=3, batch_size=16, early_stopping_patience=0)
+        _, histories = BatchedTrainer(config).fit(
+            SPEC, [dataset.features], [dataset.labels], seeds=[1]
+        )
+        _, scalar_history = _scalar_fit(SPEC, config, dataset.features, dataset.labels, seed=1)
+        _assert_histories_identical(histories[0], scalar_history)
+        assert histories[0].epochs_run == 3
+        assert histories[0].validation_accuracy == []
+
+    def test_train_and_score_batch_scores_match(self):
+        train = _dataset(seed=6, samples=140)
+        test = _dataset(seed=7, samples=60)
+        config = TrainingConfig(epochs=5, batch_size=16)
+        seeds = [21, 22, 23]
+        scored = train_and_score_batch(
+            SPEC,
+            [train.features] * 3,
+            [train.labels] * 3,
+            [test.features] * 3,
+            [test.labels] * 3,
+            training_config=config,
+            seeds=seeds,
+        )
+        for (score, history), seed in zip(scored, seeds):
+            model, scalar_history = _scalar_fit(
+                SPEC, config, train.features, train.labels, seed=seed
+            )
+            from repro.nn.metrics import accuracy
+
+            assert score == accuracy(model.predict(test.features), test.labels)
+            _assert_histories_identical(history, scalar_history)
+
+
+class TestBatchedEvaluationEquivalence:
+    def test_single_fold_batch_matches_loop(self):
+        train = _dataset(seed=8, samples=150)
+        test = _dataset(seed=9, samples=50)
+        config = TrainingConfig(epochs=5, batch_size=16, early_stopping_patience=2)
+        seeds = [5, 17, 29]
+        batched = evaluate_single_fold_batch(
+            SPEC,
+            train.features,
+            train.labels,
+            test.features,
+            test.labels,
+            training_config=config,
+            seeds=seeds,
+        )
+        for result, seed in zip(batched, seeds):
+            scalar = evaluate_single_fold(
+                SPEC,
+                train.features,
+                train.labels,
+                test.features,
+                test.labels,
+                training_config=config,
+                seed=seed,
+            )
+            assert result.accuracy == scalar.accuracy
+            assert result.fold_accuracies == scalar.fold_accuracies
+            assert result.parameter_count == scalar.parameter_count
+            for batched_history, scalar_history in zip(result.histories, scalar.histories):
+                _assert_histories_identical(batched_history, scalar_history)
+
+    def test_single_fold_batch_without_standardization(self):
+        train = _dataset(seed=10, samples=120)
+        test = _dataset(seed=11, samples=40)
+        config = TrainingConfig(epochs=3, batch_size=32)
+        batched = evaluate_single_fold_batch(
+            SPEC,
+            train.features,
+            train.labels,
+            test.features,
+            test.labels,
+            training_config=config,
+            seeds=[4],
+            standardize=False,
+        )
+        scalar = evaluate_single_fold(
+            SPEC,
+            train.features,
+            train.labels,
+            test.features,
+            test.labels,
+            training_config=config,
+            seed=4,
+            standardize=False,
+        )
+        assert batched[0].accuracy == scalar.accuracy
+
+    def test_kfold_batch_matches_loop(self):
+        dataset = _dataset(seed=12, samples=110)
+        config = TrainingConfig(epochs=3, batch_size=16, early_stopping_patience=2)
+        seeds = [31, 57]
+        batched = evaluate_kfold_batch(
+            SPEC,
+            dataset.features,
+            dataset.labels,
+            num_folds=5,
+            training_config=config,
+            seeds=seeds,
+        )
+        for result, seed in zip(batched, seeds):
+            scalar = evaluate_kfold(
+                SPEC,
+                dataset.features,
+                dataset.labels,
+                num_folds=5,
+                training_config=config,
+                seed=seed,
+            )
+            assert result.accuracy == scalar.accuracy
+            assert result.fold_accuracies == scalar.fold_accuracies
+            for batched_history, scalar_history in zip(result.histories, scalar.histories):
+                _assert_histories_identical(batched_history, scalar_history)
+
+    def test_kfold_batch_respects_small_group_chunks(self):
+        dataset = _dataset(seed=13, samples=90)
+        config = TrainingConfig(epochs=2, batch_size=16)
+        chunked = evaluate_kfold_batch(
+            SPEC,
+            dataset.features,
+            dataset.labels,
+            num_folds=4,
+            training_config=config,
+            seeds=[8],
+            max_group_size=1,
+        )
+        unchunked = evaluate_kfold_batch(
+            SPEC,
+            dataset.features,
+            dataset.labels,
+            num_folds=4,
+            training_config=config,
+            seeds=[8],
+            max_group_size=16,
+        )
+        assert chunked[0].fold_accuracies == unchunked[0].fold_accuracies
+
+    def test_mixed_topologies_batch_by_spec(self):
+        # The worker groups by spec; here we assert each spec group alone
+        # reproduces the scalar loop, covering a mixed-topology population.
+        train = _dataset(seed=14, samples=100)
+        test = _dataset(seed=15, samples=40)
+        config = TrainingConfig(epochs=3, batch_size=16)
+        specs = [
+            MLPSpec(input_size=12, output_size=3, hidden_sizes=(8,), activations=("relu",)),
+            MLPSpec(input_size=12, output_size=3, hidden_sizes=(24, 12), activations=("elu", "relu")),
+        ]
+        for spec in specs:
+            batched = evaluate_single_fold_batch(
+                spec,
+                train.features,
+                train.labels,
+                test.features,
+                test.labels,
+                training_config=config,
+                seeds=[2, 3],
+            )
+            for result, seed in zip(batched, [2, 3]):
+                scalar = evaluate_single_fold(
+                    spec,
+                    train.features,
+                    train.labels,
+                    test.features,
+                    test.labels,
+                    training_config=config,
+                    seed=seed,
+                )
+                assert result.accuracy == scalar.accuracy
