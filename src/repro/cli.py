@@ -39,6 +39,14 @@ next search from the best stored candidates::
     ecad store export --store results/ecad.sqlite --output store.csv
     ecad store prune --store results/ecad.sqlite --keep-best 50
 
+Run a long-lived co-design service and submit jobs to it::
+
+    ecad serve --port 8282 --data-dir results/service
+    ecad submit --server localhost:8282 --dataset credit-g --max-evaluations 60
+    ecad jobs --server localhost:8282
+    ecad result --server localhost:8282 JOB_ID --wait
+    ecad cancel --server localhost:8282 JOB_ID
+
 Inspect what is registered::
 
     ecad datasets
@@ -53,12 +61,13 @@ import json
 import sys
 from dataclasses import replace
 
+from . import __version__
 from .analysis.reporting import format_scientific, format_table, save_rows_csv
 from .core.callbacks import ProgressLogger
-from .core.config import ECADConfig, OptimizationTargetConfig
-from .core.errors import ConfigurationError, StoreError
+from .core.config import ECADConfig, OptimizationTargetConfig, ServiceConfig
+from .core.errors import ConfigurationError, ServiceError, StoreError
 from .core.pareto import knee_point, make_points
-from .core.search import CoDesignSearch
+from .core.search import CoDesignSearch, close_active_searches
 from .core.strategy import available_strategies
 from .datasets.csv_io import load_dataset_csv
 from .datasets.registry import available_datasets, dataset_entries, load_dataset
@@ -75,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ecad",
         description="Evolutionary co-design of MLPs and FPGA overlay hardware (ECAD reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -182,10 +194,100 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume_parser.add_argument("output_dir", help="directory a previous 'ecad sweep' wrote")
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the long-lived co-design job service (JSON HTTP API)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8282, help="bind port (0 = ephemeral)")
+    serve_parser.add_argument(
+        "--data-dir",
+        default="ecad-service",
+        help="service state directory (job queue, per-job artifacts)",
+    )
+    serve_parser.add_argument(
+        "--queue",
+        default="",
+        metavar="PATH",
+        help="job queue SQLite file (default: <data-dir>/queue.sqlite)",
+    )
+    serve_parser.add_argument(
+        "--store",
+        default="",
+        metavar="PATH",
+        help="shared persistent evaluation store used by every job",
+    )
+    serve_parser.add_argument(
+        "--max-jobs", type=int, default=1, help="jobs executed concurrently"
+    )
+    serve_parser.add_argument(
+        "--backend",
+        default="threads",
+        help=f"shared execution backend for candidate evaluation ({', '.join(available_backends())})",
+    )
+    serve_parser.add_argument(
+        "--eval-workers", type=int, default=4, help="worker-pool size of the shared backend"
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a co-design job to a running service"
+    )
+    _add_server_argument(submit_parser)
+    submit_parser.add_argument(
+        "--spec", default="", metavar="FILE", help="ExperimentSpec JSON file to submit as-is"
+    )
+    submit_parser.add_argument("--dataset", default="", help="registered dataset name (single-run shorthand)")
+    submit_parser.add_argument(
+        "--objective",
+        default="codesign",
+        help="objective spec for the single-run shorthand (e.g. accuracy, codesign, nsga2:codesign)",
+    )
+    submit_parser.add_argument("--seed", type=int, default=0, help="search seed")
+    submit_parser.add_argument("--scale", type=float, default=None, help="sample-count scale for synthetic datasets")
+    submit_parser.add_argument("--name", default="", help="job name (default: derived from the spec)")
+    submit_parser.add_argument(
+        "--set",
+        action="append",
+        dest="overrides",
+        default=[],
+        metavar="KEY=VALUE",
+        help="configuration override by dotted key (repeatable, JSON values accepted)",
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true", help="block until the job finishes and print its result"
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=None, help="give up after this many seconds with --wait"
+    )
+
+    jobs_parser = subparsers.add_parser("jobs", help="list jobs on a running service")
+    _add_server_argument(jobs_parser)
+    jobs_parser.add_argument("--state", default=None, help="filter by state (queued, running, done, failed, cancelled)")
+    jobs_parser.add_argument("--limit", type=int, default=50, help="maximum rows to print")
+
+    result_parser = subparsers.add_parser("result", help="fetch one job's status or final result")
+    _add_server_argument(result_parser)
+    result_parser.add_argument("job_id", help="job id returned by 'ecad submit'")
+    result_parser.add_argument("--wait", action="store_true", help="block until the job reaches a terminal state")
+    result_parser.add_argument("--timeout", type=float, default=None, help="give up after this many seconds with --wait")
+    result_parser.add_argument("--output", default="", metavar="FILE", help="write the full result payload as JSON")
+
+    cancel_parser = subparsers.add_parser("cancel", help="cancel a queued or running job")
+    _add_server_argument(cancel_parser)
+    cancel_parser.add_argument("job_id", help="job id returned by 'ecad submit'")
+
     subparsers.add_parser("datasets", help="list the registered datasets")
     subparsers.add_parser("backends", help="list the registered execution backends and worker types")
     subparsers.add_parser("devices", help="list the registered FPGA and GPU devices")
     return parser
+
+
+def _add_server_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server",
+        default="127.0.0.1:8282",
+        metavar="HOST:PORT",
+        help="address of a running 'ecad serve' instance",
+    )
 
 
 def _add_search_arguments(
@@ -642,6 +744,129 @@ def _command_resume(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
+# ------------------------------------------------------------------- service
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import CoDesignService
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        queue_path=args.queue,
+        store_path=args.store,
+        max_concurrent_jobs=args.max_jobs,
+        backend=args.backend,
+        eval_workers=args.eval_workers,
+    )
+    service = CoDesignService(config, printer=print)
+    service.start()
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\ninterrupted: re-queueing running jobs and shutting down")
+        service.stop()
+        return 130
+    service.stop()
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    return ServiceClient(args.server)
+
+
+def _job_row(job: dict) -> dict:
+    return {
+        "job_id": job["job_id"],
+        "name": job["name"],
+        "state": job["state"],
+        "cells": f"{job['completed_cells']}/{job['total_cells']}" if job["total_cells"] else "-",
+        "attempts": job["attempts"],
+        "error": (job.get("error") or "")[:40],
+    }
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from .core.config import parse_override
+
+    if bool(args.spec) == bool(args.dataset):
+        raise SystemExit("error: provide either --spec FILE or --dataset NAME")
+    if args.spec:
+        with open(args.spec) as handle:
+            body: dict = {"spec": json.load(handle)}
+    else:
+        run: dict = {"dataset": args.dataset, "objective": args.objective, "seed": args.seed}
+        if args.scale is not None:
+            run["scale"] = args.scale
+        if args.overrides:
+            run["overrides"] = dict(parse_override(item) for item in args.overrides)
+        body = {"run": run}
+    if args.name:
+        body["name"] = args.name
+
+    client = _service_client(args)
+    job = client.submit(body)
+    print(f"submitted job {job['job_id']} ({job['name']}) -> {job['state']}")
+    if not args.wait:
+        print(f"poll it with: ecad result --server {args.server} {job['job_id']}")
+        return 0
+    payload = client.wait(job["job_id"], timeout=args.timeout)
+    return _print_result(payload)
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    jobs = client.jobs(state=args.state, limit=args.limit)
+    if not jobs:
+        print("no jobs" + (f" in state {args.state!r}" if args.state else ""))
+        return 0
+    print(format_table([_job_row(job) for job in jobs], title=f"Jobs on {client.base_url}"))
+    return 0
+
+
+def _print_result(payload: dict) -> int:
+    state = payload.get("state", "?")
+    print(f"job {payload.get('job_id')} ({payload.get('name')}): {state}")
+    result = payload.get("result") or {}
+    if result:
+        print(f"  cells: {result.get('completed_cells')}/{result.get('grid_size')} completed, "
+              f"{result.get('failed_cells')} failed")
+        print(f"  result digest: {result.get('result_digest')}")
+    if payload.get("error"):
+        print(f"  error: {payload['error']}")
+    return 0 if state == "done" else 1
+
+
+def _command_result(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if args.wait:
+        payload = client.wait(args.job_id, timeout=args.timeout)
+    else:
+        finished, payload = client.result(args.job_id)
+        if not finished:
+            print(f"job {args.job_id}: {payload.get('state')} "
+                  f"({payload.get('completed_cells')}/{payload.get('total_cells')} cells)")
+            return 1
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote result payload to {args.output}")
+    return _print_result(payload)
+
+
+def _command_cancel(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    job = client.cancel(args.job_id)
+    if job["state"] == "cancelled":
+        print(f"job {args.job_id} cancelled")
+    elif job.get("cancel_requested"):
+        print(f"job {args.job_id} is {job['state']}; it will stop at the next checkpoint")
+    else:
+        print(f"job {args.job_id} already {job['state']}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``ecad`` console script."""
     parser = build_parser()
@@ -665,8 +890,26 @@ def main(argv: list[str] | None = None) -> int:
             return _command_resume(args)
         if args.command == "store":
             return _command_store(args)
-    except (ConfigurationError, StoreError) as exc:
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "submit":
+            return _command_submit(args)
+        if args.command == "jobs":
+            return _command_jobs(args)
+        if args.command == "result":
+            return _command_result(args)
+        if args.command == "cancel":
+            return _command_cancel(args)
+    except (ConfigurationError, StoreError, ServiceError) as exc:
         raise SystemExit(f"error: {exc}") from exc
+    except KeyboardInterrupt:
+        # Close any in-flight search so its evaluation store flushes; cells
+        # that already finished have their RunArtifact checkpoints on disk,
+        # so `ecad resume` / `ecad sweep` pick up exactly where this stopped.
+        closed = close_active_searches()
+        note = f" ({closed} open search(es) closed, checkpoints flushed)" if closed else ""
+        print(f"\ninterrupted{note}", file=sys.stderr)
+        return 130
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -38,6 +38,7 @@ __all__ = [
     "HardwareTargetConfig",
     "OptimizationTargetConfig",
     "StoreConfig",
+    "ServiceConfig",
     "ECADConfig",
     "parse_override",
     "parse_override_value",
@@ -228,6 +229,120 @@ class StoreConfig:
             )
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed store section: {exc!r}") from exc
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Settings of the long-lived ``ecad serve`` co-design service.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address of the HTTP API.  Port 0 asks the OS for a free
+        ephemeral port (useful for tests and CI).
+    data_dir:
+        Root directory of everything the service persists: the job queue
+        database and one artifact directory per job
+        (``<data_dir>/jobs/<job_id>/``).
+    queue_path:
+        Location of the SQLite job-queue database.  Empty (the default)
+        derives ``<data_dir>/queue.sqlite``.
+    store_path:
+        Persistent :class:`~repro.store.EvaluationStore` shared by every job
+        the service runs; empty disables the shared store.
+    max_concurrent_jobs:
+        How many jobs the scheduler keeps running at once.  Queued jobs wait
+        until a slot frees up.
+    backend / eval_workers:
+        Default execution backend and candidate-evaluation parallelism for
+        jobs that do not choose their own.  The service owns one warm
+        backend pool of ``eval_workers`` workers shared by all jobs.
+    long_poll_timeout:
+        Upper bound (seconds) on how long ``GET /jobs/{id}/frontier`` holds
+        a long-poll open before answering with no new events.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8282
+    data_dir: str = "ecad-service"
+    queue_path: str = ""
+    store_path: str = ""
+    max_concurrent_jobs: int = 1
+    backend: str = "threads"
+    eval_workers: int = 4
+    long_poll_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
+        if self.max_concurrent_jobs < 1:
+            raise ConfigurationError(
+                f"max_concurrent_jobs must be >= 1, got {self.max_concurrent_jobs}"
+            )
+        if self.eval_workers < 1:
+            raise ConfigurationError(f"eval_workers must be >= 1, got {self.eval_workers}")
+        if self.long_poll_timeout <= 0:
+            raise ConfigurationError(
+                f"long_poll_timeout must be positive, got {self.long_poll_timeout}"
+            )
+
+    @property
+    def resolved_queue_path(self) -> Path:
+        """The queue database location, derived from ``data_dir`` when unset."""
+        return Path(self.queue_path) if self.queue_path else Path(self.data_dir) / "queue.sqlite"
+
+    @property
+    def jobs_dir(self) -> Path:
+        """Root of the per-job artifact directories."""
+        return Path(self.data_dir) / "jobs"
+
+    # ---------------------------------------------------------------- JSON
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ServiceConfig":
+        """Strict parse; unknown keys are rejected."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"malformed service configuration: expected an object, got {type(data).__name__}"
+            )
+        _reject_unknown_keys(data, _SERVICE_KEYS, section="service")
+        try:
+            return cls(
+                host=str(data.get("host", "127.0.0.1")),
+                port=int(data.get("port", 8282)),
+                data_dir=str(data.get("data_dir", "ecad-service")),
+                queue_path=str(data.get("queue_path", "")),
+                store_path=str(data.get("store_path", "")),
+                max_concurrent_jobs=int(data.get("max_concurrent_jobs", 1)),
+                backend=str(data.get("backend", "threads")),
+                eval_workers=int(data.get("eval_workers", 4)),
+                long_poll_timeout=float(data.get("long_poll_timeout", 30.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed service configuration: {exc!r}") from exc
+
+    def save(self, path: str | Path) -> None:
+        """Write the configuration to a JSON file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ServiceConfig":
+        """Read a configuration from a JSON file."""
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"service configuration file not found: {path}")
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"service configuration {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(data)
 
 
 def _reject_unknown_keys(data: Mapping, allowed: set[str], section: str) -> None:
@@ -558,3 +673,4 @@ _NNA_KEYS = {f.name for f in fields(NNAStructureConfig)}
 _HARDWARE_KEYS = {f.name for f in fields(HardwareTargetConfig)}
 _OPTIMIZATION_KEYS = {f.name for f in fields(OptimizationTargetConfig)}
 _STORE_KEYS = {f.name for f in fields(StoreConfig)}
+_SERVICE_KEYS = {f.name for f in fields(ServiceConfig)}

@@ -16,6 +16,7 @@ __all__ = [
     "EvaluationError",
     "SearchError",
     "StoreError",
+    "ServiceError",
 ]
 
 
@@ -51,3 +52,8 @@ class SearchError(ECADError):
 class StoreError(ECADError):
     """The persistent evaluation store is unusable (corrupt file, schema
     mismatch, write to a read-only store)."""
+
+
+class ServiceError(ECADError):
+    """The co-design job service cannot proceed (bad job payload, unusable
+    queue database, unreachable server)."""

@@ -14,6 +14,8 @@ paper cites evidence that evolution beats random search [4]).
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,7 +32,31 @@ from .frontier import FrontierArchive
 from .genome import CoDesignGenome, CoDesignSearchSpace
 from .pareto import ParetoPoint, evaluation_frontier, top_tradeoff_points
 
-__all__ = ["SearchResult", "CoDesignSearch", "RandomSearch"]
+__all__ = ["SearchResult", "CoDesignSearch", "RandomSearch", "close_active_searches"]
+
+#: Live searches with possibly-open stores / unflushed write-behind caches.
+#: Weak references only — a search that is garbage-collected drops out on its
+#: own; :func:`close_active_searches` sweeps whatever is still alive (the
+#: CLI's KeyboardInterrupt handler uses this to avoid losing store writes).
+_ACTIVE_SEARCHES: "weakref.WeakSet[CoDesignSearch]" = weakref.WeakSet()
+_ACTIVE_LOCK = threading.Lock()
+
+
+def close_active_searches() -> int:
+    """Close every live :class:`CoDesignSearch`; returns how many were closed.
+
+    Flushes each search's write-behind store cache and closes search-owned
+    stores.  Safe to call at any time (``close`` is idempotent); used by the
+    CLI to shut down cleanly on Ctrl-C.
+    """
+    with _ACTIVE_LOCK:
+        searches = list(_ACTIVE_SEARCHES)
+    for search in searches:
+        try:
+            search.close()
+        except Exception:  # noqa: BLE001 - best-effort cleanup must not raise
+            pass
+    return len(searches)
 
 
 @dataclass
@@ -162,6 +188,8 @@ class CoDesignSearch:
             self.cache: EvaluationCache = StoreBackedCache(self.store, self.problem_digest)
         else:
             self.cache = EvaluationCache()
+        with _ACTIVE_LOCK:
+            _ACTIVE_SEARCHES.add(self)
 
     # ----------------------------------------------------------- assembly
     #: Worker types consulted for every candidate, resolved by registered
@@ -276,6 +304,8 @@ class CoDesignSearch:
         if self._owns_store and self.store is not None:
             self.store.close()
             self.store = None
+        with _ACTIVE_LOCK:
+            _ACTIVE_SEARCHES.discard(self)
 
     def _flush_store(self) -> None:
         flush = getattr(self.cache, "flush", None)

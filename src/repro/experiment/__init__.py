@@ -18,7 +18,7 @@ This package is the public face of the "unified experiment API":
 
 from ..registry import Registry
 from .artifacts import ExperimentReport, RunArtifact
-from .runner import ExperimentRunner, resume_experiment
+from .runner import ExperimentRunner, StopExperiment, resume_experiment
 from .spec import ExperimentSpec, RunCell, objective_config_from_spec
 
 __all__ = [
@@ -29,5 +29,6 @@ __all__ = [
     "RunArtifact",
     "ExperimentReport",
     "ExperimentRunner",
+    "StopExperiment",
     "resume_experiment",
 ]

@@ -31,7 +31,18 @@ from ..workers.backends import resolve_backend
 from .artifacts import ExperimentReport, RunArtifact
 from .spec import ExperimentSpec, RunCell, objective_config_from_spec, split_objective_spec
 
-__all__ = ["ExperimentRunner", "resume_experiment"]
+__all__ = ["StopExperiment", "ExperimentRunner", "resume_experiment"]
+
+
+class StopExperiment(Exception):
+    """Raised to interrupt a running grid between (or inside) cells.
+
+    The runner lets this exception propagate instead of recording a failed
+    artifact, so every cell that already finished keeps its checkpoint and a
+    later ``run(resume=True)`` picks up exactly where the grid stopped.  The
+    ``ecad serve`` job runtime raises it for job cancellation and graceful
+    server shutdown.
+    """
 
 
 class ExperimentRunner:
@@ -47,6 +58,25 @@ class ExperimentRunner:
     printer:
         Optional progress callable (e.g. ``print``); ``None`` keeps the
         runner silent.
+    store:
+        Externally owned :class:`~repro.store.EvaluationStore` shared by
+        every cell (the search never closes it).  ``None`` lets each cell
+        open its own store from its configuration, as before.
+    backend:
+        Externally owned :class:`~repro.workers.backends.ExecutionBackend`
+        instance shared by every cell's master; ``None`` resolves a fresh
+        backend per cell from the spec's ``backend`` name.
+    callback_factory:
+        ``(cell, config) -> list[Callback]`` hook: extra engine callbacks
+        installed on each cell's search (live frontier streaming,
+        cancellation checks, ...).
+    on_cell_complete:
+        ``(cell, artifact) -> None`` hook fired right after a cell's
+        artifact has been written to disk — the per-stage checkpoint signal
+        the job service records progress from.
+    stop:
+        ``() -> bool`` poll; when it returns True the runner raises
+        :class:`StopExperiment` before starting the next cell.
     """
 
     def __init__(
@@ -54,12 +84,25 @@ class ExperimentRunner:
         spec: ExperimentSpec,
         output_dir: str | Path | None = None,
         printer: Callable[[str], None] | None = None,
+        store=None,
+        backend=None,
+        callback_factory: Callable[[RunCell, ECADConfig], list] | None = None,
+        on_cell_complete: Callable[[RunCell, RunArtifact], None] | None = None,
+        stop: Callable[[], bool] | None = None,
     ) -> None:
         self.spec = spec
         self.output_dir = Path(output_dir or spec.output_dir or Path("experiments") / spec.name)
         self.runs_dir = self.output_dir / "runs"
         self._printer = printer
         self._digest = spec.cell_digest()
+        self._store = store
+        self._backend = backend
+        self._callback_factory = callback_factory
+        self._on_cell_complete = on_cell_complete
+        self._stop = stop
+
+    def _stop_requested(self) -> bool:
+        return self._stop is not None and bool(self._stop())
 
     # ----------------------------------------------------------- checkpoints
     def artifact_path(self, cell: RunCell) -> Path:
@@ -130,6 +173,10 @@ class ExperimentRunner:
             self._run_concurrent(pending, results)
         else:
             for cell in pending:
+                if self._stop_requested():
+                    raise StopExperiment(
+                        f"experiment {self.spec.name!r} stopped before cell {cell.run_id}"
+                    )
                 self._finish_cell(cell, self._execute_cell(cell), results)
 
         report = ExperimentReport(
@@ -141,6 +188,8 @@ class ExperimentRunner:
 
     def _run_concurrent(self, pending: list[RunCell], results: dict[str, RunArtifact]) -> None:
         """Fan whole cells through a thread-pool execution backend."""
+        if self._stop_requested():
+            raise StopExperiment(f"experiment {self.spec.name!r} stopped before dispatch")
         backend = resolve_backend("threads", max_workers=self.spec.run_parallelism)
         try:
             futures = [(backend.submit(self._execute_cell, cell), cell) for cell in pending]
@@ -155,6 +204,8 @@ class ExperimentRunner:
     ) -> None:
         artifact.save(self.artifact_path(cell))
         results[cell.run_id] = artifact
+        if self._on_cell_complete is not None:
+            self._on_cell_complete(cell, artifact)
         if artifact.completed:
             self._log(
                 f"[{cell.run_id}] completed: best accuracy {artifact.best_accuracy:.4f} "
@@ -164,12 +215,23 @@ class ExperimentRunner:
             self._log(f"[{cell.run_id}] FAILED: {artifact.error}")
 
     def _execute_cell(self, cell: RunCell) -> RunArtifact:
-        """Run one grid cell end to end; never raises."""
+        """Run one grid cell end to end; never raises (except to stop the grid)."""
         start = time.perf_counter()
         try:
             dataset = load_dataset(cell.dataset, seed=self.spec.data_seed, scale=self.spec.scale)
             config = self.build_config(cell, dataset)
-            search = CoDesignSearch(dataset, config=config)
+            callbacks = (
+                self._callback_factory(cell, config)
+                if self._callback_factory is not None
+                else None
+            )
+            search = CoDesignSearch(
+                dataset,
+                config=config,
+                callbacks=callbacks,
+                backend=self._backend,
+                store=self._store,
+            )
             try:
                 result = search.run()
             finally:
@@ -177,6 +239,10 @@ class ExperimentRunner:
             return RunArtifact.from_result(
                 cell, result, time.perf_counter() - start, cell_digest=self._digest
             )
+        except StopExperiment:
+            # Deliberate interruption (job cancel, server shutdown): no failed
+            # artifact — the cell stays pending and resumes on the next run.
+            raise
         except Exception as exc:  # noqa: BLE001 - a failed cell must not kill the grid
             return RunArtifact.from_failure(
                 cell, str(exc), time.perf_counter() - start, cell_digest=self._digest

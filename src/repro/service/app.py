@@ -1,0 +1,184 @@
+"""The co-design service: HTTP API wired onto the queue and the runtime.
+
+:class:`CoDesignService` composes the three service layers — the durable
+:class:`~repro.service.jobs.JobQueue`, the warm
+:class:`~repro.service.runtime.ServiceRuntime`, and the
+:class:`~repro.service.http.ServiceHTTPServer` — and registers the JSON API:
+
+======  ==============================  =============================================
+Method  Path                            Meaning
+======  ==============================  =============================================
+POST    ``/jobs``                       Submit a job (``{"spec": ...}`` or ``{"run": ...}``)
+GET     ``/jobs``                       List jobs (``?state=``, ``?limit=``)
+GET     ``/jobs/{id}``                  One job's status and per-stage progress
+GET     ``/jobs/{id}/result``           Final result (202 while the job still runs)
+GET     ``/jobs/{id}/frontier``         Long-poll frontier events (``?since=N``)
+DELETE  ``/jobs/{id}``                  Cancel (queued: immediate; running: next checkpoint)
+GET     ``/healthz``                    Liveness + version
+GET     ``/metrics``                    Queue depth, evals/s, store hit rate
+======  ==============================  =============================================
+"""
+
+from __future__ import annotations
+
+from .. import __version__
+from ..core.config import ServiceConfig
+from ..core.errors import ServiceError
+from .http import ApiError, Request, Router, ServiceHTTPServer
+from .jobs import JobQueue, JobRecord
+from .runtime import ServiceRuntime, normalize_job_spec
+
+__all__ = ["CoDesignService"]
+
+
+class CoDesignService:
+    """One running ``ecad serve`` instance.
+
+    Parameters
+    ----------
+    config:
+        Service settings (bind address, queue path, concurrency, store).
+    printer:
+        Optional progress callable (e.g. ``print``); ``None`` keeps the
+        service silent — tests run it quietly, the CLI passes ``print``.
+
+    The constructor only builds state; call :meth:`start` to recover
+    interrupted jobs, spin up the scheduler, and bind the HTTP socket.
+    ``serve_forever`` / ``stop`` drive the blocking CLI path, while tests use
+    ``start()`` + ``stop()`` around an ephemeral port.
+    """
+
+    def __init__(self, config: ServiceConfig, printer=None) -> None:
+        self.config = config
+        self._printer = printer
+        self.queue = JobQueue(config.resolved_queue_path)
+        self.runtime = ServiceRuntime(config, self.queue, printer=printer)
+        self.router = Router()
+        self._register_routes()
+        self.server: ServiceHTTPServer | None = None
+        self._serve_thread = None
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> tuple[str, int]:
+        """Bind the socket, start the scheduler; returns ``(host, port)``.
+
+        Binding port 0 picks a free ephemeral port (tests); the resolved
+        port is returned either way.
+        """
+        self.server = ServiceHTTPServer(
+            (self.config.host, self.config.port), self.router, printer=self._printer
+        )
+        self.runtime.start()
+        host, port = self.server.server_address[:2]
+        self._log(
+            f"ecad service v{__version__} on http://{host}:{port} "
+            f"(queue: {self.config.resolved_queue_path}, "
+            f"backend: {self.config.backend} x{self.config.eval_workers}, "
+            f"jobs: {self.config.max_concurrent_jobs} concurrent, "
+            f"store: {self.config.store_path or 'off'})"
+        )
+        self._serve_thread = self.server.serve_in_thread()
+        return host, port
+
+    def serve_forever(self) -> None:
+        """Blocking variant for the CLI: start, then wait until stopped."""
+        if self.server is None:
+            self.start()
+        while self._serve_thread.is_alive():
+            # Short-interval joins keep the main thread responsive to Ctrl-C.
+            self._serve_thread.join(timeout=0.5)
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, re-queue running jobs, close."""
+        if self.server is not None:
+            self.server.stop()
+            self.server = None
+        self.runtime.stop()
+        self.queue.close()
+        self._log("ecad service stopped")
+
+    # --------------------------------------------------------------- routes
+    def _register_routes(self) -> None:
+        add = self.router.add
+        add("GET", "/healthz", self._healthz)
+        add("GET", "/metrics", self._metrics)
+        add("POST", "/jobs", self._submit_job)
+        add("GET", "/jobs", self._list_jobs)
+        add("GET", "/jobs/{job_id}", self._get_job)
+        add("GET", "/jobs/{job_id}/result", self._get_result)
+        add("GET", "/jobs/{job_id}/frontier", self._get_frontier)
+        add("DELETE", "/jobs/{job_id}", self._cancel_job)
+
+    def _job(self, job_id: str) -> JobRecord:
+        try:
+            return self.queue.get(job_id)
+        except ServiceError as exc:
+            raise ApiError(404, str(exc)) from exc
+
+    def _healthz(self, request: Request) -> dict:
+        counts = self.queue.counts()
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": self.runtime.metrics()["uptime_seconds"],
+            "jobs": counts,
+            "stopping": self.runtime.stopping,
+        }
+
+    def _metrics(self, request: Request) -> dict:
+        return self.runtime.metrics()
+
+    def _submit_job(self, request: Request) -> tuple[int, dict]:
+        if self.runtime.stopping:
+            raise ApiError(503, "service is shutting down")
+        try:
+            spec_data, name = normalize_job_spec(request.body)
+        except ServiceError as exc:
+            raise ApiError(400, str(exc)) from exc
+        job = self.queue.submit(spec_data, name=name)
+        return 201, job.to_dict()
+
+    def _list_jobs(self, request: Request) -> dict:
+        state = request.query.get("state")
+        limit = request.query_int("limit", 200)
+        try:
+            jobs = self.queue.list(state=state, limit=limit)
+        except ServiceError as exc:
+            raise ApiError(400, str(exc)) from exc
+        return {"jobs": [job.to_dict() for job in jobs]}
+
+    def _get_job(self, request: Request) -> dict:
+        return self._job(request.params["job_id"]).to_dict()
+
+    def _get_result(self, request: Request) -> tuple[int, dict]:
+        job = self._job(request.params["job_id"])
+        payload = job.to_dict(include_result=True)
+        # 202 tells pollers "accepted, still working" without a body schema
+        # change; terminal states answer 200 with the stored result attached.
+        return (200 if job.terminal else 202), payload
+
+    def _get_frontier(self, request: Request) -> dict:
+        job_id = request.params["job_id"]
+        self._job(job_id)  # 404 before blocking on an unknown id
+        since = request.query_int("since", 0)
+        timeout = request.query_float("timeout", self.config.long_poll_timeout)
+        timeout = min(max(timeout, 0.0), self.config.long_poll_timeout)
+        events, job = self.queue.wait_for_events(job_id, since=since, timeout=timeout)
+        return {
+            "job_id": job_id,
+            "state": job.state,
+            "terminal": job.terminal,
+            "since": since,
+            "next_since": events[-1].seq if events else since,
+            "events": [event.to_dict() for event in events],
+        }
+
+    def _cancel_job(self, request: Request) -> dict:
+        job = self._job(request.params["job_id"])
+        if job.terminal:
+            return job.to_dict()
+        return self.queue.request_cancel(job.job_id).to_dict()
+
+    def _log(self, message: str) -> None:
+        if self._printer is not None:
+            self._printer(message)

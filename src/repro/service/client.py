@@ -1,0 +1,188 @@
+"""urllib-based client for the co-design service.
+
+:class:`ServiceClient` is the programmatic face of the HTTP API and the
+engine behind the ``ecad submit / jobs / result / cancel`` CLI verbs.  It
+speaks plain JSON over :mod:`urllib.request` — the same no-new-dependencies
+rule as the server — and converts HTTP error responses into
+:class:`~repro.core.errors.ServiceError` with the server's message attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+from ..core.errors import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talks to one ``ecad serve`` instance.
+
+    Parameters
+    ----------
+    base_url:
+        Server root, e.g. ``http://127.0.0.1:8282`` (a bare ``host:port``
+        gets ``http://`` prepended).
+    timeout:
+        Socket timeout for plain requests; long-poll calls extend it by the
+        poll window they ask the server for.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        if "://" not in base_url:
+            base_url = f"http://{base_url}"
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------ transport
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        query: dict | None = None,
+        timeout: float | None = None,
+    ) -> tuple[int, dict]:
+        """One JSON round-trip; returns ``(status, payload)``.
+
+        4xx/5xx responses with a JSON body are returned like successes (the
+        status tells the caller what happened); transport-level failures
+        (connection refused, timeouts, non-JSON bodies) raise
+        :class:`ServiceError`.
+        """
+        url = f"{self.base_url}{path}"
+        if query:
+            url += "?" + urllib.parse.urlencode(query)
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout or self.timeout) as response:
+                return response.status, self._decode(response)
+        except urllib.error.HTTPError as error:
+            with error:
+                return error.code, self._decode(error)
+        except (urllib.error.URLError, TimeoutError, OSError) as exc:
+            raise ServiceError(f"cannot reach {self.base_url}: {exc}") from exc
+
+    @staticmethod
+    def _decode(response) -> dict:
+        raw = response.read()
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"server returned a non-JSON response: {raw[:200]!r}") from exc
+
+    def _expect(self, statuses: tuple[int, ...], status: int, payload: dict) -> dict:
+        if status not in statuses:
+            raise ServiceError(payload.get("error") or f"server answered HTTP {status}")
+        return payload
+
+    # ------------------------------------------------------------ endpoints
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._expect((200,), *self.request("GET", "/healthz"))
+
+    def metrics(self) -> dict:
+        """``GET /metrics``."""
+        return self._expect((200,), *self.request("GET", "/metrics"))
+
+    def submit(self, body: dict) -> dict:
+        """``POST /jobs`` with a ``{"spec": ...}`` or ``{"run": ...}`` payload."""
+        return self._expect((201,), *self.request("POST", "/jobs", body=body))
+
+    def jobs(self, state: str | None = None, limit: int = 200) -> list[dict]:
+        """``GET /jobs``, newest first."""
+        query: dict = {"limit": limit}
+        if state is not None:
+            query["state"] = state
+        payload = self._expect((200,), *self.request("GET", "/jobs", query=query))
+        return payload["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/{id}``."""
+        return self._expect((200,), *self.request("GET", f"/jobs/{job_id}"))
+
+    def result(self, job_id: str) -> tuple[bool, dict]:
+        """``GET /jobs/{id}/result``: ``(finished, payload)``.
+
+        ``finished`` is False while the job is still queued or running (the
+        payload then carries the live status instead of a result).
+        """
+        status, payload = self.request("GET", f"/jobs/{job_id}/result")
+        self._expect((200, 202), status, payload)
+        return status == 200, payload
+
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /jobs/{id}``."""
+        return self._expect((200,), *self.request("DELETE", f"/jobs/{job_id}"))
+
+    def frontier(self, job_id: str, since: int = 0, timeout: float = 30.0) -> dict:
+        """``GET /jobs/{id}/frontier?since=N`` — one long-poll round."""
+        status, payload = self.request(
+            "GET",
+            f"/jobs/{job_id}/frontier",
+            query={"since": since, "timeout": timeout},
+            timeout=self.timeout + timeout,
+        )
+        return self._expect((200,), status, payload)
+
+    # ---------------------------------------------------------- convenience
+    def wait(
+        self,
+        job_id: str,
+        poll_seconds: float = 1.0,
+        timeout: float | None = None,
+        on_update=None,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns the result payload.
+
+        Parameters
+        ----------
+        job_id:
+            The job to wait for.
+        poll_seconds:
+            Delay between status polls.
+        timeout:
+            Overall deadline in seconds (``None`` waits indefinitely).
+        on_update:
+            Optional ``(job_dict) -> None`` called after every poll.
+
+        Raises :class:`ServiceError` when the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while True:
+            finished, payload = self.result(job_id)
+            if on_update is not None:
+                on_update(payload)
+            if finished:
+                return payload
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {payload.get('state', '?')} after {timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)
+
+    def stream_frontier(self, job_id: str, since: int = 0, poll_timeout: float = 30.0):
+        """Yield frontier events until the job reaches a terminal state.
+
+        A generator over event dicts (each carries ``seq``, ``run_id`` and
+        the frontier payload); resumes from ``since`` so callers can pick up
+        where a previous stream stopped.
+        """
+        while True:
+            payload = self.frontier(job_id, since=since, timeout=poll_timeout)
+            for event in payload["events"]:
+                since = event["seq"]
+                yield event
+            if payload["terminal"] and not payload["events"]:
+                return

@@ -1,0 +1,214 @@
+"""Minimal JSON-over-HTTP machinery on the standard library only.
+
+The service deliberately avoids web frameworks: a :class:`Router` maps
+``(method, path pattern)`` pairs to handler callables, and
+:class:`JSONRequestHandler` (a :class:`~http.server.BaseHTTPRequestHandler`)
+parses the request into a :class:`Request` and writes the handler's return
+value back as JSON.  Path patterns use ``{name}`` placeholders
+(``/jobs/{job_id}/frontier``), which become entries of ``Request.params``.
+
+Handlers return either a payload dict (status 200) or a ``(status, payload)``
+pair, and raise :class:`ApiError` for structured error responses; anything
+else escaping a handler becomes a 500 with the exception text.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = ["ApiError", "Request", "Router", "JSONRequestHandler", "ServiceHTTPServer"]
+
+
+class ApiError(Exception):
+    """An error with a deliberate HTTP status (404 unknown job, 400 bad spec, ...)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+class Request:
+    """One parsed HTTP request, as seen by endpoint handlers.
+
+    Attributes
+    ----------
+    method / path:
+        Request line parts (query string stripped from ``path``).
+    params:
+        Values captured by the route pattern's ``{name}`` placeholders.
+    query:
+        Query-string parameters, first value per key.
+    body:
+        Parsed JSON request body (``{}`` when absent).
+    """
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        params: dict[str, str],
+        query: dict[str, str],
+        body: dict,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.params = params
+        self.query = query
+        self.body = body
+
+    def query_int(self, name: str, default: int = 0) -> int:
+        """Integer query parameter, with a 400 on garbage."""
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise ApiError(400, f"query parameter {name!r} must be an integer, got {raw!r}") from exc
+
+    def query_float(self, name: str, default: float = 0.0) -> float:
+        """Float query parameter, with a 400 on garbage."""
+        raw = self.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise ApiError(400, f"query parameter {name!r} must be a number, got {raw!r}") from exc
+
+
+#: Handler signature: request -> payload dict, or (status, payload) pair.
+Handler = Callable[[Request], "dict | tuple[int, dict]"]
+
+
+class Router:
+    """Registry of routes with ``{name}`` path placeholders."""
+
+    _PLACEHOLDER = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, "re.Pattern[str]", Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        """Register one route, e.g. ``add("GET", "/jobs/{job_id}", fn)``."""
+        regex = self._PLACEHOLDER.sub(r"(?P<\1>[^/]+)", pattern.rstrip("/") or "/")
+        self._routes.append((method.upper(), re.compile(f"^{regex}$"), handler))
+
+    def dispatch(self, request_method: str, path: str) -> tuple[Handler, dict[str, str]]:
+        """Resolve a request to (handler, path params); raises ApiError 404/405."""
+        path = path.rstrip("/") or "/"
+        path_matched = False
+        for method, regex, handler in self._routes:
+            match = regex.match(path)
+            if match is None:
+                continue
+            path_matched = True
+            if method == request_method.upper():
+                return handler, match.groupdict()
+        if path_matched:
+            raise ApiError(405, f"method {request_method} not allowed for {path}")
+        raise ApiError(404, f"no route for {path}")
+
+
+class JSONRequestHandler(BaseHTTPRequestHandler):
+    """Parses requests, dispatches through the server's router, writes JSON."""
+
+    protocol_version = "HTTP/1.1"
+    #: Cap on accepted request bodies (a job spec is a few KB).
+    max_body_bytes = 4 * 1024 * 1024
+
+    # Route every verb through the same dispatcher.
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler naming
+        self._handle()
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle()
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle()
+
+    def _handle(self) -> None:
+        try:
+            split = urlsplit(self.path)
+            handler, params = self.server.router.dispatch(self.command, split.path)
+            query = {key: values[0] for key, values in parse_qs(split.query).items()}
+            body = self._read_body()
+            outcome = handler(
+                Request(self.command, split.path, params, query, body)
+            )
+            status, payload = outcome if isinstance(outcome, tuple) else (200, outcome)
+        except ApiError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - handlers must not kill the server
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self._write_json(status, payload)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        if length > self.max_body_bytes:
+            raise ApiError(413, f"request body exceeds {self.max_body_bytes} bytes")
+        raw = self.rfile.read(length)
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ApiError(400, f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        return data
+
+    def _write_json(self, status: int, payload: dict) -> None:
+        try:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # client went away mid-poll
+            self.close_connection = True
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        """Route access logs through the server's printer (silent by default)."""
+        printer = getattr(self.server, "printer", None)
+        if printer is not None:
+            printer(f"[http] {self.address_string()} {format % args}")
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server carrying the router and an optional printer.
+
+    Long-polling handlers block their connection thread, so the threading
+    mixin is required; ``daemon_threads`` keeps a hung client from blocking
+    shutdown.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], router: Router, printer=None) -> None:
+        super().__init__(address, JSONRequestHandler)
+        self.router = router
+        self.printer = printer
+        self._serve_thread: threading.Thread | None = None
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, embedded use)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True, name="ecad-serve")
+        thread.start()
+        self._serve_thread = thread
+        return thread
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self.shutdown()
+        self.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None

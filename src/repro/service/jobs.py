@@ -1,0 +1,603 @@
+"""Crash-safe SQLite-backed job queue for the co-design service.
+
+A *job* is one experiment grid (an :class:`~repro.experiment.spec.ExperimentSpec`,
+possibly the single-cell spec a ``run`` request normalizes into) owned by the
+long-lived ``ecad serve`` process.  The queue is the service's durable spine:
+
+* **States** — ``queued → running → done / failed / cancelled``.  Every
+  transition is one SQLite transaction, so the on-disk state is consistent at
+  any kill point.
+* **Crash safety** — a job found ``running`` on startup belonged to a server
+  that died mid-flight; :meth:`recover_interrupted` re-queues it.  Because the
+  actual per-stage checkpoints are the experiment layer's
+  :class:`~repro.experiment.artifacts.RunArtifact` files (keyed on stable run
+  ids and cell digests), the re-run resumes from the last completed cell and
+  the final result is bit-identical to an uninterrupted run.
+* **Frontier event log** — every change of a job's streaming
+  :class:`~repro.core.frontier.FrontierArchive` is appended as a monotonically
+  numbered event row; ``GET /jobs/{id}/frontier?since=N`` long-polls this log.
+  :meth:`wait_for_events` blocks on a condition variable that every write
+  notifies, so pollers wake the moment the frontier grows or the job reaches a
+  terminal state.
+
+The queue is safe for concurrent use by the HTTP handler threads and the
+scheduler's job workers (one connection, one lock, WAL journaling for the
+benefit of external readers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.errors import ServiceError
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "QUEUE_SCHEMA_VERSION",
+    "JobRecord",
+    "FrontierEvent",
+    "JobQueue",
+    "deterministic_result_digest",
+]
+
+#: All job states, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: Bump when the queue table layout changes incompatibly.
+QUEUE_SCHEMA_VERSION = 1
+
+_CREATE_META = """
+CREATE TABLE IF NOT EXISTS queue_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+)
+"""
+
+_CREATE_JOBS = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id           TEXT PRIMARY KEY,
+    name             TEXT NOT NULL,
+    state            TEXT NOT NULL,
+    spec             TEXT NOT NULL,
+    output_dir       TEXT NOT NULL DEFAULT '',
+    submitted_at     REAL NOT NULL,
+    started_at       REAL,
+    finished_at      REAL,
+    attempts         INTEGER NOT NULL DEFAULT 0,
+    total_cells      INTEGER NOT NULL DEFAULT 0,
+    completed_cells  INTEGER NOT NULL DEFAULT 0,
+    stages           TEXT NOT NULL DEFAULT '{}',
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    error            TEXT NOT NULL DEFAULT '',
+    result           TEXT
+)
+"""
+
+_CREATE_EVENTS = """
+CREATE TABLE IF NOT EXISTS frontier_events (
+    job_id     TEXT NOT NULL,
+    seq        INTEGER NOT NULL,
+    run_id     TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    payload    TEXT NOT NULL,
+    PRIMARY KEY (job_id, seq)
+)
+"""
+
+_DROP_SECONDS_KEYS = frozenset(
+    {
+        "wall_clock_seconds",
+        "evaluation_seconds",
+        "train_seconds",
+        "total_evaluation_seconds",
+        "average_evaluation_seconds",
+        "evaluations_per_second",
+        "statistics",
+        "from_cache",
+    }
+)
+
+
+def _strip_timing(node):
+    """Copy of ``node`` with timing/statistics keys removed recursively.
+
+    Wall-clock measurements (the statistics block built from them, and the
+    cache provenance flag, which depends on what a shared store has already
+    seen) are the only honest nondeterminism in a seeded run; everything else
+    must be bit-identical across an interrupted-and-resumed run and an
+    uninterrupted one.
+    """
+    if isinstance(node, dict):
+        return {
+            key: _strip_timing(value)
+            for key, value in node.items()
+            if key not in _DROP_SECONDS_KEYS
+        }
+    if isinstance(node, list):
+        return [_strip_timing(item) for item in node]
+    return node
+
+
+def deterministic_result_digest(report_data: dict) -> str:
+    """Digest of an experiment report covering only its deterministic content.
+
+    Parameters
+    ----------
+    report_data:
+        ``ExperimentReport.to_dict()`` output (or any nested dict/list tree).
+
+    Returns
+    -------
+    str
+        Hex SHA-256 over the canonical JSON of the tree with every timing
+        field stripped.  Two runs of the same spec — one interrupted and
+        resumed, one not — must produce the same digest; this is the
+        bit-identity check the crash-recovery tests (and clients) rely on.
+    """
+    canonical = json.dumps(_strip_timing(report_data), sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass
+class JobRecord:
+    """One row of the jobs table, in object form."""
+
+    job_id: str
+    name: str
+    state: str
+    spec: dict
+    output_dir: str = ""
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    attempts: int = 0
+    total_cells: int = 0
+    completed_cells: int = 0
+    stages: dict = field(default_factory=dict)
+    cancel_requested: bool = False
+    error: str = ""
+    result: dict | None = None
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has reached a final state."""
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self, include_result: bool = False) -> dict:
+        """JSON payload of one job (the ``GET /jobs/{id}`` body)."""
+        data = {
+            "job_id": self.job_id,
+            "name": self.name,
+            "state": self.state,
+            "spec": self.spec,
+            "output_dir": self.output_dir,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "total_cells": self.total_cells,
+            "completed_cells": self.completed_cells,
+            "stages": self.stages,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+        }
+        if include_result:
+            data["result"] = self.result
+        return data
+
+
+@dataclass(frozen=True)
+class FrontierEvent:
+    """One frontier-log entry: a change of a job's Pareto frontier."""
+
+    job_id: str
+    seq: int
+    run_id: str
+    created_at: float
+    payload: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "run_id": self.run_id,
+            "created_at": self.created_at,
+            **self.payload,
+        }
+
+
+class JobQueue:
+    """The durable job queue behind ``ecad serve``.
+
+    Parameters
+    ----------
+    path:
+        SQLite database location (``":memory:"`` for tests).  Parent
+        directories are created on demand.
+    timeout_seconds:
+        SQLite busy timeout for concurrent external readers.
+    """
+
+    def __init__(self, path: str | Path, timeout_seconds: float = 30.0) -> None:
+        self.path = str(path)
+        self._lock = threading.RLock()
+        #: Notified on every job-state change and frontier-event append;
+        #: long-pollers and the scheduler wait on it.
+        self.changed = threading.Condition(self._lock)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._connection = sqlite3.connect(
+                self.path, timeout=timeout_seconds, check_same_thread=False
+            )
+            self._connection.execute(f"PRAGMA busy_timeout = {int(timeout_seconds * 1000)}")
+            if self.path != ":memory:":
+                self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA synchronous=NORMAL")
+            self._initialize_schema()
+        except sqlite3.DatabaseError as exc:
+            raise ServiceError(
+                f"cannot open job queue {self.path}: {exc}"
+            ) from exc
+
+    # --------------------------------------------------------------- schema
+    def _initialize_schema(self) -> None:
+        row = None
+        tables = {
+            name
+            for (name,) in self._connection.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        if "queue_meta" in tables:
+            row = self._connection.execute(
+                "SELECT value FROM queue_meta WHERE key='schema_version'"
+            ).fetchone()
+        elif tables:
+            raise ServiceError(
+                f"{self.path} is an SQLite file but not a job queue "
+                f"(tables: {', '.join(sorted(tables))})"
+            )
+        if row is None:
+            with self._connection:
+                self._connection.execute(_CREATE_META)
+                self._connection.execute(_CREATE_JOBS)
+                self._connection.execute(_CREATE_EVENTS)
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO queue_meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(QUEUE_SCHEMA_VERSION)),
+                )
+        elif int(row[0]) != QUEUE_SCHEMA_VERSION:
+            raise ServiceError(
+                f"job queue {self.path} has schema version {row[0]}, "
+                f"this build expects {QUEUE_SCHEMA_VERSION}"
+            )
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ row codec
+    _COLUMNS = (
+        "job_id, name, state, spec, output_dir, submitted_at, started_at, "
+        "finished_at, attempts, total_cells, completed_cells, stages, "
+        "cancel_requested, error, result"
+    )
+
+    @staticmethod
+    def _record(row) -> JobRecord:
+        return JobRecord(
+            job_id=row[0],
+            name=row[1],
+            state=row[2],
+            spec=json.loads(row[3]),
+            output_dir=row[4],
+            submitted_at=row[5],
+            started_at=row[6],
+            finished_at=row[7],
+            attempts=row[8],
+            total_cells=row[9],
+            completed_cells=row[10],
+            stages=json.loads(row[11]),
+            cancel_requested=bool(row[12]),
+            error=row[13],
+            result=json.loads(row[14]) if row[14] else None,
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def submit(self, spec_data: dict, name: str = "", output_dir: str = "") -> JobRecord:
+        """Enqueue one job; returns the queued record (state ``queued``)."""
+        job_id = uuid.uuid4().hex[:12]
+        name = name or str(spec_data.get("name", "")) or job_id
+        with self.changed:
+            self._connection.execute(
+                "INSERT INTO jobs (job_id, name, state, spec, output_dir, submitted_at)"
+                " VALUES (?, ?, 'queued', ?, ?, ?)",
+                (job_id, name, json.dumps(spec_data), str(output_dir), time.time()),
+            )
+            self._connection.commit()
+            self.changed.notify_all()
+        return self.get(job_id)
+
+    def get(self, job_id: str) -> JobRecord:
+        """Load one job; raises :class:`ServiceError` for unknown ids."""
+        with self._lock:
+            row = self._connection.execute(
+                f"SELECT {self._COLUMNS} FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return self._record(row)
+
+    def list(self, state: str | None = None, limit: int = 200) -> list[JobRecord]:
+        """Jobs newest-first, optionally filtered by state."""
+        query = f"SELECT {self._COLUMNS} FROM jobs"
+        params: tuple = ()
+        if state is not None:
+            if state not in JOB_STATES:
+                raise ServiceError(
+                    f"unknown job state {state!r}; expected one of {', '.join(JOB_STATES)}"
+                )
+            query += " WHERE state = ?"
+            params = (state,)
+        query += " ORDER BY submitted_at DESC, job_id DESC LIMIT ?"
+        with self._lock:
+            rows = self._connection.execute(query, params + (int(limit),)).fetchall()
+        return [self._record(row) for row in rows]
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (zero-filled), plus the total."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in JOB_STATES}
+        counts.update({state: count for state, count in rows})
+        counts["total"] = sum(counts[state] for state in JOB_STATES)
+        return counts
+
+    def claim_next(self) -> JobRecord | None:
+        """Atomically move the oldest queued job to ``running`` and return it.
+
+        Returns ``None`` when nothing is queued.  The claim is a single
+        transaction, so concurrent scheduler workers never claim the same
+        job twice.
+        """
+        with self.changed:
+            row = self._connection.execute(
+                "SELECT job_id FROM jobs WHERE state = 'queued' "
+                "ORDER BY submitted_at ASC, job_id ASC LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            job_id = row[0]
+            self._connection.execute(
+                "UPDATE jobs SET state = 'running', started_at = ?, "
+                "attempts = attempts + 1 WHERE job_id = ?",
+                (time.time(), job_id),
+            )
+            self._connection.commit()
+            self.changed.notify_all()
+        return self.get(job_id)
+
+    def _transition(self, job_id: str, state: str, **extra) -> JobRecord:
+        sets = ["state = ?"]
+        params: list = [state]
+        for column, value in extra.items():
+            sets.append(f"{column} = ?")
+            params.append(value)
+        params.append(job_id)
+        with self.changed:
+            cursor = self._connection.execute(
+                f"UPDATE jobs SET {', '.join(sets)} WHERE job_id = ?", params
+            )
+            if cursor.rowcount == 0:
+                raise ServiceError(f"unknown job {job_id!r}")
+            self._connection.commit()
+            self.changed.notify_all()
+        return self.get(job_id)
+
+    def mark_done(self, job_id: str, result: dict) -> JobRecord:
+        """Terminal success transition; stores the result payload."""
+        return self._transition(
+            job_id, "done", finished_at=time.time(), result=json.dumps(result), error=""
+        )
+
+    def mark_failed(self, job_id: str, error: str, result: dict | None = None) -> JobRecord:
+        """Terminal failure transition; keeps any partial result payload."""
+        return self._transition(
+            job_id,
+            "failed",
+            finished_at=time.time(),
+            error=str(error),
+            result=json.dumps(result) if result is not None else None,
+        )
+
+    def mark_cancelled(self, job_id: str) -> JobRecord:
+        """Terminal cancellation transition."""
+        return self._transition(job_id, "cancelled", finished_at=time.time())
+
+    def requeue(self, job_id: str) -> JobRecord:
+        """Put a running job back in the queue (graceful shutdown mid-job)."""
+        return self._transition(job_id, "queued", started_at=None)
+
+    def request_cancel(self, job_id: str) -> JobRecord:
+        """Cancel a job.
+
+        Queued jobs are cancelled immediately; running jobs get their
+        ``cancel_requested`` flag set and the job worker stops them at the
+        next checkpoint (between evaluations / cells).  Terminal jobs are
+        returned unchanged.
+        """
+        job = self.get(job_id)
+        if job.terminal:
+            return job
+        if job.state == "queued":
+            return self._transition(job_id, "cancelled", finished_at=time.time())
+        return self._transition(job_id, job.state, cancel_requested=1)
+
+    def cancel_requested(self, job_id: str) -> bool:
+        """Fast poll of the cancel flag (used between evaluations)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT cancel_requested FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return bool(row and row[0])
+
+    def recover_interrupted(self) -> list[JobRecord]:
+        """Re-queue every job a dead server left ``running`` (startup pass).
+
+        The job's artifact directory still holds the per-cell checkpoints,
+        so the re-run resumes from the last completed cell.
+        """
+        with self.changed:
+            rows = self._connection.execute(
+                "SELECT job_id FROM jobs WHERE state = 'running'"
+            ).fetchall()
+            for (job_id,) in rows:
+                self._connection.execute(
+                    "UPDATE jobs SET state = 'queued', started_at = NULL WHERE job_id = ?",
+                    (job_id,),
+                )
+            self._connection.commit()
+            if rows:
+                self.changed.notify_all()
+        return [self.get(job_id) for (job_id,) in rows]
+
+    # ----------------------------------------------------- stage checkpoints
+    def record_progress(
+        self,
+        job_id: str,
+        total_cells: int | None = None,
+        run_id: str | None = None,
+        stage: dict | None = None,
+    ) -> None:
+        """Record per-stage checkpoint progress for one job.
+
+        ``total_cells`` sets the grid size (once, at job start); ``run_id`` +
+        ``stage`` upsert one cell's summary and bump ``completed_cells`` to
+        the number of recorded stages.
+        """
+        with self.changed:
+            if total_cells is not None:
+                self._connection.execute(
+                    "UPDATE jobs SET total_cells = ? WHERE job_id = ?",
+                    (int(total_cells), job_id),
+                )
+            if run_id is not None:
+                row = self._connection.execute(
+                    "SELECT stages FROM jobs WHERE job_id = ?", (job_id,)
+                ).fetchone()
+                if row is None:
+                    raise ServiceError(f"unknown job {job_id!r}")
+                stages = json.loads(row[0])
+                stages[run_id] = dict(stage or {})
+                self._connection.execute(
+                    "UPDATE jobs SET stages = ?, completed_cells = ? WHERE job_id = ?",
+                    (json.dumps(stages), len(stages), job_id),
+                )
+            self._connection.commit()
+            self.changed.notify_all()
+
+    # -------------------------------------------------------- frontier log
+    def append_frontier_event(self, job_id: str, run_id: str, payload: dict) -> int:
+        """Append one frontier-change event; returns its sequence number."""
+        with self.changed:
+            row = self._connection.execute(
+                "SELECT COALESCE(MAX(seq), 0) FROM frontier_events WHERE job_id = ?",
+                (job_id,),
+            ).fetchone()
+            seq = int(row[0]) + 1
+            self._connection.execute(
+                "INSERT INTO frontier_events (job_id, seq, run_id, created_at, payload)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (job_id, seq, run_id, time.time(), json.dumps(payload)),
+            )
+            self._connection.commit()
+            self.changed.notify_all()
+        return seq
+
+    def frontier_events(
+        self, job_id: str, since: int = 0, limit: int = 500
+    ) -> list[FrontierEvent]:
+        """Events with ``seq > since``, oldest first."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT job_id, seq, run_id, created_at, payload FROM frontier_events"
+                " WHERE job_id = ? AND seq > ? ORDER BY seq ASC LIMIT ?",
+                (job_id, int(since), int(limit)),
+            ).fetchall()
+        return [
+            FrontierEvent(
+                job_id=row[0],
+                seq=row[1],
+                run_id=row[2],
+                created_at=row[3],
+                payload=json.loads(row[4]),
+            )
+            for row in rows
+        ]
+
+    def drop_frontier_events(self, job_id: str, keep_run_ids: set[str]) -> int:
+        """Delete events of cells about to re-run (crash-recovery hygiene).
+
+        A cell that was mid-flight when the server died already streamed a
+        partial event trail; its re-run will stream the full trail again with
+        fresh sequence numbers.  Dropping the stale partial events keeps the
+        log free of duplicates while events of completed (checkpointed) cells
+        survive.
+        """
+        with self.changed:
+            if keep_run_ids:
+                placeholders = ", ".join("?" for _ in keep_run_ids)
+                cursor = self._connection.execute(
+                    f"DELETE FROM frontier_events WHERE job_id = ? "
+                    f"AND run_id NOT IN ({placeholders})",
+                    (job_id, *sorted(keep_run_ids)),
+                )
+            else:
+                cursor = self._connection.execute(
+                    "DELETE FROM frontier_events WHERE job_id = ?", (job_id,)
+                )
+            self._connection.commit()
+            if cursor.rowcount:
+                self.changed.notify_all()
+        return cursor.rowcount
+
+    def wait_for_events(
+        self, job_id: str, since: int = 0, timeout: float = 30.0
+    ) -> tuple[list[FrontierEvent], JobRecord]:
+        """Long-poll helper: block until new events, a terminal state, or timeout.
+
+        Returns the (possibly empty) events with ``seq > since`` and the
+        job's current record.  Raises for unknown jobs.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            job = self.get(job_id)
+            events = self.frontier_events(job_id, since=since)
+            if events or job.terminal:
+                return events, job
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return [], job
+            with self.changed:
+                self.changed.wait(remaining)
