@@ -1,0 +1,163 @@
+"""Ablation — surrogate-assisted search: fewer real trainings, same frontier.
+
+The surrogate subsystem promises that once the evaluation store holds enough
+rows for a problem, a store-trained screen plus warm-starting reaches the
+same frontier quality as an unscreened search while *training* far fewer
+networks.  This benchmark measures that promise end to end on real NN
+training (the Credit-g analogue, stratix10 co-design objective):
+
+* **Baseline (unscreened)** — the weighted-sum search runs a full budget
+  against a cold store, training every candidate; its frontier hypervolume
+  is the quality bar and its rows become the surrogate's training data.
+* **Surrogate** — the same problem and seed (the store digest covers both)
+  reruns under the ``surrogate`` strategy: the population warm-starts from
+  stored rows (store hits, zero real trainings) and each steady-state step
+  breeds a pool of offspring, really evaluating only the screen's pick.
+
+Asserted floor (mirrored in CI): the surrogate run performs **at least 5x
+fewer real NN evaluations** than the baseline while its frontier
+hypervolume stays **within 5%** of the unscreened baseline — and the
+screen must have actually engaged (``surrogate_screened > 0``), so the
+reduction cannot come from warm-starting alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import StoreConfig, SurrogateConfig
+from repro.core.pareto import hypervolume_2d
+from repro.core.search import CoDesignSearch
+
+from conftest import BENCH_TRAINING, bench_config, bench_dataset, emit_table
+
+SEED = 0
+POPULATION = 8
+#: Full budget for the unscreened baseline pass.
+BASELINE_EVALUATIONS = 24
+#: Surrogate-pass budget: POPULATION warm-start slots (served by the store,
+#: no training) plus a handful of really-trained screened winners.
+SURROGATE_EVALUATIONS = 12
+
+#: The CI-asserted floors.
+MIN_REAL_EVAL_REDUCTION = 5.0
+HYPERVOLUME_TOLERANCE = 0.05
+
+
+def _run(dataset, config):
+    search = CoDesignSearch(dataset, config=config)
+    master = search.build_master()
+    master.training_config = BENCH_TRAINING
+    try:
+        return search.run(evaluator=master)
+    finally:
+        master.shutdown()
+
+
+def _run_comparison(store_path: str) -> list[dict]:
+    dataset = bench_dataset("credit_g_like")
+    base = bench_config(
+        dataset,
+        objective="codesign",
+        fpga="stratix10",
+        gpu="titan_x",
+        evaluations=BASELINE_EVALUATIONS,
+        population=POPULATION,
+        num_folds=2,
+        seed=SEED,
+    )
+    baseline = _run(dataset, replace(base, store=StoreConfig(path=store_path)))
+    surrogate = _run(
+        dataset,
+        replace(
+            base,
+            max_evaluations=SURROGATE_EVALUATIONS,
+            strategy="surrogate",
+            store=StoreConfig(path=store_path, warm_start=POPULATION),
+            surrogate=SurrogateConfig(
+                min_rows=16,
+                pool_size=6,
+                exploration_fraction=0.1,
+                refit_interval=4,
+            ),
+        ),
+    )
+    frontiers = {
+        "baseline_unscreened": [
+            (v.values[0], v.values[1]) for v in baseline.frontier_archive.vectors()
+        ],
+        "surrogate_screened": [
+            (v.values[0], v.values[1]) for v in surrogate.frontier_archive.vectors()
+        ],
+    }
+    # One shared throughput scale so the two areas are commensurable.
+    throughput_max = max(
+        (t for points in frontiers.values() for _, t in points), default=0.0
+    )
+    rows = []
+    for variant, result in (
+        ("baseline_unscreened", baseline),
+        ("surrogate_screened", surrogate),
+    ):
+        points = frontiers[variant]
+        hypervolume = (
+            hypervolume_2d([(a, t / throughput_max) for a, t in points])
+            if points and throughput_max > 0
+            else 0.0
+        )
+        stats = result.statistics
+        rows.append(
+            {
+                "variant": variant,
+                "evaluations": stats.models_generated,
+                "real_nn_evaluations": stats.models_evaluated,
+                "store_hits": stats.store_hits,
+                "surrogate_screened": stats.surrogate_screened,
+                "real_evals_saved": stats.real_evals_saved,
+                "frontier_size": stats.frontier_size,
+                "hypervolume": round(hypervolume, 4),
+                "best_accuracy": round(result.best_accuracy, 4),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation_surrogate")
+def test_surrogate_reduces_real_evaluations_at_matched_hypervolume(
+    benchmark, results_dir, tmp_path
+):
+    store_path = str(tmp_path / "surrogate_ablation.sqlite")
+    rows = benchmark.pedantic(
+        _run_comparison, args=(store_path,), rounds=1, iterations=1
+    )
+    emit_table(
+        rows,
+        columns=[
+            "variant",
+            "evaluations",
+            "real_nn_evaluations",
+            "store_hits",
+            "surrogate_screened",
+            "real_evals_saved",
+            "frontier_size",
+            "hypervolume",
+            "best_accuracy",
+        ],
+        title="Surrogate screen vs unscreened search (real NN trainings at matched frontier quality)",
+        csv_name="ablation_surrogate.csv",
+    )
+    baseline, surrogate = rows[0], rows[1]
+    # The baseline really trained its candidates (cold store, no screen).
+    assert baseline["surrogate_screened"] == 0
+    assert baseline["real_nn_evaluations"] >= BASELINE_EVALUATIONS - 4
+    # The screen engaged: pools were ranked and losers never trained.
+    assert surrogate["surrogate_screened"] > 0
+    assert surrogate["real_evals_saved"] > 0
+    # >= 5x fewer real NN trainings...
+    assert surrogate["real_nn_evaluations"] > 0
+    reduction = baseline["real_nn_evaluations"] / surrogate["real_nn_evaluations"]
+    assert reduction >= MIN_REAL_EVAL_REDUCTION
+    # ...at a frontier within 5% of the unscreened baseline's hypervolume.
+    assert surrogate["hypervolume"] >= (1 - HYPERVOLUME_TOLERANCE) * baseline["hypervolume"]

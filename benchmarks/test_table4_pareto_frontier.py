@@ -108,47 +108,78 @@ def _run_strategy(dataset, config, strategy: str):
         master.shutdown()
 
 
+#: Seeds the hypervolume comparison averages over: one 20-evaluation run is
+#: dominated by landscape noise, so a single-seed winner is a coin flip.
+HYPERVOLUME_SEEDS = (0, 1, 2)
+
+
 def _run_hypervolume_comparison() -> list[dict]:
     dataset = bench_dataset("credit_g_like")
-    config = bench_config(
-        dataset,
-        objective="codesign",
-        fpga="stratix10",
-        gpu="titan_x",
-        evaluations=20,
-        population=8,
-        num_folds=2,
-    )
-    results = {
-        strategy: _run_strategy(dataset, config, strategy)
-        for strategy in ("evolutionary", "nsga2")
-    }
-    frontiers = {
-        strategy: [(v.values[0], v.values[1]) for v in result.frontier_archive.vectors()]
-        for strategy, result in results.items()
-    }
-    # One shared throughput scale across both runs — per-run normalization
-    # would pin each frontier's own best point to 1.0 and make the areas
-    # incomparable.
-    throughput_max = max(
-        (t for points in frontiers.values() for _, t in points), default=0.0
-    )
     rows = []
-    for strategy, result in results.items():
-        points = frontiers[strategy]
-        hypervolume = (
-            hypervolume_2d([(accuracy, t / throughput_max) for accuracy, t in points])
-            if points and throughput_max > 0
-            else 0.0
+    per_strategy: dict[str, list[dict]] = {"evolutionary": [], "nsga2": []}
+    for seed in HYPERVOLUME_SEEDS:
+        config = bench_config(
+            dataset,
+            objective="codesign",
+            fpga="stratix10",
+            gpu="titan_x",
+            evaluations=20,
+            population=8,
+            num_folds=2,
+            seed=seed,
         )
-        rows.append(
-            {
+        # Matched selection pressure: the scalarized search runs a 3-way
+        # tournament (the engine default), so NSGA-II gets the same
+        # tournament size here instead of its classic binary default —
+        # otherwise the comparison confounds ranking scheme with pressure.
+        config = replace(config, nsga2_tournament_size=3)
+        results = {
+            strategy: _run_strategy(dataset, config, strategy)
+            for strategy in ("evolutionary", "nsga2")
+        }
+        frontiers = {
+            strategy: [(v.values[0], v.values[1]) for v in result.frontier_archive.vectors()]
+            for strategy, result in results.items()
+        }
+        # One shared throughput scale across the seed's two runs — per-run
+        # normalization would pin each frontier's own best point to 1.0 and
+        # make the areas incomparable.
+        throughput_max = max(
+            (t for points in frontiers.values() for _, t in points), default=0.0
+        )
+        for strategy, result in results.items():
+            points = frontiers[strategy]
+            hypervolume = (
+                hypervolume_2d([(accuracy, t / throughput_max) for accuracy, t in points])
+                if points and throughput_max > 0
+                else 0.0
+            )
+            row = {
                 "strategy": strategy,
+                "seed": seed,
                 "evaluations": result.statistics.models_generated,
                 "frontier_size": result.statistics.frontier_size,
                 "frontier_updates": result.statistics.frontier_updates,
                 "hypervolume": round(hypervolume, 4),
                 "best_accuracy": round(result.best_accuracy, 4),
+            }
+            per_strategy[strategy].append(row)
+            rows.append(row)
+    for strategy, seed_rows in per_strategy.items():
+        count = len(seed_rows)
+        rows.append(
+            {
+                "strategy": strategy,
+                "seed": "mean",
+                "evaluations": round(sum(r["evaluations"] for r in seed_rows) / count, 1),
+                "frontier_size": round(sum(r["frontier_size"] for r in seed_rows) / count, 1),
+                "frontier_updates": round(
+                    sum(r["frontier_updates"] for r in seed_rows) / count, 1
+                ),
+                "hypervolume": round(sum(r["hypervolume"] for r in seed_rows) / count, 4),
+                "best_accuracy": round(
+                    sum(r["best_accuracy"] for r in seed_rows) / count, 4
+                ),
             }
         )
     return rows
@@ -161,12 +192,26 @@ def test_nsga2_vs_weighted_sum_hypervolume(benchmark, results_dir):
     The weighted-sum search optimizes a fused scalar, NSGA-II the frontier
     itself; at the same evaluation budget NSGA-II's streamed frontier should
     dominate at least comparable area (hypervolume) and be non-degenerate.
+
+    History: NSGA-II used to lose this comparison badly (0.68 vs 0.83 on the
+    old single-seed CSV).  The cause was selection pressure, not ranking: the
+    NSGA-II path hardcoded a *binary* tournament while the scalarized search
+    used the engine's configured ``tournament_size`` (3).  Generational
+    NSGA-II gets its pressure from mu+lambda survival, but this steady-state
+    loop replaces one member per step, so with population 8 a 2-member
+    sample rarely contains the (2-3 member) first front at all and most
+    offspring were bred from dominated parents.  NSGA-II pressure is now
+    configurable (``nsga2_tournament_size``, default still the classic
+    binary tournament) and this comparison runs both strategies at the same
+    3-way tournament so it measures ranking scheme, not pressure; it is
+    seed-averaged because a single 20-evaluation run is landscape noise.
     """
     rows = benchmark.pedantic(_run_hypervolume_comparison, rounds=1, iterations=1)
     emit_table(
         rows,
         columns=[
             "strategy",
+            "seed",
             "evaluations",
             "frontier_size",
             "frontier_updates",
@@ -176,12 +221,18 @@ def test_nsga2_vs_weighted_sum_hypervolume(benchmark, results_dir):
         title="NSGA-II vs weighted-sum frontier quality (equal 20-evaluation budget)",
         csv_name="table4_hypervolume_nsga2_vs_weighted.csv",
     )
-    by_strategy = {row["strategy"]: row for row in rows}
-    weighted, nsga2 = by_strategy["evolutionary"], by_strategy["nsga2"]
-    assert weighted["evaluations"] == nsga2["evaluations"]  # equal budget
-    assert nsga2["frontier_size"] >= 3  # non-degenerate frontier
-    assert nsga2["hypervolume"] > 0
-    # At this tiny budget the exact winner is landscape noise; the gate is
-    # that NSGA-II's frontier area does not *collapse* relative to the
-    # scalarized search (the CSV records the exact comparison).
-    assert nsga2["hypervolume"] >= 0.5 * weighted["hypervolume"]
+    seed_rows = [row for row in rows if row["seed"] != "mean"]
+    means = {row["strategy"]: row for row in rows if row["seed"] == "mean"}
+    weighted, nsga2 = means["evolutionary"], means["nsga2"]
+    for seed in HYPERVOLUME_SEEDS:
+        pair = {r["strategy"]: r for r in seed_rows if r["seed"] == seed}
+        assert pair["evolutionary"]["evaluations"] == pair["nsga2"]["evaluations"]
+        assert pair["nsga2"]["frontier_size"] >= 2  # never a single-point frontier
+        assert pair["nsga2"]["hypervolume"] > 0
+    # Somewhere in the sweep NSGA-II produces a genuinely multi-point
+    # frontier (>= 3 mutually non-dominated designs).
+    assert max(r["frontier_size"] for r in seed_rows if r["strategy"] == "nsga2") >= 3
+    # The tightened gate: with matched selection pressure, NSGA-II holds the
+    # scalarized search's seed-averaged frontier area (was >= 0.5x before
+    # the tournament-size fix).
+    assert nsga2["hypervolume"] >= 0.9 * weighted["hypervolume"]

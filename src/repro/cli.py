@@ -188,6 +188,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export_parser.add_argument("--store", required=True, metavar="PATH", help="store file")
     export_parser.add_argument("--output", required=True, metavar="CSV", help="CSV path to write")
+    rows_parser = store_subparsers.add_parser(
+        "rows",
+        help="list one problem's stored evaluations (the surrogate's training data)",
+    )
+    rows_parser.add_argument("--store", required=True, metavar="PATH", help="store file")
+    rows_parser.add_argument(
+        "--problem",
+        required=True,
+        metavar="DIGEST",
+        help="problem digest (any unambiguous prefix, as printed by 'store stats')",
+    )
+    rows_parser.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="show at most N rows (accuracy-ordered; 0 = all)",
+    )
+    rows_parser.add_argument(
+        "--output", default=None, metavar="CSV", help="also write every row to a CSV file"
+    )
 
     resume_parser = subparsers.add_parser(
         "resume", help="resume a checkpointed experiment from its output directory"
@@ -538,6 +559,16 @@ def _print_search_plan(dataset, config) -> None:
               f"warm_start={config.store.warm_start})")
     else:
         print("store:       (disabled)")
+    if config.strategy == "surrogate":
+        surrogate = config.surrogate
+        if surrogate.active:
+            rungs = ",".join(str(e) for e in surrogate.rung_epochs) or "(none)"
+            print(f"surrogate:   base={surrogate.base}, pool={surrogate.pool_size}, "
+                  f"min_rows={surrogate.min_rows}, "
+                  f"explore={surrogate.exploration_fraction:g}, "
+                  f"confidence={surrogate.confidence:g}, rungs={rungs}")
+        else:
+            print("surrogate:   (disabled: runs the base strategy unchanged)")
     print("\ndry run: nothing executed")
 
 
@@ -704,6 +735,53 @@ def _command_store(args: argparse.Namespace) -> int:
         save_rows_csv(rows, args.output, columns=columns)
         print(f"exported {len(rows)} stored evaluation(s) to {args.output}")
         return 0
+    if args.store_command == "rows":
+        with EvaluationStore(args.store, readonly=True) as store:
+            matches = [
+                entry["problem_digest"]
+                for entry in store.problems()
+                if entry["problem_digest"].startswith(args.problem)
+            ]
+            if not matches:
+                raise SystemExit(
+                    f"error: no stored problem matches digest prefix {args.problem!r} "
+                    "(see 'ecad store stats')"
+                )
+            if len(matches) > 1:
+                raise SystemExit(
+                    f"error: digest prefix {args.problem!r} is ambiguous: "
+                    + ", ".join(digest[:12] for digest in matches)
+                )
+            rows = store.export_rows(problem_digest=matches[0])
+        print(f"problem {matches[0]} holds {len(rows)} stored evaluation(s)")
+        shown = rows if args.limit <= 0 else rows[: args.limit]
+        table = [
+            {
+                "accuracy": row["accuracy"],
+                "hidden_layers": "x".join(str(h) for h in row["hidden_layers"]),
+                "grid": f"{row['grid']['rows']}x{row['grid']['columns']}"
+                        f"v{row['grid']['vector_width']}",
+                "fpga_outputs_per_s": row["fpga_outputs_per_second"],
+                "train_seconds": row["train_seconds"],
+                "error": (row.get("error") or "")[:30],
+            }
+            for row in shown
+        ]
+        if table:
+            print()
+            print(format_table(table, title=f"Top rows (showing {len(shown)} of {len(rows)})"))
+        if args.output:
+            flat = []
+            for row in rows:
+                record = dict(row)
+                record["hidden_layers"] = "x".join(str(h) for h in record["hidden_layers"])
+                record["activations"] = ",".join(record["activations"])
+                for key, value in record.pop("grid", {}).items():
+                    record[f"grid_{key}"] = value
+                flat.append(record)
+            save_rows_csv(flat, args.output, columns=list(flat[0].keys()))
+            print(f"\nwrote {len(flat)} row(s) to {args.output}")
+        return 0
     raise SystemExit(f"error: unknown store command {args.store_command!r}")
 
 
@@ -777,11 +855,15 @@ def _service_client(args: argparse.Namespace):
 
 
 def _job_row(job: dict) -> dict:
+    stages = (job.get("stages") or {}).values()
+    screened = sum(int(stage.get("surrogate_screened", 0)) for stage in stages)
+    saved = sum(int(stage.get("real_evals_saved", 0)) for stage in stages)
     return {
         "job_id": job["job_id"],
         "name": job["name"],
         "state": job["state"],
         "cells": f"{job['completed_cells']}/{job['total_cells']}" if job["total_cells"] else "-",
+        "screened": f"{screened} (-{saved})" if screened else "-",
         "attempts": job["attempts"],
         "error": (job.get("error") or "")[:40],
     }

@@ -38,6 +38,7 @@ __all__ = [
     "HardwareTargetConfig",
     "OptimizationTargetConfig",
     "StoreConfig",
+    "SurrogateConfig",
     "ServiceConfig",
     "ECADConfig",
     "parse_override",
@@ -232,6 +233,142 @@ class StoreConfig:
 
 
 @dataclass(frozen=True)
+class SurrogateConfig:
+    """Surrogate-assisted search settings (the ``surrogate`` config section).
+
+    When enabled, the ``surrogate`` strategy wraps the base evolutionary (or
+    NSGA-II) search with an offspring pre-screen: a cheap regressor trained on
+    the evaluation store's rows for the current problem predicts each
+    objective with a split-conformal interval, and only candidates the model
+    ranks highly (by predicted Pareto contribution) receive a real NN
+    training.  Everything here shapes *which* candidates get real evaluations,
+    never what one evaluation returns, so none of these fields participate in
+    the store's problem digest.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch — lets a config keep its surrogate tuning while
+        temporarily opting out: with ``enabled`` false the ``surrogate``
+        strategy runs its base strategy unchanged (the A/B arm of the
+        ablation).  Runs not using the ``surrogate`` strategy never consult
+        this section at all.
+    base:
+        The wrapped strategy: ``"evolutionary"`` (weighted-sum fitness) or
+        ``"nsga2"`` (Pareto rank + crowding).
+    min_rows:
+        Minimum number of store-seeded evaluations before the model is
+        trusted.  Real results observed during the run refine the model but
+        never bootstrap one, so below this threshold the search runs exactly
+        like the base strategy for its whole duration (the screen is a no-op
+        on an empty or too-small store).
+    pool_size:
+        Offspring candidates bred per steady-state step once the screen is
+        active; the surrogate ranks the pool and only the winner is really
+        evaluated.
+    exploration_fraction:
+        Probability that a step ignores the ranking and promotes a random
+        pool member instead — the screen always keeps exploring, so a wrong
+        model cannot permanently blind the search.
+    confidence:
+        Nominal coverage of the split-conformal prediction intervals
+        (e.g. 0.8 → 80% of true values fall inside the interval).  Ranking
+        uses the optimistic end of each interval, so a candidate is only
+        screened out when the model is confident it offers nothing.
+    refit_interval:
+        Refit the model after this many fresh real evaluations (online
+        feedback; every real result becomes training data).
+    rung_epochs:
+        Successive-halving fidelity rungs: ascending low-epoch budgets the
+        screened survivors are trained at before the full-budget evaluation
+        (empty disables the fidelity lever).  Requires an evaluator exposing
+        a mutable ``training_config`` (the master does).
+    rung_survivors:
+        Pool members entering the first rung; each rung promotes the top
+        ``promote_fraction`` until one survivor gets the full budget.
+    promote_fraction:
+        Fraction of candidates promoted out of each rung (at least one
+        always survives).
+    """
+
+    enabled: bool = True
+    base: str = "evolutionary"
+    min_rows: int = 24
+    pool_size: int = 8
+    exploration_fraction: float = 0.15
+    confidence: float = 0.8
+    refit_interval: int = 8
+    rung_epochs: tuple[int, ...] = ()
+    rung_survivors: int = 2
+    promote_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base not in ("evolutionary", "weighted_sum", "default", "nsga2"):
+            raise ConfigurationError(
+                f"surrogate.base must be 'evolutionary' or 'nsga2', got {self.base!r}"
+            )
+        if self.min_rows < 2:
+            raise ConfigurationError(f"surrogate.min_rows must be >= 2, got {self.min_rows}")
+        if self.pool_size < 2:
+            raise ConfigurationError(f"surrogate.pool_size must be >= 2, got {self.pool_size}")
+        if not 0.0 <= self.exploration_fraction <= 1.0:
+            raise ConfigurationError(
+                "surrogate.exploration_fraction must be in [0, 1], "
+                f"got {self.exploration_fraction}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigurationError(
+                f"surrogate.confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.refit_interval < 1:
+            raise ConfigurationError(
+                f"surrogate.refit_interval must be >= 1, got {self.refit_interval}"
+            )
+        object.__setattr__(self, "rung_epochs", tuple(int(e) for e in self.rung_epochs))
+        if any(e <= 0 for e in self.rung_epochs):
+            raise ConfigurationError(
+                f"surrogate.rung_epochs must all be positive, got {self.rung_epochs}"
+            )
+        if list(self.rung_epochs) != sorted(self.rung_epochs):
+            raise ConfigurationError(
+                f"surrogate.rung_epochs must be ascending, got {self.rung_epochs}"
+            )
+        if self.rung_survivors < 1:
+            raise ConfigurationError(
+                f"surrogate.rung_survivors must be >= 1, got {self.rung_survivors}"
+            )
+        if not 0.0 < self.promote_fraction <= 1.0:
+            raise ConfigurationError(
+                f"surrogate.promote_fraction must be in (0, 1], got {self.promote_fraction}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether the surrogate screen should be built for this run."""
+        return self.enabled
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SurrogateConfig":
+        """Strict parse of the ``surrogate`` configuration section."""
+        _reject_unknown_keys(data, _SURROGATE_KEYS, section="surrogate")
+        try:
+            return cls(
+                enabled=bool(data.get("enabled", True)),
+                base=str(data.get("base", "evolutionary")),
+                min_rows=int(data.get("min_rows", 24)),
+                pool_size=int(data.get("pool_size", 8)),
+                exploration_fraction=float(data.get("exploration_fraction", 0.15)),
+                confidence=float(data.get("confidence", 0.8)),
+                refit_interval=int(data.get("refit_interval", 8)),
+                rung_epochs=tuple(int(e) for e in data.get("rung_epochs", ())),
+                rung_survivors=int(data.get("rung_survivors", 2)),
+                promote_fraction=float(data.get("promote_fraction", 0.5)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed surrogate section: {exc!r}") from exc
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Settings of the long-lived ``ecad serve`` co-design service.
 
@@ -386,7 +523,12 @@ class ECADConfig:
     over whole candidate groups (results stay bit-identical).
     ``strategy`` names the registered search strategy driving the run:
     ``"evolutionary"`` (the default weighted-sum steady-state search),
-    ``"nsga2"`` (Pareto-native multi-objective search) or ``"random"``.
+    ``"nsga2"`` (Pareto-native multi-objective search), ``"random"``, or
+    ``"surrogate"`` (the store-trained offspring pre-screen configured by
+    the ``surrogate`` section, :class:`SurrogateConfig`).
+    ``nsga2_tournament_size`` sets the NSGA-II selection pressure (default:
+    the classic binary tournament; raise it to match a scalarized baseline's
+    tournament when comparing strategies at equal budgets).
     ``store`` configures the persistent cross-run evaluation store
     (:class:`StoreConfig`): when its ``path`` is set, evaluations are served
     from / written to an SQLite file shared across runs, and ``warm_start``
@@ -410,7 +552,9 @@ class ECADConfig:
     eval_parallelism: int = 1
     eval_batch_size: int = 1
     strategy: str = "evolutionary"
+    nsga2_tournament_size: int = 2
     store: StoreConfig = field(default_factory=StoreConfig)
+    surrogate: SurrogateConfig = field(default_factory=SurrogateConfig)
 
     def __post_init__(self) -> None:
         if self.evaluation_protocol not in ("1-fold", "10-fold"):
@@ -438,6 +582,10 @@ class ECADConfig:
         if self.eval_batch_size < 1:
             raise ConfigurationError(
                 f"eval_batch_size must be >= 1, got {self.eval_batch_size}"
+            )
+        if self.nsga2_tournament_size < 2:
+            raise ConfigurationError(
+                f"nsga2_tournament_size must be >= 2, got {self.nsga2_tournament_size}"
             )
         if self.num_folds < 2:
             raise ConfigurationError(f"num_folds must be >= 2, got {self.num_folds}")
@@ -498,6 +646,7 @@ class ECADConfig:
             seed=self.seed,
             eval_parallelism=self.eval_parallelism,
             eval_batch_size=self.eval_batch_size,
+            nsga2_tournament_size=self.nsga2_tournament_size,
         )
 
     def to_training_config(self) -> TrainingConfig:
@@ -529,6 +678,7 @@ class ECADConfig:
         data["hardware"]["gpu_batch_sizes"] = list(self.hardware.gpu_batch_sizes)
         data["optimization"]["objectives"] = [list(obj) for obj in self.optimization.objectives]
         data["optimization"]["constraints"] = list(self.optimization.constraints)
+        data["surrogate"]["rung_epochs"] = list(self.surrogate.rung_epochs)
         return data
 
     @classmethod
@@ -548,6 +698,7 @@ class ECADConfig:
             hardware_data = dict(data.get("hardware", {}))
             optimization_data = dict(data.get("optimization", {}))
             store_data = dict(data.get("store", {}))
+            surrogate_data = dict(data.get("surrogate", {}))
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed configuration: {exc}") from exc
         _reject_unknown_keys(data, _TOP_LEVEL_KEYS, section="configuration")
@@ -609,7 +760,9 @@ class ECADConfig:
             eval_parallelism=int(data.get("eval_parallelism", 1)),
             eval_batch_size=int(data.get("eval_batch_size", 1)),
             strategy=str(data.get("strategy", "evolutionary")),
+            nsga2_tournament_size=int(data.get("nsga2_tournament_size", 2)),
             store=StoreConfig.from_dict(store_data),
+            surrogate=SurrogateConfig.from_dict(surrogate_data),
         )
 
     def with_overrides(
@@ -673,4 +826,5 @@ _NNA_KEYS = {f.name for f in fields(NNAStructureConfig)}
 _HARDWARE_KEYS = {f.name for f in fields(HardwareTargetConfig)}
 _OPTIMIZATION_KEYS = {f.name for f in fields(OptimizationTargetConfig)}
 _STORE_KEYS = {f.name for f in fields(StoreConfig)}
+_SURROGATE_KEYS = {f.name for f in fields(SurrogateConfig)}
 _SERVICE_KEYS = {f.name for f in fields(ServiceConfig)}

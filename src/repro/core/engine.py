@@ -63,9 +63,14 @@ class EngineConfig:
         deduplicated by the cache).
     selection:
         Name of the parent-selection scheme (``tournament``, ``roulette``,
-        ``rank``).
+        ``rank``, ``nsga2``).
     tournament_size:
-        Tournament size when tournament selection is used.
+        Tournament size for scalar ``tournament`` selection.
+    nsga2_tournament_size:
+        Tournament size for ``nsga2`` (rank + crowding) selection.  Defaults
+        to the classic binary tournament; raise it to match a scalarized
+        baseline's selection pressure when comparing strategies at equal
+        budgets (see the table4 benchmark).
     steady_state:
         True for the paper's steady-state replacement; False switches to a
         generational model (used only by the ablation benchmark).
@@ -99,6 +104,7 @@ class EngineConfig:
     mutation_probability: float = 0.9
     selection: str = "tournament"
     tournament_size: int = 3
+    nsga2_tournament_size: int = 2
     steady_state: bool = True
     avoid_duplicate_genomes: bool = True
     seed: int | None = None
@@ -115,6 +121,15 @@ class EngineConfig:
             raise SearchError(
                 "tournament_size must not exceed population_size "
                 f"({self.tournament_size} > {self.population_size})"
+            )
+        if self.nsga2_tournament_size < 2:
+            raise SearchError(
+                f"nsga2_tournament_size must be >= 2, got {self.nsga2_tournament_size}"
+            )
+        if self.nsga2_tournament_size > self.population_size:
+            raise SearchError(
+                "nsga2_tournament_size must not exceed population_size "
+                f"({self.nsga2_tournament_size} > {self.population_size})"
             )
         if self.eval_parallelism < 1:
             raise SearchError(f"eval_parallelism must be >= 1, got {self.eval_parallelism}")
@@ -172,6 +187,20 @@ class RunStatistics:
     warm_start_seeds:
         Initial-population members seeded from the store's best stored
         candidates instead of being drawn at random.
+    surrogate_screened:
+        Offspring candidates scored by the surrogate pre-screen (0 when the
+        ``surrogate`` strategy is off or its model never became ready).
+    real_evals_saved:
+        Screened candidates discarded without a full-budget evaluation —
+        the evaluations the surrogate saved relative to evaluating every
+        bred candidate.
+    surrogate_mae:
+        Mean absolute error of the surrogate's accuracy predictions against
+        the real evaluations of the candidates it promoted (0 when unused).
+    rung_evaluations:
+        Low-fidelity (reduced-epoch) trainings spent in successive-halving
+        rungs; these are real but cheap trainings, kept separate from
+        ``models_evaluated`` so full-budget counts stay comparable.
     """
 
     models_generated: int = 0
@@ -185,6 +214,10 @@ class RunStatistics:
     store_hits: int = 0
     store_misses: int = 0
     warm_start_seeds: int = 0
+    surrogate_screened: int = 0
+    real_evals_saved: int = 0
+    surrogate_mae: float = 0.0
+    rung_evaluations: int = 0
 
     @property
     def average_evaluation_seconds(self) -> float:
@@ -222,6 +255,10 @@ class RunStatistics:
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
             "warm_start_seeds": self.warm_start_seeds,
+            "surrogate_screened": self.surrogate_screened,
+            "real_evals_saved": self.real_evals_saved,
+            "surrogate_mae": self.surrogate_mae,
+            "rung_evaluations": self.rung_evaluations,
         }
 
 
@@ -302,7 +339,13 @@ class EvolutionaryEngine:
         if selection is not None:
             self.selection = selection
         elif self.config.selection == "tournament":
-            self.selection = get_selection("tournament", tournament_size=self.config.tournament_size)
+            self.selection = get_selection(
+                "tournament", tournament_size=self.config.tournament_size
+            )
+        elif self.config.selection == "nsga2":
+            self.selection = get_selection(
+                "nsga2", tournament_size=self.config.nsga2_tournament_size
+            )
         else:
             self.selection = get_selection(self.config.selection)
         self.history = SearchHistory()

@@ -25,7 +25,7 @@ from .cache import EvaluationCache
 from .callbacks import Callback, CallbackList, SearchHistory
 from .candidate import CandidateEvaluation
 from .config import ECADConfig
-from .engine import EngineResult, EvolutionaryEngine, RunStatistics
+from .engine import EngineConfig, EngineResult, EvolutionaryEngine, RunStatistics
 from .errors import ConfigurationError
 from .fitness import Constraint, FitnessEvaluator, FitnessObjective
 from .frontier import FrontierArchive
@@ -224,13 +224,23 @@ class CoDesignSearch:
         )
 
     def build_engine(
-        self, evaluator=None, fitness: FitnessEvaluator | None = None, selection=None
+        self,
+        evaluator=None,
+        fitness: FitnessEvaluator | None = None,
+        selection=None,
+        engine_cls: type[EvolutionaryEngine] | None = None,
+        engine_config: EngineConfig | None = None,
+        **engine_kwargs,
     ) -> EvolutionaryEngine:
         """Construct the evolutionary engine.
 
         ``fitness`` and ``selection`` default to the configuration's
         weighted-sum evaluator and selection scheme; search strategies (e.g.
-        NSGA-II) inject their own here.  When the configuration asks for
+        NSGA-II) inject their own here.  ``engine_cls`` lets a strategy swap
+        in an :class:`EvolutionaryEngine` subclass (the surrogate-screened
+        engine does), ``engine_config`` overrides the derived
+        :class:`EngineConfig`, and extra keyword arguments are forwarded to
+        the engine constructor.  When the configuration asks for
         warm-starting, the engine is seeded with the store's best candidates
         for the current problem digest.
         """
@@ -242,17 +252,19 @@ class CoDesignSearch:
             )
         if evaluator is None:
             evaluator = self.build_master()
-        return EvolutionaryEngine(
+        cls = engine_cls if engine_cls is not None else EvolutionaryEngine
+        return cls(
             space=space,
             evaluator=evaluator,
             fitness=fitness,
-            config=self.config.to_engine_config(),
+            config=engine_config if engine_config is not None else self.config.to_engine_config(),
             device=self.config.hardware.fpga_device(),
             mutation_config=self.config.to_mutation_config(),
             cache=self.cache,
             callbacks=self.callbacks,
             selection=selection,
             initial_genomes=self.warm_start_genomes(),
+            **engine_kwargs,
         )
 
     def warm_start_genomes(self) -> list[CoDesignGenome]:

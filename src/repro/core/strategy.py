@@ -33,6 +33,7 @@ __all__ = [
     "EvolutionaryStrategy",
     "NSGA2Strategy",
     "RandomStrategy",
+    "SurrogateStrategy",
     "STRATEGIES",
     "register_strategy",
     "available_strategies",
@@ -203,8 +204,38 @@ class NSGA2Strategy(EvolutionaryStrategy):
         return search.build_engine(
             evaluator=evaluator,
             fitness=fitness,
-            selection=get_selection("nsga2"),
+            selection=get_selection(
+                "nsga2", tournament_size=config.nsga2_tournament_size
+            ),
         )
+
+
+class SurrogateStrategy(EvolutionaryStrategy):
+    """Surrogate-assisted, multi-fidelity search over the evaluation store.
+
+    Wraps the base evolutionary (or NSGA-II — ``surrogate.base``) search with
+    the conformal offspring pre-screen and successive-halving fidelity rungs
+    of :mod:`repro.surrogate`.  The screen trains on the persistent store's
+    rows for the current problem digest and feeds every real result back; on
+    an empty or too-small store it is a provable no-op and the run is
+    bit-identical to the base strategy.  ``surrogate.enabled=false`` skips
+    the screen entirely (the A/B arm of the ablation benchmark).
+    """
+
+    name = "surrogate"
+
+    def build_engine(self, search, evaluator):
+        # Imported lazily: repro.surrogate builds on repro.core and the
+        # store; importing it at module scope would cycle through this
+        # registry module.
+        config = search.config.surrogate
+        if not config.active:
+            if config.base == "nsga2":
+                return NSGA2Strategy().build_engine(search, evaluator)
+            return super().build_engine(search, evaluator)
+        from ..surrogate.engine import build_surrogate_engine
+
+        return build_surrogate_engine(search, evaluator)
 
 
 class RandomStrategy(SearchStrategy):
@@ -245,3 +276,4 @@ class RandomStrategy(SearchStrategy):
 register_strategy("evolutionary", EvolutionaryStrategy, aliases=("weighted_sum", "default"))
 register_strategy("nsga2", NSGA2Strategy)
 register_strategy("random", RandomStrategy)
+register_strategy("surrogate", SurrogateStrategy)

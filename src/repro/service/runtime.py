@@ -215,6 +215,9 @@ class ServiceRuntime:
             "store_misses": 0,
             "total_evaluation_seconds": 0.0,
             "busy_seconds": 0.0,
+            "surrogate_screened": 0,
+            "real_evals_saved": 0,
+            "rung_evaluations": 0,
         }
 
     # ------------------------------------------------------------ lifecycle
@@ -350,12 +353,19 @@ class ServiceRuntime:
     # -------------------------------------------------------------- metrics
     @staticmethod
     def _stage_summary(artifact) -> dict:
-        return {
+        stage = {
             "status": artifact.status,
             "best_accuracy": artifact.best_accuracy,
             "wall_clock_seconds": artifact.wall_clock_seconds,
             "error": artifact.error,
         }
+        statistics = artifact.statistics or {}
+        # Surrogate-strategy cells surface their screen counters so
+        # ``ecad jobs`` can show how much real work the screen avoided.
+        if statistics.get("surrogate_screened"):
+            stage["surrogate_screened"] = int(statistics["surrogate_screened"])
+            stage["real_evals_saved"] = int(statistics.get("real_evals_saved", 0))
+        return stage
 
     def _record_cell(self, job_id: str, run_id: str, artifact) -> None:
         self.queue.record_progress(job_id, run_id=run_id, stage=self._stage_summary(artifact))
@@ -375,6 +385,9 @@ class ServiceRuntime:
                 statistics.get("total_evaluation_seconds", 0.0)
             )
             counters["busy_seconds"] += float(artifact.wall_clock_seconds)
+            counters["surrogate_screened"] += int(statistics.get("surrogate_screened", 0))
+            counters["real_evals_saved"] += int(statistics.get("real_evals_saved", 0))
+            counters["rung_evaluations"] += int(statistics.get("rung_evaluations", 0))
 
     def metrics(self) -> dict:
         """The ``GET /metrics`` payload: queue depth, throughput, store health."""

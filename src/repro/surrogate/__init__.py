@@ -1,0 +1,49 @@
+"""Surrogate-assisted, multi-fidelity search over the evaluation store.
+
+The persistent :class:`~repro.store.EvaluationStore` accumulates
+``(genome, accuracy, throughput)`` rows per problem digest — a free training
+set the searches only used for warm-start seeding until now.  This package
+turns those rows into a *data flywheel*:
+
+* :mod:`repro.surrogate.features` — deterministic genome → numeric feature
+  vectors covering the NN-topology and hardware-mapping genes.
+* :mod:`repro.surrogate.model` — a lightweight NumPy ridge regressor per
+  objective with split-conformal calibration, so every prediction carries a
+  finite-sample coverage-guaranteed interval.
+* :mod:`repro.surrogate.screen` — the offspring pre-screener: ranks bred
+  candidates by predicted Pareto contribution (using the optimistic interval
+  end), always passes an exploration fraction, and feeds every real result
+  back for online refit.
+* :mod:`repro.surrogate.fidelity` — successive-halving early termination of
+  NN training: low-epoch rungs promote only the top fraction to the full
+  budget.
+* :mod:`repro.surrogate.engine` — the :class:`SurrogateEngine` steady-state
+  loop gluing the screen and the fidelity rungs into the evolutionary engine,
+  plus :func:`build_surrogate_engine`, the factory the ``surrogate`` search
+  strategy calls.
+
+The screen makes *calibrated* skip decisions (conformal intervals, after
+Johnstone & Nettleton) rather than trusting raw point estimates: a candidate
+is only screened out when even the optimistic end of its prediction interval
+offers no Pareto contribution.  With no store attached, or fewer stored rows
+than ``surrogate.min_rows``, the whole path is a no-op and the run is
+bit-identical to the wrapped base strategy.
+"""
+
+from .engine import SurrogateEngine, build_surrogate_engine
+from .features import feature_names, genome_features, row_features
+from .fidelity import SuccessiveHalving
+from .model import ConformalRegressor, SurrogateModel
+from .screen import OffspringScreener
+
+__all__ = [
+    "ConformalRegressor",
+    "OffspringScreener",
+    "SuccessiveHalving",
+    "SurrogateEngine",
+    "SurrogateModel",
+    "build_surrogate_engine",
+    "feature_names",
+    "genome_features",
+    "row_features",
+]

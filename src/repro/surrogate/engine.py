@@ -1,0 +1,191 @@
+"""The surrogate-screened steady-state engine and its factory.
+
+:class:`SurrogateEngine` subclasses the serial steady-state loop of
+:class:`~repro.core.engine.EvolutionaryEngine`.  Until the screener's model
+is ready (store empty, too few rows, unsupported objectives) every step
+delegates to the base implementation and consumes the *same* RNG stream —
+the surrogate path is provably a no-op in that regime, and a run over an
+empty store is bit-identical to the wrapped base strategy.
+
+Once the model is ready, each step:
+
+1. breeds a pool of ``surrogate.pool_size`` unique offspring with the normal
+   selection/crossover/mutation operators,
+2. either promotes a uniformly random pool member (with probability
+   ``exploration_fraction`` — the screen always keeps exploring) or ranks
+   the pool by predicted Pareto contribution,
+3. optionally winnows the top-ranked survivors through successive-halving
+   fidelity rungs (:mod:`repro.surrogate.fidelity`),
+4. spends exactly one full-budget evaluation on the winner and feeds the
+   real result back into the screener.
+
+Only the winner counts against ``max_evaluations``; the discarded pool
+members are the ``real_evals_saved``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+
+from ..core.candidate import CandidateEvaluation
+from ..core.engine import EvolutionaryEngine
+from ..core.errors import StoreError
+from ..core.fitness import ParetoRankingEvaluator
+from ..core.genome import CoDesignGenome
+from ..core.population import Population
+from ..core.selection import get_selection
+from .fidelity import SuccessiveHalving
+from .screen import OffspringScreener
+
+__all__ = ["SurrogateEngine", "build_surrogate_engine"]
+
+logger = logging.getLogger(__name__)
+
+
+class SurrogateEngine(EvolutionaryEngine):
+    """Steady-state engine with a conformal offspring pre-screen.
+
+    Parameters
+    ----------
+    screener:
+        The :class:`~repro.surrogate.screen.OffspringScreener`, already
+        seeded with the store's rows for the current problem.
+    fidelity:
+        The successive-halving rung runner (may be unsupported/disabled, in
+        which case the top-ranked candidate goes straight to full budget).
+    surrogate_config:
+        The run's ``surrogate`` configuration section.
+
+    Other parameters are forwarded to :class:`EvolutionaryEngine` unchanged.
+    The screened loop is inherently sequential (every decision feeds the
+    model that makes the next one), so the factory always builds this engine
+    with ``eval_parallelism=1``.
+    """
+
+    def __init__(self, *args, screener: OffspringScreener, fidelity: SuccessiveHalving,
+                 surrogate_config, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.screener = screener
+        self.fidelity = fidelity
+        self.surrogate_config = surrogate_config
+
+    # ------------------------------------------------------------ the screen
+    def _steady_state_step(self, population: Population, step: int) -> bool:
+        if not self.screener.ready:
+            # No-op regime: same code path, same RNG stream as the base
+            # strategy — a run over an empty/too-small store is bit-identical.
+            return super()._steady_state_step(population, step)
+
+        pool = self._breed_pool(population)
+        if len(pool) < 2:
+            return super()._steady_state_step(population, step)
+
+        explore = self._rng.random() < self.surrogate_config.exploration_fraction
+        order = self.screener.rank(pool, population.evaluations())
+        self.statistics.surrogate_screened += len(pool)
+        if explore:
+            winner = pool[int(self._rng.integers(len(pool)))]
+        else:
+            survivors = [pool[i] for i in order[: self.surrogate_config.rung_survivors]]
+            survivors, rung_cost = self.fidelity.winnow(survivors)
+            self.statistics.rung_evaluations += rung_cost
+            winner = survivors[0]
+        self.statistics.real_evals_saved += len(pool) - 1
+
+        individual = self._evaluate_and_wrap(winner, step, population=population)
+        population.add(individual)
+        self._rescore(population)
+        return True
+
+    def _breed_pool(self, population: Population) -> list[CoDesignGenome]:
+        """Breed up to ``pool_size`` unique offspring with the base operators."""
+        pool: list[CoDesignGenome] = []
+        keys: set[str] = set()
+        for _ in range(self.surrogate_config.pool_size):
+            genome = self._make_offspring(population, in_flight_keys=keys)
+            if genome is None:
+                break
+            key = genome.cache_key()
+            if key in keys:
+                continue
+            keys.add(key)
+            pool.append(genome)
+        return pool
+
+    # ----------------------------------------------------------- feedback
+    def _evaluate(self, genome: CoDesignGenome) -> CandidateEvaluation:
+        evaluation = super()._evaluate(genome)
+        self.screener.observe(evaluation)
+        return evaluation
+
+    def _record_frontier_statistics(self) -> None:
+        super()._record_frontier_statistics()
+        self.statistics.surrogate_mae = self.screener.mean_absolute_error
+
+
+def build_surrogate_engine(search, evaluator) -> SurrogateEngine:
+    """Wire a :class:`SurrogateEngine` for one configured search.
+
+    Resolves the base strategy's fitness/selection (weighted-sum or NSGA-II),
+    seeds the screener with the store's rows for the search's problem digest,
+    and forces the serial steady-state loop (``eval_parallelism=1``) — the
+    screened loop is sequential by construction.
+    """
+    config = search.config
+    surrogate = config.surrogate
+    fitness = None
+    selection = None
+    if surrogate.base == "nsga2":
+        fitness = ParetoRankingEvaluator(
+            config.optimization.to_fitness_objectives(),
+            constraints=config.optimization.to_constraints(),
+        )
+        selection = get_selection(
+            "nsga2", tournament_size=config.nsga2_tournament_size
+        )
+
+    screener = OffspringScreener(config.optimization.to_fitness_objectives(), surrogate)
+    if not screener.model.supported:
+        logger.info(
+            "surrogate screen inactive: objective(s) %s cannot be modelled from store rows",
+            ", ".join(obj.name for obj in screener.objectives),
+        )
+    if search.store is not None and search.problem_digest is not None:
+        try:
+            rows = search.store.export_rows(problem_digest=search.problem_digest)
+        except StoreError as exc:
+            logger.warning("surrogate could not read store rows: %s", exc)
+            rows = []
+        seeded = screener.seed(rows)
+        logger.info(
+            "surrogate seeded with %d stored evaluations (model %s)",
+            seeded,
+            "ready" if screener.ready else f"needs >= {surrogate.min_rows} rows",
+        )
+
+    engine_config = config.to_engine_config()
+    if engine_config.eval_parallelism > 1 or engine_config.eval_batch_size > 1:
+        logger.info(
+            "surrogate strategy runs the serial steady-state loop; "
+            "ignoring eval_parallelism=%d / eval_batch_size=%d",
+            engine_config.eval_parallelism,
+            engine_config.eval_batch_size,
+        )
+        engine_config = dataclasses.replace(
+            engine_config, eval_parallelism=1, eval_batch_size=1
+        )
+    return search.build_engine(
+        evaluator=evaluator,
+        fitness=fitness,
+        selection=selection,
+        engine_cls=SurrogateEngine,
+        engine_config=engine_config,
+        screener=screener,
+        fidelity=SuccessiveHalving(
+            evaluator,
+            rung_epochs=surrogate.rung_epochs,
+            promote_fraction=surrogate.promote_fraction,
+        ),
+        surrogate_config=surrogate,
+    )

@@ -1,0 +1,142 @@
+"""Deterministic genome → numeric feature vectors.
+
+The surrogate regressor needs the same fixed-width float vector for a genome
+whether it was built from a live :class:`~repro.core.genome.CoDesignGenome`
+or reconstructed from an :meth:`~repro.store.EvaluationStore.export_rows`
+row.  Both paths funnel through :func:`features_from_parts`, which uses only
+integer arithmetic and a frozen activation table — no hashing, no dict
+iteration order, no floating-point accumulation order — so the same genome
+produces a *bit-identical* ``float64`` vector in every process.
+
+Layer slots are padded/truncated to :data:`MAX_LAYER_SLOTS`; networks deeper
+than that keep their depth and neuron totals (the aggregate features), only
+the per-layer detail of the overflow layers is folded away.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.genome import CoDesignGenome
+
+__all__ = [
+    "MAX_LAYER_SLOTS",
+    "feature_names",
+    "features_from_parts",
+    "genome_features",
+    "row_features",
+]
+
+#: Per-layer feature slots; deeper networks fold into the aggregate features.
+MAX_LAYER_SLOTS = 8
+
+#: Frozen activation table (order is part of the feature contract; extend by
+#: appending only).  Unknown activations map to 0.
+_ACTIVATION_IDS: dict[str, int] = {"relu": 1, "tanh": 2, "sigmoid": 3, "elu": 4}
+
+_GRID_FIELDS = ("rows", "columns", "interleave_rows", "interleave_columns", "vector_width")
+
+
+def feature_names() -> tuple[str, ...]:
+    """Names of the feature-vector components, in vector order."""
+    names: list[str] = [
+        "num_hidden_layers",
+        "total_hidden_neurons",
+        "log2_total_neurons",
+        "use_bias",
+    ]
+    for slot in range(MAX_LAYER_SLOTS):
+        names.append(f"layer{slot}_size")
+        names.append(f"layer{slot}_log2_size")
+        names.append(f"layer{slot}_activation")
+    names.extend(f"grid_{field}" for field in _GRID_FIELDS)
+    names.extend(["grid_pe_count", "grid_macs_per_cycle"])
+    names.extend(["fpga_batch", "log2_fpga_batch", "gpu_batch", "log2_gpu_batch"])
+    return tuple(names)
+
+
+def features_from_parts(
+    hidden_layers: Sequence[int],
+    activations: Sequence[str],
+    use_bias: bool,
+    grid: Mapping[str, int],
+    fpga_batch: int,
+    gpu_batch: int,
+) -> np.ndarray:
+    """The canonical feature vector from raw genome parts.
+
+    Parameters
+    ----------
+    hidden_layers / activations / use_bias:
+        The NN-topology genes (as stored in a row's ``hidden_layers`` /
+        ``activations`` / ``use_bias`` columns).
+    grid:
+        The systolic-grid genes as a mapping with the
+        :meth:`~repro.hardware.systolic.GridConfig.to_dict` keys.
+    fpga_batch / gpu_batch:
+        The batch-size genes.
+
+    Returns
+    -------
+    numpy.ndarray
+        A ``float64`` vector of ``len(feature_names())`` components.  The
+        mapping is pure integer arithmetic, so equal inputs give
+        bit-identical vectors across processes and platforms.
+    """
+    sizes = [int(s) for s in hidden_layers]
+    acts = [str(a) for a in activations]
+    total = sum(sizes)
+    values: list[float] = [
+        float(len(sizes)),
+        float(total),
+        float(np.log2(np.float64(total + 1))),
+        1.0 if use_bias else 0.0,
+    ]
+    for slot in range(MAX_LAYER_SLOTS):
+        size = sizes[slot] if slot < len(sizes) else 0
+        act = acts[slot] if slot < len(acts) else ""
+        values.append(float(size))
+        values.append(float(np.log2(np.float64(size + 1))))
+        values.append(float(_ACTIVATION_IDS.get(act, 0)))
+    grid_values = [int(grid[field]) for field in _GRID_FIELDS]
+    values.extend(float(v) for v in grid_values)
+    pe_count = grid_values[0] * grid_values[1]
+    values.append(float(pe_count))
+    values.append(float(pe_count * grid_values[4]))
+    values.append(float(int(fpga_batch)))
+    values.append(float(np.log2(np.float64(int(fpga_batch) + 1))))
+    values.append(float(int(gpu_batch)))
+    values.append(float(np.log2(np.float64(int(gpu_batch) + 1))))
+    return np.asarray(values, dtype=np.float64)
+
+
+def genome_features(genome: CoDesignGenome) -> np.ndarray:
+    """Feature vector of a live genome."""
+    return features_from_parts(
+        hidden_layers=genome.mlp.hidden_layers,
+        activations=genome.mlp.activations,
+        use_bias=genome.mlp.use_bias,
+        grid=genome.hardware.grid.to_dict(),
+        fpga_batch=genome.hardware.batch_size,
+        gpu_batch=genome.gpu_batch_size,
+    )
+
+
+def row_features(row: Mapping) -> np.ndarray:
+    """Feature vector of one store row / evaluation summary.
+
+    Accepts the flat dictionaries produced by
+    :meth:`~repro.core.candidate.CandidateEvaluation.summary` and
+    :meth:`~repro.store.EvaluationStore.export_rows` (which embed the same
+    genome columns).
+    """
+    return features_from_parts(
+        hidden_layers=row["hidden_layers"],
+        activations=row["activations"],
+        use_bias=bool(row["use_bias"]),
+        grid=row["grid"],
+        fpga_batch=int(row["fpga_batch"]),
+        gpu_batch=int(row["gpu_batch"]),
+    )

@@ -1,0 +1,102 @@
+"""Successive-halving fidelity rungs: cheap trainings before the full budget.
+
+The second fidelity lever (after the surrogate screen): instead of spending
+the full training budget on every screened survivor, train them for a few
+epochs first and promote only the top fraction rung by rung.  Low-epoch
+accuracy is a noisy but usefully ranked proxy for full-budget accuracy, and
+hardware metrics do not depend on the training budget at all, so the rungs
+rank on accuracy alone.
+
+Rung evaluations deliberately bypass the engine's cache and the persistent
+store: their results were produced under a different training budget than
+the problem digest describes, so caching them would poison full-budget
+lookups.  They are counted separately (``RunStatistics.rung_evaluations``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import math
+
+from ..core.candidate import CandidateEvaluation
+from ..core.genome import CoDesignGenome
+
+__all__ = ["SuccessiveHalving"]
+
+logger = logging.getLogger(__name__)
+
+
+class SuccessiveHalving:
+    """Winnows screened survivors through ascending low-epoch rungs.
+
+    Parameters
+    ----------
+    evaluator:
+        The candidate evaluator.  The fidelity lever needs an evaluator
+        exposing a mutable ``training_config`` attribute (the
+        :class:`~repro.workers.master.Master` does); anything else disables
+        the rungs and :meth:`winnow` passes candidates through unchanged.
+    rung_epochs:
+        Ascending low-fidelity epoch budgets; empty disables the rungs.
+    promote_fraction:
+        Fraction of candidates promoted out of each rung (at least one
+        always survives).
+    """
+
+    def __init__(
+        self,
+        evaluator,
+        rung_epochs: tuple[int, ...] = (),
+        promote_fraction: float = 0.5,
+    ) -> None:
+        self.evaluator = evaluator
+        self.rung_epochs = tuple(int(e) for e in rung_epochs)
+        self.promote_fraction = float(promote_fraction)
+        self.supported = bool(self.rung_epochs) and hasattr(evaluator, "training_config")
+        if self.rung_epochs and not self.supported:
+            logger.info(
+                "fidelity rungs disabled: evaluator %r has no mutable training_config",
+                type(evaluator).__name__,
+            )
+
+    def winnow(self, genomes: list[CoDesignGenome]) -> tuple[list[CoDesignGenome], int]:
+        """Run the rungs and return ``(survivors, rung_evaluation_count)``.
+
+        With the lever disabled (no rungs, unsupported evaluator, or a
+        single candidate) the input comes back unchanged at zero cost.
+        Candidates failing a rung evaluation rank last, so a crashing rung
+        can never promote a broken candidate over a working one.
+        """
+        survivors = list(genomes)
+        spent = 0
+        if not self.supported or len(survivors) <= 1:
+            return survivors, spent
+        full_epochs = self.evaluator.training_config.epochs
+        for epochs in self.rung_epochs:
+            if len(survivors) <= 1:
+                break
+            if epochs >= full_epochs:
+                # A "low-fidelity" rung at or above the full budget saves nothing.
+                continue
+            scored: list[tuple[float, int, CoDesignGenome]] = []
+            for index, genome in enumerate(survivors):
+                evaluation = self._evaluate_at(genome, epochs)
+                spent += 1
+                score = float("-inf") if evaluation.failed else evaluation.accuracy
+                scored.append((score, index, genome))
+            keep = max(1, math.ceil(len(survivors) * self.promote_fraction))
+            scored.sort(key=lambda item: (-item[0], item[1]))
+            survivors = [genome for _score, _index, genome in scored[:keep]]
+        return survivors, spent
+
+    def _evaluate_at(self, genome: CoDesignGenome, epochs: int) -> CandidateEvaluation:
+        """One reduced-epoch evaluation; restores the full training budget."""
+        saved = self.evaluator.training_config
+        self.evaluator.training_config = dataclasses.replace(saved, epochs=epochs)
+        try:
+            return self.evaluator(genome)
+        except Exception as exc:  # noqa: BLE001 - a rung failure must not kill the search
+            return CandidateEvaluation(genome=genome, error=str(exc))
+        finally:
+            self.evaluator.training_config = saved

@@ -144,6 +144,16 @@ class TestOverrides:
         with pytest.raises(ConfigurationError):
             config.with_overrides(["eval_parallelism=0"])
 
+    def test_nsga2_tournament_size_round_trip(self, config):
+        assert config.nsga2_tournament_size == 2  # classic binary default
+        updated = config.with_overrides(["nsga2_tournament_size=3"])
+        assert updated.nsga2_tournament_size == 3
+        assert updated.to_engine_config().nsga2_tournament_size == 3
+        reloaded = type(config).from_dict(updated.to_dict())
+        assert reloaded.nsga2_tournament_size == 3
+        with pytest.raises(ConfigurationError, match="nsga2_tournament_size"):
+            config.with_overrides(["nsga2_tournament_size=1"])
+
 
 class TestCLIPrecedence:
     """--set beats explicit flags beats the configuration file."""

@@ -45,6 +45,14 @@ class TestEngineConfig:
         # At most the whole population is legal.
         EngineConfig(population_size=4, tournament_size=4)
 
+    def test_nsga2_tournament_size_validation(self):
+        with pytest.raises(SearchError):
+            EngineConfig(nsga2_tournament_size=1)
+        with pytest.raises(SearchError):
+            EngineConfig(population_size=4, nsga2_tournament_size=5)
+        assert EngineConfig().nsga2_tournament_size == 2  # classic binary
+        EngineConfig(population_size=4, nsga2_tournament_size=4)
+
     def test_eval_parallelism_validation(self):
         with pytest.raises(SearchError):
             EngineConfig(eval_parallelism=0)

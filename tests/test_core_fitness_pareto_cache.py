@@ -28,6 +28,7 @@ from repro.core.pareto import (
 )
 from repro.core.population import Individual, Population
 from repro.core.selection import (
+    NSGA2Selection,
     RankSelection,
     RouletteWheelSelection,
     TournamentSelection,
@@ -452,6 +453,10 @@ class TestSelection:
             TournamentSelection(tournament_size=1)
         with pytest.raises(ValueError):
             RankSelection(selection_pressure=3.0)
+        with pytest.raises(ValueError):
+            NSGA2Selection(tournament_size=1)
+        assert NSGA2Selection().tournament_size == 2  # classic binary default
+        assert get_selection("nsga2", tournament_size=3).tournament_size == 3
 
     def test_selection_from_empty_population_raises(self, rng):
         population = Population(capacity=2)
