@@ -11,9 +11,15 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "rows_to_csv", "save_rows_csv", "format_scientific"]
+__all__ = [
+    "format_table",
+    "rows_to_csv",
+    "save_rows_csv",
+    "stream_rows_csv",
+    "format_scientific",
+]
 
 
 def format_scientific(value: float, digits: int = 2) -> str:
@@ -87,3 +93,35 @@ def save_rows_csv(rows: Sequence[Mapping[str, object]], path: str | Path, column
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(rows_to_csv(rows, columns))
+
+
+def stream_rows_csv(
+    rows: Iterable[Mapping[str, object]],
+    path: str | Path,
+    columns: Sequence[str] | None = None,
+) -> int:
+    """Write an *iterable* of rows to CSV without materializing it.
+
+    Column order defaults to the first row's keys (like
+    :func:`rows_to_csv`).  Returns the number of rows written; an empty
+    iterable writes nothing and returns 0.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    iterator = iter(rows)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return 0
+    if columns is None:
+        columns = list(first.keys())
+    written = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        writer.writerow({column: first.get(column, "") for column in columns})
+        written = 1
+        for row in iterator:
+            writer.writerow({column: row.get(column, "") for column in columns})
+            written += 1
+    return written

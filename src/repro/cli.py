@@ -62,7 +62,12 @@ import sys
 from dataclasses import replace
 
 from . import __version__
-from .analysis.reporting import format_scientific, format_table, save_rows_csv
+from .analysis.reporting import (
+    format_scientific,
+    format_table,
+    save_rows_csv,
+    stream_rows_csv,
+)
 from .core.callbacks import ProgressLogger
 from .core.config import ECADConfig, OptimizationTargetConfig, ServiceConfig
 from .core.errors import ConfigurationError, ServiceError, StoreError
@@ -209,6 +214,31 @@ def build_parser() -> argparse.ArgumentParser:
     rows_parser.add_argument(
         "--output", default=None, metavar="CSV", help="also write every row to a CSV file"
     )
+    migrate_parser = store_subparsers.add_parser(
+        "migrate",
+        help="copy a store into an N-shard layout (in place unless --output is given)",
+    )
+    migrate_parser.add_argument(
+        "--store", required=True, metavar="PATH", help="store to migrate (file or sharded dir)"
+    )
+    migrate_parser.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        metavar="N",
+        help="shard count of the new layout (rows are routed by problem-digest prefix)",
+    )
+    migrate_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="write the sharded layout here instead of migrating in place",
+    )
+    migrate_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report the row counts and per-shard distribution without writing",
+    )
 
     resume_parser = subparsers.add_parser(
         "resume", help="resume a checkpointed experiment from its output directory"
@@ -236,6 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         metavar="PATH",
         help="shared persistent evaluation store used by every job",
+    )
+    serve_parser.add_argument(
+        "--store-shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the shared store over N SQLite files so concurrent jobs "
+        "on different problems never contend on one writer lock",
     )
     serve_parser.add_argument(
         "--max-jobs", type=int, default=1, help="jobs executed concurrently"
@@ -555,8 +593,9 @@ def _print_search_plan(dataset, config) -> None:
           f"eval_batch_size={config.eval_batch_size})")
     if config.store.active:
         mode = "readonly" if config.store.readonly else "read/write"
+        layout = f", shards={config.store.shards}" if config.store.shards > 1 else ""
         print(f"store:       {config.store.path} ({mode}, "
-              f"warm_start={config.store.warm_start})")
+              f"warm_start={config.store.warm_start}{layout})")
     else:
         print("store:       (disabled)")
     if config.strategy == "surrogate":
@@ -726,14 +765,14 @@ def _command_store(args: argparse.Namespace) -> int:
         print(f"pruned {removed} stored evaluation(s), {remaining} left")
         return 0
     if args.store_command == "export":
+        # Streamed row by row: a large (possibly sharded) store is never
+        # materialized as one full-table list.
         with EvaluationStore(args.store, readonly=True) as store:
-            rows = store.export_rows()
-        if not rows:
+            exported = stream_rows_csv(store.export_rows_iter(), args.output)
+        if not exported:
             print("the store holds no evaluations")
             return 1
-        columns = list(rows[0].keys())
-        save_rows_csv(rows, args.output, columns=columns)
-        print(f"exported {len(rows)} stored evaluation(s) to {args.output}")
+        print(f"exported {exported} stored evaluation(s) to {args.output}")
         return 0
     if args.store_command == "rows":
         with EvaluationStore(args.store, readonly=True) as store:
@@ -781,6 +820,29 @@ def _command_store(args: argparse.Namespace) -> int:
                 flat.append(record)
             save_rows_csv(flat, args.output, columns=list(flat[0].keys()))
             print(f"\nwrote {len(flat)} row(s) to {args.output}")
+        return 0
+    if args.store_command == "migrate":
+        from .store import migrate_store
+
+        report = migrate_store(
+            args.store, shards=args.shards, output_path=args.output, dry_run=args.dry_run
+        )
+        distribution = " ".join(
+            f"shard-{index:03d}:{count}"
+            for index, count in enumerate(report["rows_per_shard"])
+        )
+        print(format_table(
+            [{key: value for key, value in report.items() if key != "rows_per_shard"}],
+            title="Store migration (planned)" if args.dry_run else "Store migration",
+        ))
+        print(f"\nrow distribution: {distribution}")
+        if args.dry_run:
+            print("\ndry run: nothing written")
+        else:
+            print(f"\nmigrated {report['rows']} row(s) into {report['shards']} shard(s) "
+                  f"at {report['target']}")
+            if "backup" in report:
+                print(f"original store kept at {report['backup']}")
         return 0
     raise SystemExit(f"error: unknown store command {args.store_command!r}")
 
@@ -832,6 +894,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         data_dir=args.data_dir,
         queue_path=args.queue,
         store_path=args.store,
+        store_shards=args.store_shards,
         max_concurrent_jobs=args.max_jobs,
         backend=args.backend,
         eval_workers=args.eval_workers,

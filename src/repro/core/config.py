@@ -200,17 +200,30 @@ class StoreConfig:
         candidates matching the current problem digest (0 disables
         warm-starting; the run then stays bit-identical to a store-less run
         on a cold store).
+    shards:
+        Number of SQLite shard files the store spreads rows over (routed by
+        problem-digest prefix).  ``1`` (the default) is the original
+        single-file layout; ``N > 1`` opens/creates an N-shard directory so
+        concurrent jobs on different problems never contend on one writer
+        lock.  An existing sharded layout is auto-detected regardless of
+        this value; pointing ``shards > 1`` at an existing single file
+        fails with a hint to run ``ecad store migrate``.
     """
 
     path: str = ""
     enabled: bool = True
     readonly: bool = False
     warm_start: int = 0
+    shards: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "path", str(self.path))
         if self.warm_start < 0:
             raise ConfigurationError(f"warm_start must be >= 0, got {self.warm_start}")
+        if not (1 <= self.shards <= 1024):
+            raise ConfigurationError(
+                f"store shards must be in [1, 1024], got {self.shards}"
+            )
 
     @property
     def active(self) -> bool:
@@ -227,6 +240,7 @@ class StoreConfig:
                 enabled=bool(data.get("enabled", True)),
                 readonly=bool(data.get("readonly", False)),
                 warm_start=int(data.get("warm_start", 0)),
+                shards=int(data.get("shards", 1)),
             )
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed store section: {exc!r}") from exc
@@ -387,6 +401,10 @@ class ServiceConfig:
     store_path:
         Persistent :class:`~repro.store.EvaluationStore` shared by every job
         the service runs; empty disables the shared store.
+    store_shards:
+        Shard count of the shared store (see ``StoreConfig.shards``) — with
+        ``max_concurrent_jobs > 1`` a sharded store lets jobs on different
+        problems write without contending on one SQLite writer lock.
     max_concurrent_jobs:
         How many jobs the scheduler keeps running at once.  Queued jobs wait
         until a slot frees up.
@@ -404,6 +422,7 @@ class ServiceConfig:
     data_dir: str = "ecad-service"
     queue_path: str = ""
     store_path: str = ""
+    store_shards: int = 1
     max_concurrent_jobs: int = 1
     backend: str = "threads"
     eval_workers: int = 4
@@ -418,6 +437,10 @@ class ServiceConfig:
             )
         if self.eval_workers < 1:
             raise ConfigurationError(f"eval_workers must be >= 1, got {self.eval_workers}")
+        if not (1 <= self.store_shards <= 1024):
+            raise ConfigurationError(
+                f"store_shards must be in [1, 1024], got {self.store_shards}"
+            )
         if self.long_poll_timeout <= 0:
             raise ConfigurationError(
                 f"long_poll_timeout must be positive, got {self.long_poll_timeout}"
@@ -453,6 +476,7 @@ class ServiceConfig:
                 data_dir=str(data.get("data_dir", "ecad-service")),
                 queue_path=str(data.get("queue_path", "")),
                 store_path=str(data.get("store_path", "")),
+                store_shards=int(data.get("store_shards", 1)),
                 max_concurrent_jobs=int(data.get("max_concurrent_jobs", 1)),
                 backend=str(data.get("backend", "threads")),
                 eval_workers=int(data.get("eval_workers", 4)),

@@ -178,7 +178,9 @@ class CoDesignSearch:
             from ..store import EvaluationStore
 
             self.store = EvaluationStore(
-                self.config.store.path, readonly=self.config.store.readonly
+                self.config.store.path,
+                readonly=self.config.store.readonly,
+                shards=self.config.store.shards,
             )
             self._owns_store = True
         if self.store is not None:

@@ -202,7 +202,9 @@ class ServiceRuntime:
         if config.store_path:
             from ..store import EvaluationStore
 
-            self.store = EvaluationStore(config.store_path)
+            self.store = EvaluationStore(
+                config.store_path, shards=getattr(config, "store_shards", 1)
+            )
         # Cumulative counters aggregated from completed cell artifacts.
         self._metrics_lock = threading.Lock()
         self._counters = {

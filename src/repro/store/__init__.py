@@ -1,23 +1,32 @@
 """Persistent cross-run evaluation store.
 
-This package makes expensive candidate evaluations durable: an SQLite-backed
-:class:`EvaluationStore` keyed by canonical problem/candidate digests, a
+This package makes expensive candidate evaluations durable: an
+:class:`EvaluationStore` facade keyed by canonical problem/candidate digests
+over a swappable :class:`StoreRepository` (one SQLite file by default, an
+N-way :class:`ShardedStore` for concurrent writers), a
 :class:`StoreBackedCache` that slots under the in-memory
 :class:`~repro.core.cache.EvaluationCache` as a read-through/write-behind
-second tier, and the digest functions that decide when two runs may share
-results.  See ``docs/ARCHITECTURE.md`` for where the store sits in the
-system.
+second tier with retrying, loss-free flushes, and the digest functions that
+decide when two runs may share results.  See ``docs/ARCHITECTURE.md`` for
+where the store sits in the system.
 """
 
 from .cache import StoreBackedCache
 from .digest import dataset_fingerprint, problem_digest
-from .store import SCHEMA_VERSION, EvaluationStore, StoreStatistics
+from .repository import SCHEMA_VERSION, SQLiteRepository, StoreRepository
+from .sharded import ShardedStore, migrate_store, shard_index
+from .store import EvaluationStore, StoreStatistics
 
 __all__ = [
     "SCHEMA_VERSION",
     "EvaluationStore",
+    "SQLiteRepository",
+    "ShardedStore",
     "StoreBackedCache",
+    "StoreRepository",
     "StoreStatistics",
     "dataset_fingerprint",
+    "migrate_store",
     "problem_digest",
+    "shard_index",
 ]

@@ -1,4 +1,4 @@
-"""SQLite-backed persistent store of candidate evaluations.
+"""The persistent store of candidate evaluations (facade over a repository).
 
 The paper's master/worker design amortizes expensive evaluations (NN training
 plus hardware-database lookups) across one long-running search; the
@@ -9,61 +9,33 @@ is written as one row keyed on ``(problem_digest, genome_key)`` (see
 second machine sharing the file never re-trains a candidate the store has
 already seen.
 
-Durability and concurrency:
+Storage layout is a :class:`~repro.store.repository.StoreRepository` behind
+this facade:
 
-* **WAL journaling** — readers never block the single writer; several
-  processes (e.g. sweep cells under ``--backend processes``, or two separate
-  ``ecad`` invocations) can share one store file safely.
-* **Busy timeout + immediate transactions** — concurrent writers serialize
-  on SQLite's file lock instead of failing.
-* **Schema versioning** — the schema version is recorded in the file; a
-  mismatching or corrupt file raises :class:`~repro.core.errors.StoreError`
-  with a clear message instead of silently mixing formats.
+* a **single SQLite file** (the default — WAL journaling, busy timeout +
+  immediate transactions, schema versioning, exactly the original layout);
+* a **sharded directory** of N SQLite files routed by problem-digest prefix
+  (:class:`~repro.store.sharded.ShardedStore`) so concurrent jobs on
+  different problems never contend on one writer lock.
+
+The layout is auto-detected from the path (directory = sharded), so every
+consumer opens either with the same call; ``shards=N`` (``store.shards`` in
+the configuration) creates a fresh sharded layout, and ``ecad store
+migrate`` converts an existing file.
 """
 
 from __future__ import annotations
 
-import sqlite3
-import threading
-import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from ..core.candidate import CandidateEvaluation
 from ..core.errors import StoreError
-from .serialize import dumps, loads
+from .repository import SCHEMA_VERSION, RawRow, SQLiteRepository, StoreRepository
+from .sharded import ShardedStore
 
 __all__ = ["SCHEMA_VERSION", "StoreStatistics", "EvaluationStore"]
-
-#: Current on-disk schema version.  Bump when the table layout or the payload
-#: format changes incompatibly; the store refuses files with other versions.
-SCHEMA_VERSION = 1
-
-_CREATE_META = """
-CREATE TABLE IF NOT EXISTS store_meta (
-    key   TEXT PRIMARY KEY,
-    value TEXT NOT NULL
-)
-"""
-
-_CREATE_EVALUATIONS = """
-CREATE TABLE IF NOT EXISTS evaluations (
-    problem_digest          TEXT NOT NULL,
-    genome_key              TEXT NOT NULL,
-    accuracy                REAL NOT NULL,
-    fpga_outputs_per_second REAL NOT NULL DEFAULT 0,
-    evaluation_seconds      REAL NOT NULL DEFAULT 0,
-    created_at              REAL NOT NULL,
-    payload                 TEXT NOT NULL,
-    PRIMARY KEY (problem_digest, genome_key)
-)
-"""
-
-_CREATE_INDEX = """
-CREATE INDEX IF NOT EXISTS idx_evaluations_best
-ON evaluations (problem_digest, accuracy DESC)
-"""
 
 
 @dataclass
@@ -78,13 +50,18 @@ class StoreStatistics:
         Lookups that fell through to a fresh evaluation.
     writes:
         Rows written (or refreshed) by this process.
+    write_retries:
+        Write attempts that failed transiently and were retried.
     write_errors:
-        Failed write attempts (the search continues; the row is lost).
+        Rows dropped *permanently* — every retry failed and the pending
+        queue overflowed its cap.  Transient failures whose rows were
+        re-queued (and may yet be persisted) are not counted here.
     """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    write_retries: int = 0
     write_errors: int = 0
 
 
@@ -94,20 +71,29 @@ class EvaluationStore:
     Parameters
     ----------
     path:
-        Store file location.  Parent directories are created on demand.
-        ``":memory:"`` builds a private in-memory store (tests).
+        Store location.  A file (or a missing path with ``shards <= 1``)
+        is a single SQLite database; a directory is an N-shard layout (see
+        :class:`~repro.store.sharded.ShardedStore`).  Parent directories are
+        created on demand.  ``":memory:"`` builds a private in-memory store
+        (tests).
     readonly:
-        Open the file for reads only; :meth:`put` raises and the file must
-        already exist.
+        Open for reads only; :meth:`put` raises and the store must already
+        exist.
     timeout_seconds:
         SQLite busy timeout — how long a writer waits on a concurrent
         writer's lock before giving up.
+    shards:
+        ``0`` (auto) opens whatever layout exists at ``path``; ``1`` forces
+        the single-file layout; ``N > 1`` opens/creates an N-shard layout.
+        Pointing ``shards > 1`` at an existing single file raises with a
+        hint to run ``ecad store migrate``.
 
     Raises
     ------
     StoreError
-        When the file is not a valid store (corrupt/truncated), was written
-        by a different schema version, or is missing in read-only mode.
+        When the path is not a valid store (corrupt/truncated), was written
+        by a different schema version or shard count, or is missing in
+        read-only mode.
     """
 
     def __init__(
@@ -115,93 +101,51 @@ class EvaluationStore:
         path: str | Path,
         readonly: bool = False,
         timeout_seconds: float = 30.0,
+        shards: int = 0,
     ) -> None:
         self.path = str(path)
         self.readonly = bool(readonly)
-        self._lock = threading.Lock()
-        in_memory = self.path == ":memory:"
-        if not in_memory:
-            file_path = Path(self.path)
-            if self.readonly and not file_path.exists():
-                raise StoreError(f"read-only store file not found: {self.path}")
-            file_path.parent.mkdir(parents=True, exist_ok=True)
-        try:
-            if self.readonly:
-                uri = f"file:{self.path}?mode=ro"
-                self._connection = sqlite3.connect(
-                    uri, uri=True, timeout=timeout_seconds, check_same_thread=False
-                )
-            else:
-                self._connection = sqlite3.connect(
-                    self.path, timeout=timeout_seconds, check_same_thread=False
-                )
-        except sqlite3.Error as exc:
-            raise StoreError(f"cannot open evaluation store {self.path}: {exc}") from exc
-        try:
-            self._connection.execute(f"PRAGMA busy_timeout = {int(timeout_seconds * 1000)}")
-            if not self.readonly and not in_memory:
-                # WAL lets concurrent readers proceed while one process writes.
-                self._connection.execute("PRAGMA journal_mode=WAL")
-            self._initialize_schema()
-        except sqlite3.DatabaseError as exc:
-            self._connection.close()
-            raise StoreError(
-                f"{self.path} is not a valid evaluation store (corrupt or not SQLite): {exc}"
-            ) from exc
-
-    # ------------------------------------------------------------- schema
-    def _initialize_schema(self) -> None:
-        version = self._read_schema_version()
-        if version is None:
-            if self.readonly:
+        shards = int(shards)
+        if shards < 0:
+            raise StoreError(f"shards must be >= 0, got {shards}")
+        is_directory = self.path != ":memory:" and Path(self.path).is_dir()
+        if is_directory:
+            # An existing sharded layout wins over the configured default
+            # (shards <= 1 means "whatever the layout records"); an explicit
+            # N > 1 that contradicts the layout still fails loudly.
+            self._repository: StoreRepository = ShardedStore(
+                self.path,
+                shards=shards if shards > 1 else 0,
+                readonly=readonly,
+                timeout_seconds=timeout_seconds,
+            )
+        elif shards > 1:
+            if Path(self.path).exists():
                 raise StoreError(
-                    f"{self.path} is not an evaluation store (no schema metadata)"
+                    f"{self.path} is a single-file store but store.shards={shards} "
+                    f"was requested; migrate it with 'ecad store migrate --store "
+                    f"{self.path} --shards {shards}'"
                 )
-            with self._connection:
-                self._connection.execute(_CREATE_META)
-                self._connection.execute(_CREATE_EVALUATIONS)
-                self._connection.execute(_CREATE_INDEX)
-                self._connection.execute(
-                    "INSERT OR REPLACE INTO store_meta (key, value) VALUES (?, ?)",
-                    ("schema_version", str(SCHEMA_VERSION)),
-                )
-                self._connection.execute(
-                    "INSERT OR IGNORE INTO store_meta (key, value) VALUES (?, ?)",
-                    ("created_at", repr(time.time())),
-                )
-        elif version != SCHEMA_VERSION:
-            raise StoreError(
-                f"evaluation store {self.path} has schema version {version}, "
-                f"this build expects {SCHEMA_VERSION}; export what you need with "
-                f"a matching build and recreate the store"
+            self._repository = ShardedStore(
+                self.path,
+                shards=shards,
+                readonly=readonly,
+                timeout_seconds=timeout_seconds,
+            )
+        else:
+            self._repository = SQLiteRepository(
+                self.path, readonly=readonly, timeout_seconds=timeout_seconds
             )
 
-    def _read_schema_version(self) -> int | None:
-        """The file's recorded schema version, or None for a fresh file."""
-        tables = {
-            row[0]
-            for row in self._connection.execute(
-                "SELECT name FROM sqlite_master WHERE type='table'"
-            )
-        }
-        if "store_meta" not in tables:
-            if tables:
-                raise StoreError(
-                    f"{self.path} is an SQLite file but not an evaluation store "
-                    f"(tables: {', '.join(sorted(tables))})"
-                )
-            return None
-        row = self._connection.execute(
-            "SELECT value FROM store_meta WHERE key='schema_version'"
-        ).fetchone()
-        if row is None:
-            raise StoreError(f"{self.path} has no recorded schema version")
-        try:
-            return int(row[0])
-        except ValueError as exc:
-            raise StoreError(
-                f"{self.path} has an unreadable schema version {row[0]!r}"
-            ) from exc
+    @property
+    def repository(self) -> StoreRepository:
+        """The storage backend behind this facade."""
+        return self._repository
+
+    @property
+    def shards(self) -> int:
+        """Number of shard files (1 for the single-file layout)."""
+        return getattr(self._repository, "num_shards", 1)
 
     # ------------------------------------------------------------- writes
     def put(self, problem_digest: str, evaluation: CandidateEvaluation) -> None:
@@ -231,52 +175,16 @@ class EvaluationStore:
         StoreError
             When the store is read-only or the write fails.
         """
-        if self.readonly:
-            raise StoreError(f"evaluation store {self.path} is read-only")
-        rows = [
-            (
-                str(problem_digest),
-                evaluation.genome.cache_key(),
-                float(evaluation.accuracy),
-                float(evaluation.fpga_outputs_per_second),
-                float(evaluation.evaluation_seconds),
-                time.time(),
-                dumps(evaluation),
-            )
-            for evaluation in evaluations
-            if not evaluation.failed
-        ]
-        if not rows:
-            return 0
-        with self._lock:
-            try:
-                with self._connection:
-                    self._connection.executemany(
-                        "INSERT OR REPLACE INTO evaluations "
-                        "(problem_digest, genome_key, accuracy, fpga_outputs_per_second, "
-                        " evaluation_seconds, created_at, payload) "
-                        "VALUES (?, ?, ?, ?, ?, ?, ?)",
-                        rows,
-                    )
-            except sqlite3.Error as exc:
-                raise StoreError(f"cannot write to evaluation store {self.path}: {exc}") from exc
-        return len(rows)
+        return self._repository.put_many(problem_digest, evaluations)
+
+    def put_raw_rows(self, rows: Iterable[RawRow]) -> int:
+        """Insert raw rows verbatim, preserving timestamps (migration path)."""
+        return self._repository.put_raw_rows(rows)
 
     # -------------------------------------------------------------- reads
     def get(self, problem_digest: str, genome_key: str) -> CandidateEvaluation | None:
         """The stored evaluation for one candidate, or None when absent."""
-        with self._lock:
-            try:
-                row = self._connection.execute(
-                    "SELECT payload FROM evaluations "
-                    "WHERE problem_digest = ? AND genome_key = ?",
-                    (str(problem_digest), str(genome_key)),
-                ).fetchone()
-            except sqlite3.Error as exc:
-                raise StoreError(f"cannot read evaluation store {self.path}: {exc}") from exc
-        if row is None:
-            return None
-        return loads(row[0])
+        return self._repository.get(problem_digest, genome_key)
 
     def best(self, problem_digest: str, limit: int) -> list[CandidateEvaluation]:
         """The highest-accuracy stored candidates of one problem.
@@ -293,33 +201,11 @@ class EvaluationStore:
         list[CandidateEvaluation]
             Best-accuracy-first; empty when the problem is unknown.
         """
-        if limit <= 0:
-            return []
-        with self._lock:
-            try:
-                rows = self._connection.execute(
-                    "SELECT payload FROM evaluations WHERE problem_digest = ? "
-                    "ORDER BY accuracy DESC, genome_key LIMIT ?",
-                    (str(problem_digest), int(limit)),
-                ).fetchall()
-            except sqlite3.Error as exc:
-                raise StoreError(f"cannot read evaluation store {self.path}: {exc}") from exc
-        return [loads(row[0]) for row in rows]
+        return self._repository.best(problem_digest, limit)
 
     def count(self, problem_digest: str | None = None) -> int:
         """Number of stored evaluations (optionally for one problem only)."""
-        with self._lock:
-            try:
-                if problem_digest is None:
-                    row = self._connection.execute("SELECT COUNT(*) FROM evaluations").fetchone()
-                else:
-                    row = self._connection.execute(
-                        "SELECT COUNT(*) FROM evaluations WHERE problem_digest = ?",
-                        (str(problem_digest),),
-                    ).fetchone()
-            except sqlite3.Error as exc:
-                raise StoreError(f"cannot read evaluation store {self.path}: {exc}") from exc
-        return int(row[0])
+        return self._repository.count(problem_digest)
 
     def problems(self) -> list[dict]:
         """Per-problem summary rows (digest, row count, best accuracy, span).
@@ -329,55 +215,33 @@ class EvaluationStore:
         list[dict]
             One row per distinct problem digest, most rows first.
         """
-        with self._lock:
-            try:
-                rows = self._connection.execute(
-                    "SELECT problem_digest, COUNT(*), MAX(accuracy), "
-                    "       SUM(evaluation_seconds), MIN(created_at), MAX(created_at) "
-                    "FROM evaluations GROUP BY problem_digest ORDER BY COUNT(*) DESC"
-                ).fetchall()
-            except sqlite3.Error as exc:
-                raise StoreError(f"cannot read evaluation store {self.path}: {exc}") from exc
-        return [
-            {
-                "problem_digest": digest,
-                "evaluations": int(count),
-                "best_accuracy": float(best),
-                "stored_eval_seconds": float(seconds or 0.0),
-                "first_written": float(first),
-                "last_written": float(last),
-            }
-            for digest, count, best, seconds, first, last in rows
-        ]
+        return self._repository.problems()
 
     def export_rows(self, problem_digest: str | None = None) -> list[dict]:
         """Flat report rows of every stored evaluation (CSV-friendly).
 
         Each row carries the problem digest, genome key, the candidate
         summary (:meth:`~repro.core.candidate.CandidateEvaluation.summary`)
-        and the write timestamp.
+        and the write timestamp.  Materializes the whole result; prefer
+        :meth:`export_rows_iter` on large stores.
         """
-        with self._lock:
-            try:
-                if problem_digest is None:
-                    rows = self._connection.execute(
-                        "SELECT problem_digest, payload, created_at FROM evaluations "
-                        "ORDER BY problem_digest, accuracy DESC"
-                    ).fetchall()
-                else:
-                    rows = self._connection.execute(
-                        "SELECT problem_digest, payload, created_at FROM evaluations "
-                        "WHERE problem_digest = ? ORDER BY accuracy DESC",
-                        (str(problem_digest),),
-                    ).fetchall()
-            except sqlite3.Error as exc:
-                raise StoreError(f"cannot read evaluation store {self.path}: {exc}") from exc
-        exported = []
-        for digest, payload, created_at in rows:
-            record = {"problem_digest": digest, "created_at": created_at}
-            record.update(loads(payload).summary())
-            exported.append(record)
-        return exported
+        return self._repository.export_rows(problem_digest)
+
+    def export_rows_iter(
+        self, problem_digest: str | None = None, chunk_size: int = 256
+    ) -> Iterator[dict]:
+        """Stream export rows in ``chunk_size`` batches (constant memory).
+
+        Same rows and ordering as :meth:`export_rows` — problem digest, then
+        accuracy (best first), then genome key — without deserializing the
+        full table up front.  Surrogate training and ``ecad store export``
+        consume this path.
+        """
+        return self._repository.export_rows_iter(problem_digest, chunk_size)
+
+    def iter_raw_rows(self, chunk_size: int = 256) -> Iterator[RawRow]:
+        """Every stored row in raw column form (for migration/resharding)."""
+        return self._repository.iter_raw_rows(chunk_size)
 
     # ----------------------------------------------------------- pruning
     def prune(
@@ -407,67 +271,26 @@ class EvaluationStore:
         StoreError
             When the store is read-only or no criterion was given.
         """
-        if self.readonly:
-            raise StoreError(f"evaluation store {self.path} is read-only")
-        if keep_best is None and older_than_seconds is None:
-            raise StoreError("prune needs keep_best and/or older_than_seconds")
-        conditions: list[str] = []
-        params: list = []
-        if problem_digest is not None:
-            conditions.append("problem_digest = ?")
-            params.append(str(problem_digest))
-        if older_than_seconds is not None:
-            conditions.append("created_at < ?")
-            params.append(time.time() - float(older_than_seconds))
-        if keep_best is not None:
-            if keep_best < 0:
-                raise StoreError(f"keep_best must be >= 0, got {keep_best}")
-            conditions.append(
-                "(problem_digest, genome_key) NOT IN ("
-                " SELECT problem_digest, genome_key FROM ("
-                "   SELECT problem_digest, genome_key,"
-                "          ROW_NUMBER() OVER ("
-                "            PARTITION BY problem_digest "
-                "            ORDER BY accuracy DESC, genome_key) AS rank "
-                "   FROM evaluations) WHERE rank <= ?)"
-            )
-            params.append(int(keep_best))
-        statement = "DELETE FROM evaluations WHERE " + " AND ".join(conditions)
-        with self._lock:
-            try:
-                with self._connection:
-                    cursor = self._connection.execute(statement, params)
-            except sqlite3.Error as exc:
-                raise StoreError(f"cannot prune evaluation store {self.path}: {exc}") from exc
-        return int(cursor.rowcount)
+        return self._repository.prune(
+            keep_best=keep_best,
+            older_than_seconds=older_than_seconds,
+            problem_digest=problem_digest,
+        )
 
     # ------------------------------------------------------------- stats
     def stats(self) -> dict:
-        """Whole-store summary: schema, row counts, problems, file size."""
-        size_bytes = 0
-        if self.path != ":memory:":
-            file_path = Path(self.path)
-            if file_path.exists():
-                size_bytes = file_path.stat().st_size
-        problems = self.problems()
-        return {
-            "path": self.path,
-            "schema_version": SCHEMA_VERSION,
-            "readonly": self.readonly,
-            "evaluations": sum(p["evaluations"] for p in problems),
-            "problems": len(problems),
-            "size_bytes": size_bytes,
-            "stored_eval_seconds": sum(p["stored_eval_seconds"] for p in problems),
-        }
+        """Whole-store summary: schema, shard count, rows, on-disk size.
+
+        ``size_bytes`` is the true disk footprint: the main database file(s)
+        *plus* the ``-wal``/``-shm`` sidecars WAL mode creates, summed across
+        every shard.
+        """
+        return self._repository.stats()
 
     # ---------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Close the underlying connection (idempotent)."""
-        with self._lock:
-            try:
-                self._connection.close()
-            except sqlite3.Error:  # pragma: no cover - close never matters twice
-                pass
+        """Close the underlying repository (idempotent)."""
+        self._repository.close()
 
     def __enter__(self) -> "EvaluationStore":
         return self
@@ -477,4 +300,6 @@ class EvaluationStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "ro" if self.readonly else "rw"
+        if self.shards > 1:
+            return f"EvaluationStore({self.path!r}, {mode}, shards={self.shards})"
         return f"EvaluationStore({self.path!r}, {mode})"

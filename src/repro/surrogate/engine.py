@@ -152,12 +152,15 @@ def build_surrogate_engine(search, evaluator) -> SurrogateEngine:
             ", ".join(obj.name for obj in screener.objectives),
         )
     if search.store is not None and search.problem_digest is not None:
+        # Streamed, not materialized: a large (possibly sharded) store is
+        # deserialized row by row instead of as one full-table list.
+        seeded = 0
         try:
-            rows = search.store.export_rows(problem_digest=search.problem_digest)
+            seeded = screener.seed(
+                search.store.export_rows_iter(problem_digest=search.problem_digest)
+            )
         except StoreError as exc:
             logger.warning("surrogate could not read store rows: %s", exc)
-            rows = []
-        seeded = screener.seed(rows)
         logger.info(
             "surrogate seeded with %d stored evaluations (model %s)",
             seeded,

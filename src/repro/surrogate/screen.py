@@ -22,6 +22,8 @@ surrogate's running mean absolute error for the run statistics.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from ..core.candidate import CandidateEvaluation
@@ -65,8 +67,12 @@ class OffspringScreener:
         self._absolute_error_count = 0
 
     # ------------------------------------------------------------- feeding
-    def seed(self, rows: list[dict]) -> int:
+    def seed(self, rows: Iterable[dict]) -> int:
         """Load stored rows (``EvaluationStore.export_rows`` shape); refit once.
+
+        Accepts any iterable — pass
+        :meth:`~repro.store.EvaluationStore.export_rows_iter` to stream a
+        large store without materializing it.
 
         Returns the number of usable rows added.  Failed rows and duplicates
         (by genome cache key) are skipped.

@@ -622,3 +622,511 @@ class TestConcurrentWrites:
             thread.join()
         assert store.count(PROBLEM) == 24
         store.close()
+
+
+# ---------------------------------------------------------------------------
+# Flush retry: transient write failures must never lose rows.
+# ---------------------------------------------------------------------------
+
+
+class _FlakyStore:
+    """Repository wrapper that fails the first ``failures`` put_many calls.
+
+    Stands in for a store hitting transient multi-writer contention
+    (``database is locked`` past the busy timeout).
+    """
+
+    def __init__(self, store, failures):
+        self._store = store
+        self.failures = failures
+        self.put_calls = 0
+
+    @property
+    def readonly(self):
+        return self._store.readonly
+
+    @property
+    def path(self):
+        return self._store.path
+
+    def get(self, problem_digest, genome_key):
+        return self._store.get(problem_digest, genome_key)
+
+    def put_many(self, problem_digest, evaluations):
+        self.put_calls += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise StoreError("database is locked (injected)")
+        return self._store.put_many(problem_digest, evaluations)
+
+
+class TestFlushRetry:
+    def test_transient_failure_is_retried_within_one_flush(
+        self, tmp_path, small_search_space
+    ):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        flaky = _FlakyStore(store, failures=2)
+        cache = StoreBackedCache(
+            flaky, PROBLEM, write_batch_size=1,
+            write_retries=3, retry_backoff_seconds=0.0,
+        )
+        cache.store(_evaluations(small_search_space, 1)[0])
+        assert store.count(PROBLEM) == 1
+        assert cache.store_statistics.writes == 1
+        assert cache.store_statistics.write_retries == 2
+        assert cache.store_statistics.write_errors == 0
+        assert cache.pending_writes() == 0
+        store.close()
+
+    def test_exhausted_retries_requeue_the_batch_without_loss(
+        self, tmp_path, small_search_space
+    ):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        flaky = _FlakyStore(store, failures=10_000)
+        cache = StoreBackedCache(
+            flaky, PROBLEM, write_batch_size=64,
+            write_retries=2, retry_backoff_seconds=0.0,
+        )
+        evaluations = _evaluations(small_search_space, 5)
+        for evaluation in evaluations:
+            cache.store(evaluation)
+        assert cache.flush() == 0
+        # The batch is re-queued, not discarded: no write_errors, no loss.
+        assert cache.pending_writes() == 5
+        assert cache.store_statistics.write_errors == 0
+        assert store.count(PROBLEM) == 0
+        # The store heals (contention passes): the next flush persists all.
+        flaky.failures = 0
+        assert cache.flush() == 5
+        assert store.count(PROBLEM) == 5
+        assert cache.store_statistics.write_errors == 0
+        assert cache.pending_writes() == 0
+        store.close()
+
+    def test_backlog_cap_drops_oldest_and_counts_write_errors(
+        self, tmp_path, small_search_space
+    ):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        flaky = _FlakyStore(store, failures=10_000)
+        cache = StoreBackedCache(
+            flaky, PROBLEM, write_batch_size=4, max_pending_writes=4,
+            write_retries=0, retry_backoff_seconds=0.0,
+        )
+        evaluations = _evaluations(small_search_space, 6)
+        for evaluation in evaluations:
+            cache.store(evaluation)
+        cache.flush()
+        # Only the overflow beyond max_pending_writes is dropped (oldest
+        # first); only those rows count as write_errors.
+        assert cache.pending_writes() == 4
+        assert cache.store_statistics.write_errors == 2
+        flaky.failures = 0
+        assert cache.flush() == 4
+        keys = {e.genome.cache_key() for e in evaluations[2:]}
+        assert {
+            row["cache_key"] for row in store.export_rows(problem_digest=PROBLEM)
+        } == keys
+        store.close()
+
+    def test_failed_auto_flush_backs_off_but_explicit_flush_retries(
+        self, tmp_path, small_search_space
+    ):
+        store = EvaluationStore(tmp_path / "store.sqlite")
+        flaky = _FlakyStore(store, failures=1)
+        cache = StoreBackedCache(
+            flaky, PROBLEM, write_batch_size=1,
+            write_retries=0, retry_backoff_seconds=0.0,
+        )
+        evaluations = _evaluations(small_search_space, 2)
+        cache.store(evaluations[0])  # auto-flush fails once, row re-queued
+        assert cache.pending_writes() == 1
+        # The cooldown suppresses the queue-triggered flush for the next row…
+        cache.store(evaluations[1])
+        assert cache.pending_writes() == 2
+        assert flaky.put_calls == 1
+        # …but an explicit flush (end of run) always reaches the store.
+        assert cache.flush() == 2
+        assert store.count(PROBLEM) == 2
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Sharded store: routing, auto-detection, and single-file equivalence.
+# ---------------------------------------------------------------------------
+
+
+def _strip_timestamps(rows):
+    return [
+        {key: value for key, value in row.items() if key != "created_at"}
+        for row in rows
+    ]
+
+
+class TestShardedStore:
+    PROBLEMS = ("problem-a", "problem-b", "problem-c", "problem-d", "problem-e")
+
+    def _populated_pair(self, tmp_path, space):
+        """The same rows written to a single-file and a 4-shard store."""
+        single = EvaluationStore(tmp_path / "single.sqlite")
+        sharded = EvaluationStore(tmp_path / "sharded", shards=4)
+        by_problem = {}
+        for index, problem in enumerate(self.PROBLEMS):
+            evaluations = _evaluations(space, 4, seed=index)
+            by_problem[problem] = evaluations
+            single.put_many(problem, evaluations)
+            sharded.put_many(problem, evaluations)
+        return single, sharded, by_problem
+
+    def test_each_problem_lives_in_exactly_one_shard(self, tmp_path, small_search_space):
+        from repro.store import ShardedStore
+
+        store = EvaluationStore(tmp_path / "sharded", shards=4)
+        for index, problem in enumerate(self.PROBLEMS):
+            store.put_many(problem, _evaluations(small_search_space, 3, seed=index))
+        repository = store.repository
+        assert isinstance(repository, ShardedStore)
+        for problem in self.PROBLEMS:
+            owner = repository.shard_index(problem)
+            for shard_index_, shard_path in enumerate(repository.shard_paths):
+                with EvaluationStore(shard_path) as shard:
+                    expected = 3 if shard_index_ == owner else 0
+                    assert shard.count(problem) == expected
+        store.close()
+
+    def test_sharded_layout_is_auto_detected_on_reopen(self, tmp_path, small_search_space):
+        path = tmp_path / "sharded"
+        store = EvaluationStore(path, shards=4)
+        store.put_many(PROBLEM, _evaluations(small_search_space, 5))
+        store.close()
+        # No shard count passed: the layout descriptor wins.
+        reopened = EvaluationStore(path)
+        assert reopened.shards == 4
+        assert reopened.count() == 5
+        reopened.close()
+        # Read-only opening works too (the `ecad store` commands).
+        reader = EvaluationStore(path, readonly=True)
+        assert reader.count() == 5
+        with pytest.raises(StoreError, match="read-only"):
+            reader.put_many(PROBLEM, _evaluations(small_search_space, 1))
+        reader.close()
+
+    def test_shard_count_mismatch_is_rejected(self, tmp_path):
+        EvaluationStore(tmp_path / "sharded", shards=4).close()
+        with pytest.raises(StoreError, match="4 shard"):
+            EvaluationStore(tmp_path / "sharded", shards=2)
+
+    def test_single_file_with_shards_requested_points_at_migrate(
+        self, tmp_path, small_search_space
+    ):
+        path = tmp_path / "store.sqlite"
+        store = EvaluationStore(path)
+        store.put_many(PROBLEM, _evaluations(small_search_space, 1))
+        store.close()
+        with pytest.raises(StoreError, match="ecad store migrate"):
+            EvaluationStore(path, shards=4)
+
+    def test_foreign_directory_is_rejected(self, tmp_path):
+        (tmp_path / "plain").mkdir()
+        with pytest.raises(StoreError, match="not a sharded evaluation store"):
+            EvaluationStore(tmp_path / "plain")
+
+    def test_sharded_matches_single_file_reads(self, tmp_path, small_search_space):
+        single, sharded, by_problem = self._populated_pair(tmp_path, small_search_space)
+        try:
+            assert sharded.count() == single.count()
+            for problem, evaluations in by_problem.items():
+                assert sharded.count(problem) == single.count(problem)
+                for evaluation in evaluations:
+                    key = evaluation.genome.cache_key()
+                    lhs = single.get(problem, key)
+                    rhs = sharded.get(problem, key)
+                    assert evaluation_to_payload(lhs) == evaluation_to_payload(rhs)
+                # best(): identical candidates in identical order.
+                assert [
+                    e.genome.cache_key() for e in single.best(problem, 3)
+                ] == [e.genome.cache_key() for e in sharded.best(problem, 3)]
+            # Whole-store fan-outs aggregate to the same result.
+            assert _strip_timestamps(sharded.export_rows()) == _strip_timestamps(
+                single.export_rows()
+            )
+            assert [
+                (p["problem_digest"], p["evaluations"], p["best_accuracy"])
+                for p in sharded.problems()
+            ] == [
+                (p["problem_digest"], p["evaluations"], p["best_accuracy"])
+                for p in single.problems()
+            ]
+        finally:
+            single.close()
+            sharded.close()
+
+    def test_sharded_matches_single_file_warm_start(self, tmp_path, small_search_space):
+        single, sharded, _ = self._populated_pair(tmp_path, small_search_space)
+        try:
+            for problem in self.PROBLEMS:
+                single_seeds = [g.genome.cache_key() for g in single.best(problem, 8)]
+                sharded_seeds = [g.genome.cache_key() for g in sharded.best(problem, 8)]
+                assert single_seeds == sharded_seeds
+        finally:
+            single.close()
+            sharded.close()
+
+    def test_sharded_prune_fans_out(self, tmp_path, small_search_space):
+        _, sharded, by_problem = self._populated_pair(tmp_path, small_search_space)
+        removed = sharded.prune(keep_best=1)
+        assert removed == sum(len(v) - 1 for v in by_problem.values())
+        assert sharded.count() == len(by_problem)
+        sharded.close()
+
+    def test_stats_size_includes_wal_sidecars(self, tmp_path, small_search_space):
+        from pathlib import Path
+
+        path = tmp_path / "store.sqlite"
+        store = EvaluationStore(path)
+        store.put_many(PROBLEM, _evaluations(small_search_space, 8))
+        sidecar = Path(str(path) + "-wal")
+        assert sidecar.exists() and sidecar.stat().st_size > 0
+        expected = sum(
+            candidate.stat().st_size
+            for candidate in (path, sidecar, Path(str(path) + "-shm"))
+            if candidate.exists()
+        )
+        stats = store.stats()
+        assert stats["size_bytes"] == expected
+        # The old main-file-only measurement undercounted.
+        assert stats["size_bytes"] > path.stat().st_size
+        assert stats["shards"] == 1
+        store.close()
+
+    def test_sharded_stats_aggregate_every_shard(self, tmp_path, small_search_space):
+        _, sharded, by_problem = self._populated_pair(tmp_path, small_search_space)
+        stats = sharded.stats()
+        assert stats["shards"] == 4
+        assert stats["evaluations"] == sum(len(v) for v in by_problem.values())
+        assert stats["problems"] == len(by_problem)
+        total = sum(
+            entry.stat().st_size
+            for entry in (tmp_path / "sharded").iterdir()
+        )
+        assert stats["size_bytes"] == total
+        sharded.close()
+
+    def test_export_rows_iter_streams_lazily_and_matches_export_rows(
+        self, tmp_path, small_search_space
+    ):
+        for name, shards in (("single.sqlite", 1), ("sharded", 4)):
+            store = EvaluationStore(tmp_path / name, shards=shards)
+            for index, problem in enumerate(self.PROBLEMS):
+                store.put_many(problem, _evaluations(small_search_space, 4, seed=index))
+            iterator = store.export_rows_iter(chunk_size=3)
+            assert iter(iterator) is iterator  # a true stream, not a list
+            assert _strip_timestamps(list(iterator)) == _strip_timestamps(
+                store.export_rows()
+            )
+            per_problem = list(
+                store.export_rows_iter(problem_digest=self.PROBLEMS[0], chunk_size=2)
+            )
+            assert _strip_timestamps(per_problem) == _strip_timestamps(
+                store.export_rows(problem_digest=self.PROBLEMS[0])
+            )
+            store.close()
+
+
+class TestStoreMigration:
+    def _seed_single(self, path, space, problems=3, rows=4):
+        store = EvaluationStore(path)
+        for index in range(problems):
+            store.put_many(f"problem-{index}", _evaluations(space, rows, seed=index))
+        store.close()
+        return problems * rows
+
+    def test_dry_run_reports_without_writing(self, tmp_path, small_search_space):
+        from repro.store import migrate_store
+
+        path = tmp_path / "store.sqlite"
+        total = self._seed_single(path, small_search_space)
+        report = migrate_store(path, shards=4, dry_run=True)
+        assert report["rows"] == total
+        assert sum(report["rows_per_shard"]) == total
+        assert report["dry_run"] is True
+        assert path.is_file()  # untouched
+        assert not (tmp_path / "store.sqlite.migrating").exists()
+
+    def test_migrate_to_output_directory(self, tmp_path, small_search_space):
+        from repro.store import migrate_store
+
+        path = tmp_path / "store.sqlite"
+        total = self._seed_single(path, small_search_space)
+        report = migrate_store(path, shards=4, output_path=tmp_path / "out")
+        assert report["rows"] == total
+        assert path.is_file()  # source preserved on --output migrations
+        with EvaluationStore(tmp_path / "out") as sharded:
+            assert sharded.shards == 4
+            assert sharded.count() == total
+            with EvaluationStore(path, readonly=True) as single:
+                assert _strip_timestamps(sharded.export_rows()) == _strip_timestamps(
+                    single.export_rows()
+                )
+
+    def test_in_place_migration_swaps_and_keeps_backup(
+        self, tmp_path, small_search_space
+    ):
+        from repro.store import migrate_store
+
+        path = tmp_path / "store.sqlite"
+        total = self._seed_single(path, small_search_space)
+        report = migrate_store(path, shards=4)
+        assert report["backup"] == str(path) + ".pre-shard.bak"
+        assert path.is_dir()
+        assert (tmp_path / "store.sqlite.pre-shard.bak").is_file()
+        # Same path, now sharded — every consumer reopens transparently.
+        with EvaluationStore(path) as store:
+            assert store.shards == 4
+            assert store.count() == total
+
+    def test_resharding_a_sharded_store(self, tmp_path, small_search_space):
+        from repro.store import migrate_store
+
+        path = tmp_path / "store.sqlite"
+        total = self._seed_single(path, small_search_space)
+        migrate_store(path, shards=2)
+        report = migrate_store(path, shards=8, output_path=tmp_path / "wide")
+        assert report["rows"] == total
+        with EvaluationStore(tmp_path / "wide") as store:
+            assert store.shards == 8
+            assert store.count() == total
+
+    def test_existing_target_is_refused(self, tmp_path, small_search_space):
+        from repro.store import migrate_store
+
+        path = tmp_path / "store.sqlite"
+        self._seed_single(path, small_search_space)
+        (tmp_path / "out").mkdir()
+        with pytest.raises(StoreError, match="already exists"):
+            migrate_store(path, shards=4, output_path=tmp_path / "out")
+
+
+# ---------------------------------------------------------------------------
+# Multi-process contention: M processes x K threads, zero lost rows.
+# ---------------------------------------------------------------------------
+
+
+def _contended_cache_writer(path: str, seed: int, threads: int, rows: int) -> None:
+    """Child-process body: hammer one store through StoreBackedCache.
+
+    A deliberately tiny busy timeout makes ``database is locked`` likely
+    under multi-writer contention; the flush retry/re-queue path must still
+    persist every row.
+    """
+    import threading
+    import time as _time
+
+    space = CoDesignSearchSpace()
+    store = EvaluationStore(path, timeout_seconds=0.05)
+    failures = []
+
+    def body(thread_index: int) -> None:
+        try:
+            cache = StoreBackedCache(
+                store,
+                f"contended-{seed}-{thread_index}",
+                write_batch_size=1,
+                write_retries=4,
+                retry_backoff_seconds=0.005,
+            )
+            for evaluation in _evaluations(space, rows, seed=seed * 100 + thread_index):
+                cache.store(evaluation)
+            deadline = _time.monotonic() + 60.0
+            while cache.pending_writes():
+                cache.flush()
+                if _time.monotonic() > deadline:
+                    raise RuntimeError("pending writes never drained")
+        except BaseException as exc:  # noqa: BLE001 - reported via exit code
+            failures.append(exc)
+
+    workers = [
+        threading.Thread(target=body, args=(index,)) for index in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    store.close()
+    if failures:
+        raise SystemExit(1)
+
+
+class TestContendedWrites:
+    PROCESSES = 3
+    THREADS = 2
+    ROWS = 8
+
+    def _hammer(self, path: str) -> None:
+        processes = [
+            multiprocessing.Process(
+                target=_contended_cache_writer,
+                args=(path, seed, self.THREADS, self.ROWS),
+            )
+            for seed in range(self.PROCESSES)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=180)
+            assert process.exitcode == 0
+
+    def test_no_rows_lost_on_a_contended_single_file(self, tmp_path):
+        path = str(tmp_path / "contended.sqlite")
+        EvaluationStore(path).close()
+        self._hammer(path)
+        with EvaluationStore(path, readonly=True) as store:
+            assert store.count() == self.PROCESSES * self.THREADS * self.ROWS
+
+    def test_no_rows_lost_on_a_contended_sharded_store(self, tmp_path):
+        path = str(tmp_path / "contended-sharded")
+        EvaluationStore(path, shards=4).close()
+        self._hammer(path)
+        with EvaluationStore(path, readonly=True) as store:
+            assert store.shards == 4
+            assert store.count() == self.PROCESSES * self.THREADS * self.ROWS
+
+
+class TestShardsConfig:
+    def test_shards_round_trip_and_validation(self):
+        config = StoreConfig(path="s", shards=4)
+        assert StoreConfig.from_dict(config.__dict__).shards == 4
+        with pytest.raises(ConfigurationError, match="shards"):
+            StoreConfig(shards=0)
+        with pytest.raises(ConfigurationError, match="shards"):
+            StoreConfig(shards=2048)
+
+    def test_shards_reachable_via_set_overrides(self):
+        dataset = load_dataset("credit-g", seed=0, scale=0.05)
+        config = ECADConfig.template_for_dataset(dataset)
+        updated = config.with_overrides(
+            ["store.path=results/e.sqlite", "store.shards=4"]
+        )
+        assert updated.store.shards == 4
+        back = ECADConfig.from_dict(updated.to_dict())
+        assert back.store.shards == 4
+
+    def test_search_opens_a_sharded_store_from_config(self, tmp_path):
+        dataset = load_dataset("credit-g", seed=0, scale=0.05)
+        config = ECADConfig.template_for_dataset(
+            dataset,
+            store=StoreConfig(path=str(tmp_path / "sharded"), shards=4),
+        )
+        search = CoDesignSearch(dataset, config=config)
+        try:
+            assert search.store is not None
+            assert search.store.shards == 4
+        finally:
+            search.close()
+
+    def test_service_config_store_shards(self):
+        from repro.core.config import ServiceConfig
+
+        config = ServiceConfig(store_path="s", store_shards=4)
+        assert ServiceConfig.from_dict(config.to_dict()).store_shards == 4
+        with pytest.raises(ConfigurationError, match="store_shards"):
+            ServiceConfig(store_shards=0)
