@@ -26,9 +26,12 @@ Subpackages
     Declarative experiment grids (spec, runner, artifacts) and the shared
     registry primitive behind the pluggable datasets/backends/devices/
     objectives/worker types.
+``repro.scenarios``
+    Named scenario packs and the strategy-vs-strategy tournament arena with
+    its durable leaderboard.
 """
 
-from . import analysis, core, datasets, experiment, hardware, nn, workers
+from . import analysis, core, datasets, experiment, hardware, nn, scenarios, workers
 from .core.config import ECADConfig
 from .core.genome import CoDesignGenome, CoDesignSearchSpace, HardwareGenome, MLPGenome
 from .core.search import CoDesignSearch, RandomSearch, SearchResult
@@ -43,6 +46,7 @@ from .experiment import (
 )
 from .hardware.device import fpga_device, gpu_device, register_fpga_device, register_gpu_device
 from .nn.mlp import MLP, MLPSpec
+from .scenarios import ArenaConfig, ArenaRunner, ScenarioPack, available_scenarios, register_scenario
 from .workers.backends import register_backend
 
 __version__ = "1.0.0"
@@ -54,6 +58,7 @@ __all__ = [
     "experiment",
     "hardware",
     "nn",
+    "scenarios",
     "workers",
     "ECADConfig",
     "CoDesignGenome",
@@ -77,6 +82,11 @@ __all__ = [
     "register_fpga_device",
     "register_gpu_device",
     "register_backend",
+    "ArenaConfig",
+    "ArenaRunner",
+    "ScenarioPack",
+    "register_scenario",
+    "available_scenarios",
     "MLP",
     "MLPSpec",
     "__version__",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -18,6 +19,8 @@ __all__ = [
     "rows_to_csv",
     "save_rows_csv",
     "stream_rows_csv",
+    "rows_to_json",
+    "save_rows_json",
     "format_scientific",
 ]
 
@@ -93,6 +96,30 @@ def save_rows_csv(rows: Sequence[Mapping[str, object]], path: str | Path, column
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(rows_to_csv(rows, columns))
+
+
+def rows_to_json(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """Serialize rows to a JSON array string (column-filtered like the CSV).
+
+    When ``columns`` is given each row is restricted to those keys in that
+    order, so the JSON and CSV exports of the same table agree on shape.
+    """
+    if columns is not None:
+        rows = [{column: row.get(column, "") for column in columns} for row in rows]
+    else:
+        rows = [dict(row) for row in rows]
+    return json.dumps(rows, indent=2, sort_keys=False)
+
+
+def save_rows_json(
+    rows: Sequence[Mapping[str, object]], path: str | Path, columns: Sequence[str] | None = None
+) -> None:
+    """Write rows to a JSON file, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_json(rows, columns))
 
 
 def stream_rows_csv(

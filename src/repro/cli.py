@@ -47,6 +47,15 @@ Run a long-lived co-design service and submit jobs to it::
     ecad result --server localhost:8282 JOB_ID --wait
     ecad cancel --server localhost:8282 JOB_ID
 
+Run a strategy-vs-strategy tournament over the built-in scenario packs and
+render the persistent leaderboard afterwards::
+
+    ecad arena --output-dir results/arena
+    ecad arena show --output-dir results/arena --csv leaderboard.csv
+    ecad arena packs
+    ecad arena --scenario edge-tiny-dsp --strategy nsga2 --strategy random \
+        --set arena.seeds=[0,1] --dry-run
+
 Inspect what is registered::
 
     ecad datasets
@@ -333,6 +342,116 @@ def build_parser() -> argparse.ArgumentParser:
     cancel_parser = subparsers.add_parser("cancel", help="cancel a queued or running job")
     _add_server_argument(cancel_parser)
     cancel_parser.add_argument("job_id", help="job id returned by 'ecad submit'")
+
+    arena_parser = subparsers.add_parser(
+        "arena",
+        help="strategy-vs-strategy tournaments over named scenario packs",
+    )
+    arena_parser.add_argument(
+        "arena_action",
+        nargs="?",
+        choices=("run", "show", "packs"),
+        default="run",
+        help="run the tournament (default), show the stored leaderboard, "
+        "or list the scenario catalog",
+    )
+    arena_parser.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        default=[],
+        metavar="NAME",
+        help="scenario pack to run (repeatable; default: every registered pack)",
+    )
+    arena_parser.add_argument(
+        "--strategy",
+        action="append",
+        dest="strategies",
+        default=[],
+        metavar="NAME",
+        help="competing strategy (repeatable; default: every arena-eligible strategy)",
+    )
+    arena_parser.add_argument(
+        "--seed",
+        action="append",
+        dest="seeds",
+        type=int,
+        default=[],
+        metavar="N",
+        help="search seed (repeatable; default: 0)",
+    )
+    arena_parser.add_argument(
+        "--output-dir",
+        default="arena",
+        help="tournament root directory (per-scenario checkpoints, store, leaderboard)",
+    )
+    arena_parser.add_argument(
+        "--store",
+        default="",
+        metavar="PATH",
+        help="shared evaluation store (default: <output-dir>/store.sqlite)",
+    )
+    arena_parser.add_argument(
+        "--warm-start",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed each run's population with up to N stored candidates (0 disables)",
+    )
+    arena_parser.add_argument(
+        "--backend",
+        default="serial",
+        help=f"shared execution backend ({', '.join(available_backends())})",
+    )
+    arena_parser.add_argument(
+        "--eval-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="in-flight candidate evaluations per search",
+    )
+    arena_parser.add_argument(
+        "--run-parallelism",
+        type=int,
+        default=1,
+        metavar="N",
+        help="grid cells kept in flight per scenario (1 = sequential)",
+    )
+    arena_parser.add_argument(
+        "--leaderboard",
+        default="",
+        metavar="PATH",
+        help="leaderboard SQLite file (default: <output-dir>/leaderboard.sqlite)",
+    )
+    arena_parser.add_argument(
+        "--set",
+        action="append",
+        dest="overrides",
+        default=[],
+        metavar="KEY=VALUE",
+        help="arena config override ('arena.' prefix optional, JSON values "
+        "accepted, e.g. --set arena.seeds=[0,1])",
+    )
+    arena_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the resume-aware tournament plan without executing anything",
+    )
+    arena_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="re-run every cell even when a completed artifact exists",
+    )
+    arena_parser.add_argument(
+        "--csv", default="", metavar="PATH", help="also export the leaderboard as CSV"
+    )
+    arena_parser.add_argument(
+        "--json",
+        dest="json_path",
+        default="",
+        metavar="PATH",
+        help="also export the leaderboard as JSON",
+    )
 
     subparsers.add_parser("datasets", help="list the registered datasets")
     subparsers.add_parser("backends", help="list the registered execution backends and worker types")
@@ -884,6 +1003,107 @@ def _command_resume(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
+# --------------------------------------------------------------------- arena
+def _arena_config(args: argparse.Namespace):
+    """Build the :class:`ArenaConfig` from CLI flags, then ``--set`` overrides."""
+    from .scenarios import ArenaConfig
+
+    config = ArenaConfig(
+        scenarios=tuple(args.scenarios),
+        strategies=tuple(args.strategies),
+        seeds=tuple(args.seeds) or (0,),
+        output_dir=args.output_dir,
+        store_path=args.store,
+        warm_start=args.warm_start,
+        backend=args.backend,
+        eval_parallelism=args.eval_workers,
+        run_parallelism=args.run_parallelism,
+        leaderboard_path=args.leaderboard,
+    )
+    if args.overrides:
+        config = config.with_overrides(args.overrides)
+    return config
+
+
+def _print_leaderboard(rows: list[dict], args: argparse.Namespace, source: str) -> None:
+    from .analysis.reporting import save_rows_json
+    from .scenarios import LEADERBOARD_COLUMNS
+
+    columns = list(LEADERBOARD_COLUMNS)
+    if not rows:
+        print(f"leaderboard at {source} is empty")
+    else:
+        print(format_table(rows, columns=columns, title=f"Arena leaderboard ({source})"))
+    if args.csv:
+        save_rows_csv(rows, args.csv, columns=columns)
+        print(f"wrote {args.csv}")
+    if args.json_path:
+        save_rows_json(rows, args.json_path, columns=columns)
+        print(f"wrote {args.json_path}")
+
+
+def _command_arena(args: argparse.Namespace) -> int:
+    import os
+
+    from .scenarios import ArenaRunner, Leaderboard, available_scenarios, get_scenario
+
+    if args.arena_action == "packs":
+        rows = []
+        for name in available_scenarios():
+            pack = get_scenario(name)
+            rows.append(
+                {
+                    "name": pack.name,
+                    "datasets": ",".join(pack.datasets),
+                    "objective": pack.objective,
+                    "constraints": ",".join(pack.constraints) or "-",
+                    "fpga": pack.fpga,
+                    "gpu": pack.gpu,
+                    "budget": f"{pack.max_evaluations} evals",
+                    "description": pack.description,
+                }
+            )
+        print(format_table(rows, title=f"Scenario packs ({len(rows)} registered)"))
+        return 0
+
+    config = _arena_config(args)
+    if args.arena_action == "show":
+        path = config.resolved_leaderboard_path
+        if not os.path.exists(path):
+            raise SystemExit(
+                f"error: no leaderboard at {path}; run 'ecad arena' first "
+                f"(or point --output-dir/--leaderboard at an existing tournament)"
+            )
+        with Leaderboard(path) as leaderboard:
+            rows = leaderboard.rows()
+        _print_leaderboard(rows, args, path)
+        return 0
+
+    runner = ArenaRunner(config, printer=print)
+    if args.dry_run:
+        rows = runner.plan(resume=not args.no_resume)
+        scenario_count = len({row["scenario"] for row in rows})
+        print(
+            format_table(
+                rows,
+                columns=["scenario", "run_id", "dataset", "objective", "seed", "status"],
+                title=f"Arena plan: {len(rows)} runs across {scenario_count} scenario(s)",
+            )
+        )
+        pending = sum(1 for row in rows if row["status"] == "pending")
+        print(f"\n{pending} run(s) to execute, {len(rows) - pending} already completed")
+        print("dry run: nothing executed")
+        return 0
+    rows = runner.run(resume=not args.no_resume)
+    print()
+    _print_leaderboard(rows, args, config.resolved_leaderboard_path)
+    failed = sum(1 for row in rows if row["status"] != "completed")
+    if failed:
+        print(f"\n{failed} leaderboard row(s) FAILED")
+        return 1
+    return 0
+
+
 # ------------------------------------------------------------------- service
 def _command_serve(args: argparse.Namespace) -> int:
     from .service import CoDesignService
@@ -1035,6 +1255,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_resume(args)
         if args.command == "store":
             return _command_store(args)
+        if args.command == "arena":
+            return _command_arena(args)
         if args.command == "serve":
             return _command_serve(args)
         if args.command == "submit":

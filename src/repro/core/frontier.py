@@ -35,11 +35,17 @@ __all__ = ["FrontierSnapshot", "FrontierMember", "FrontierArchive"]
 
 @dataclass(frozen=True)
 class FrontierSnapshot:
-    """One frontier change: when it happened and how big the frontier was."""
+    """One frontier change: when it happened and how big the frontier was.
+
+    ``best_accuracy`` is the running maximum accuracy over every feasible,
+    successful evaluation seen so far (not just frontier members); arena
+    leaderboards derive evals-to-target from it.
+    """
 
     step: int
     size: int
     evaluations_seen: int
+    best_accuracy: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -83,6 +89,7 @@ class FrontierArchive(Callback):
         self.snapshots: list[FrontierSnapshot] = []
         self.updates = 0
         self.evaluations_seen = 0
+        self._best_accuracy = 0.0
         self._members: dict[str, FrontierMember] = {}
         self._lock = threading.Lock()
 
@@ -145,6 +152,9 @@ class FrontierArchive(Callback):
                 vector = build_objective_vector(evaluation, self.objectives, self.constraints)
             if not vector.feasible:
                 return False
+            accuracy = float(getattr(evaluation, "accuracy", 0.0) or 0.0)
+            if accuracy > self._best_accuracy:
+                self._best_accuracy = accuracy
             key = evaluation.genome.cache_key()
             if key in self._members:
                 return False
@@ -164,6 +174,7 @@ class FrontierArchive(Callback):
                     step=int(step),
                     size=len(self._members),
                     evaluations_seen=self.evaluations_seen,
+                    best_accuracy=self._best_accuracy,
                 )
             )
             return True
@@ -172,6 +183,12 @@ class FrontierArchive(Callback):
     def __len__(self) -> int:
         with self._lock:
             return len(self._members)
+
+    @property
+    def best_accuracy(self) -> float:
+        """Best accuracy over every feasible, successful evaluation seen."""
+        with self._lock:
+            return self._best_accuracy
 
     @property
     def objective_names(self) -> list[str]:

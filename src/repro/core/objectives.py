@@ -136,9 +136,9 @@ def get_objective(name: str) -> ObjectiveFunction:
     try:
         return OBJECTIVES.resolve(name)
     except KeyError as exc:
-        raise ConfigurationError(
-            f"unknown objective {name!r}; available: {', '.join(available_objectives())}"
-        ) from exc
+        # The registry message already lists what is available and suggests
+        # near-miss names; re-raising it verbatim keeps the hint.
+        raise ConfigurationError(str(exc.args[0])) from exc
 
 
 # ---------------------------------------------------------------------------

@@ -37,6 +37,7 @@ __all__ = [
     "STRATEGIES",
     "register_strategy",
     "available_strategies",
+    "arena_strategies",
     "get_strategy",
 ]
 
@@ -52,6 +53,11 @@ class SearchStrategy:
     """
 
     name: str = "strategy"
+
+    #: Whether the arena enters this strategy into tournaments by default.
+    #: Plugins may register helper strategies (e.g. fixed replay baselines)
+    #: that should not compete; they set this to False.
+    arena_eligible: bool = True
 
     def execute(self, search, evaluator=None):
         """Run the search end to end.
@@ -118,6 +124,19 @@ def available_strategies() -> list[str]:
     return STRATEGIES.available()
 
 
+def arena_strategies() -> list[str]:
+    """Sorted names of strategies that enter arena tournaments by default.
+
+    Every registered strategy competes unless its class opts out with
+    ``arena_eligible = False``.
+    """
+    return [
+        name
+        for name, strategy_cls in STRATEGIES.entries().items()
+        if getattr(strategy_cls, "arena_eligible", True)
+    ]
+
+
 def get_strategy(name: str | SearchStrategy) -> SearchStrategy:
     """Resolve a strategy by name (instances pass through unchanged).
 
@@ -142,9 +161,9 @@ def get_strategy(name: str | SearchStrategy) -> SearchStrategy:
     try:
         strategy_cls = STRATEGIES.resolve(str(name))
     except KeyError as exc:
-        raise ConfigurationError(
-            f"unknown search strategy {name!r}; available: {', '.join(available_strategies())}"
-        ) from exc
+        # The registry message already lists what is available and suggests
+        # near-miss names; re-raising it verbatim keeps the hint.
+        raise ConfigurationError(str(exc.args[0])) from exc
     return strategy_cls()
 
 

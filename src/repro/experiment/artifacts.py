@@ -62,6 +62,11 @@ class RunArtifact:
         objectives: per-member objective values plus candidate summary, as
         maintained by the engine's
         :class:`~repro.core.frontier.FrontierArchive` during the run.
+    snapshots:
+        Frontier-change timeline: one dict per
+        :class:`~repro.core.frontier.FrontierSnapshot` (``step``, ``size``,
+        ``evaluations_seen``, ``best_accuracy``); arena leaderboards derive
+        evals-to-target from it.
     statistics:
         Run-time statistics dict (Table III style).
     wall_clock_seconds:
@@ -82,6 +87,7 @@ class RunArtifact:
     best_candidate: dict = field(default_factory=dict)
     pareto: list = field(default_factory=list)
     frontier: list = field(default_factory=list)
+    snapshots: list = field(default_factory=list)
     statistics: dict = field(default_factory=dict)
     wall_clock_seconds: float = 0.0
     error: str = ""
@@ -113,6 +119,19 @@ class RunArtifact:
             pareto=[candidate.summary() for candidate in result.pareto_rows(count=pareto_rows)],
             frontier=(
                 result.frontier_archive.rows() if result.frontier_archive is not None else []
+            ),
+            snapshots=(
+                [
+                    {
+                        "step": snapshot.step,
+                        "size": snapshot.size,
+                        "evaluations_seen": snapshot.evaluations_seen,
+                        "best_accuracy": snapshot.best_accuracy,
+                    }
+                    for snapshot in result.frontier_archive.snapshots
+                ]
+                if result.frontier_archive is not None
+                else []
             ),
             statistics=result.statistics.to_dict(),
             wall_clock_seconds=float(wall_clock_seconds),
@@ -170,6 +189,7 @@ class RunArtifact:
             "best_candidate": dict(self.best_candidate),
             "pareto": [dict(row) for row in self.pareto],
             "frontier": [dict(row) for row in self.frontier],
+            "snapshots": [dict(row) for row in self.snapshots],
             "statistics": dict(self.statistics),
             "wall_clock_seconds": self.wall_clock_seconds,
             "error": self.error,
@@ -189,6 +209,7 @@ class RunArtifact:
                 best_candidate=dict(data.get("best_candidate", {})),
                 pareto=list(data.get("pareto", [])),
                 frontier=list(data.get("frontier", [])),
+                snapshots=list(data.get("snapshots", [])),
                 statistics=dict(data.get("statistics", {})),
                 wall_clock_seconds=float(data.get("wall_clock_seconds", 0.0)),
                 error=str(data.get("error", "")),

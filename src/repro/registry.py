@@ -14,6 +14,7 @@ FPGA/GPU devices, objectives, worker types) without touching library code.
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Generic, Iterable, TypeVar
 
 __all__ = ["Registry", "normalize_key"]
@@ -105,13 +106,31 @@ class Registry(Generic[T]):
         return obj
 
     # --------------------------------------------------------------- lookup
+    def _unknown(self, name: str) -> KeyError:
+        """Build the unknown-name error, suggesting near-miss registrations.
+
+        The suggestion is computed over every bound key (canonical names and
+        aliases alike, after normalization) so ``"nsga II"`` points at
+        ``nsga2`` and ``"thread-pool"`` at ``threads``; matches are reported
+        by their canonical display name, closest first.
+        """
+        key = normalize_key(name)
+        message = f"unknown {self.kind} {name!r}; available: {', '.join(self.available())}"
+        matches = difflib.get_close_matches(key, sorted(self._canonical), n=3, cutoff=0.6)
+        suggestions: list[str] = []
+        for match in matches:
+            display = self._display[self._canonical[match]]
+            if display not in suggestions:
+                suggestions.append(display)
+        if suggestions:
+            message += f" (did you mean {', '.join(suggestions)}?)"
+        return KeyError(message)
+
     def resolve(self, name: str) -> T:
         """Return the object registered under ``name`` (or an alias of it)."""
         key = normalize_key(name)
         if key not in self._objects:
-            raise KeyError(
-                f"unknown {self.kind} {name!r}; available: {', '.join(self.available())}"
-            )
+            raise self._unknown(name)
         return self._objects[key]
 
     def get(self, name: str, default: T | None = None) -> T | None:
@@ -122,9 +141,7 @@ class Registry(Generic[T]):
         """The canonical registration name behind ``name`` (alias-resolved)."""
         key = normalize_key(name)
         if key not in self._canonical:
-            raise KeyError(
-                f"unknown {self.kind} {name!r}; available: {', '.join(self.available())}"
-            )
+            raise self._unknown(name)
         return self._canonical[key]
 
     def available(self) -> list[str]:

@@ -1,0 +1,29 @@
+"""Scenario packs and the strategy-vs-strategy tournament arena.
+
+See :mod:`repro.scenarios.packs` for the scenario catalog,
+:mod:`repro.scenarios.arena` for the tournament runner and
+:mod:`repro.scenarios.leaderboard` for the durable standings store.
+"""
+
+from .arena import ArenaConfig, ArenaRunner, artifact_metrics
+from .leaderboard import LEADERBOARD_COLUMNS, Leaderboard
+from .packs import (
+    SCENARIOS,
+    ScenarioPack,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
+
+__all__ = [
+    "ArenaConfig",
+    "ArenaRunner",
+    "artifact_metrics",
+    "Leaderboard",
+    "LEADERBOARD_COLUMNS",
+    "ScenarioPack",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+]

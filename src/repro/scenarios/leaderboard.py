@@ -1,0 +1,190 @@
+"""Durable tournament leaderboard, one SQLite file per arena.
+
+The leaderboard is the arena's product: one row per (strategy, scenario,
+seed) with the frontier-quality and cost metrics the tournament ranks on.
+Like the :class:`~repro.store.EvaluationStore` it is a single WAL-mode
+SQLite file that outlives the process, so ``ecad arena show`` renders
+standings from any earlier run and repeated tournaments upsert their rows
+in place.
+
+Ordering is part of the contract: :meth:`Leaderboard.rows` sorts by
+``(scenario, -hypervolume, strategy, seed)`` — strategy and seed are the
+fixed tie-breakers, so equal-hypervolume rows can never reshuffle between
+runs and a resumed tournament exports byte-identical CSV.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from pathlib import Path
+
+from ..core.errors import StoreError
+
+__all__ = ["Leaderboard", "LEADERBOARD_COLUMNS", "LEADERBOARD_SCHEMA_VERSION"]
+
+LEADERBOARD_SCHEMA_VERSION = 1
+
+#: Column order of every leaderboard export (table, CSV, JSON).
+LEADERBOARD_COLUMNS = (
+    "scenario",
+    "strategy",
+    "seed",
+    "hypervolume",
+    "evals_to_target",
+    "real_evals",
+    "wall_clock_seconds",
+    "best_accuracy",
+    "frontier_size",
+    "status",
+)
+
+_CREATE_META = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+)
+"""
+
+_CREATE_LEADERBOARD = """
+CREATE TABLE IF NOT EXISTS leaderboard (
+    strategy TEXT NOT NULL,
+    scenario TEXT NOT NULL,
+    seed INTEGER NOT NULL,
+    hypervolume REAL NOT NULL DEFAULT 0.0,
+    evals_to_target INTEGER NOT NULL DEFAULT 0,
+    real_evals INTEGER NOT NULL DEFAULT 0,
+    wall_clock_seconds REAL NOT NULL DEFAULT 0.0,
+    best_accuracy REAL NOT NULL DEFAULT 0.0,
+    frontier_size INTEGER NOT NULL DEFAULT 0,
+    status TEXT NOT NULL DEFAULT 'completed',
+    run_id TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (strategy, scenario, seed)
+)
+"""
+
+
+class Leaderboard:
+    """Persistent per-(strategy, scenario, seed) tournament standings.
+
+    Parameters
+    ----------
+    path:
+        SQLite file; parent directories are created, ``":memory:"`` works
+        for tests.
+
+    Thread-safe: the arena records entries from whichever thread finishes a
+    cell, so writes are serialized on an internal lock.  Usable as a
+    context manager (closes the connection on exit).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        try:
+            self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot open leaderboard {self.path!r}: {exc}") from exc
+        with self._lock, self._connection:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute(_CREATE_META)
+            self._connection.execute(_CREATE_LEADERBOARD)
+            self._connection.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(LEADERBOARD_SCHEMA_VERSION),),
+            )
+
+    # -------------------------------------------------------------- writing
+    def record(
+        self,
+        strategy: str,
+        scenario: str,
+        seed: int,
+        *,
+        hypervolume: float = 0.0,
+        evals_to_target: int = 0,
+        real_evals: int = 0,
+        wall_clock_seconds: float = 0.0,
+        best_accuracy: float = 0.0,
+        frontier_size: int = 0,
+        status: str = "completed",
+        run_id: str = "",
+    ) -> None:
+        """Upsert one standings row (the primary key replaces in place)."""
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO leaderboard "
+                "(strategy, scenario, seed, hypervolume, evals_to_target, real_evals,"
+                " wall_clock_seconds, best_accuracy, frontier_size, status, run_id) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    str(strategy),
+                    str(scenario),
+                    int(seed),
+                    float(hypervolume),
+                    int(evals_to_target),
+                    int(real_evals),
+                    float(wall_clock_seconds),
+                    float(best_accuracy),
+                    int(frontier_size),
+                    str(status),
+                    str(run_id),
+                ),
+            )
+
+    # -------------------------------------------------------------- reading
+    def rows(self) -> list[dict]:
+        """Standings rows in the canonical, tie-stable order.
+
+        Within a scenario, higher hypervolume ranks first; ties (and
+        everything after them) break on ``(strategy, seed)`` so the export
+        order is a pure function of the stored rows.
+        """
+        with self._lock:
+            cursor = self._connection.execute(
+                "SELECT strategy, scenario, seed, hypervolume, evals_to_target,"
+                " real_evals, wall_clock_seconds, best_accuracy, frontier_size,"
+                " status, run_id "
+                "FROM leaderboard "
+                "ORDER BY scenario ASC, hypervolume DESC, strategy ASC, seed ASC"
+            )
+            records = cursor.fetchall()
+        rows = []
+        for record in records:
+            rows.append(
+                {
+                    "scenario": record[1],
+                    "strategy": record[0],
+                    "seed": int(record[2]),
+                    "hypervolume": float(record[3]),
+                    "evals_to_target": int(record[4]),
+                    "real_evals": int(record[5]),
+                    "wall_clock_seconds": float(record[6]),
+                    "best_accuracy": float(record[7]),
+                    "frontier_size": int(record[8]),
+                    "status": record[9],
+                    "run_id": record[10],
+                }
+            )
+        return rows
+
+    def __len__(self) -> int:
+        with self._lock:
+            cursor = self._connection.execute("SELECT COUNT(*) FROM leaderboard")
+            return int(cursor.fetchone()[0])
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Close the SQLite connection (idempotent)."""
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
+
+    def __enter__(self) -> "Leaderboard":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -1,0 +1,289 @@
+"""Named scenario packs: the workload axis of the arena.
+
+The ROADMAP's north star is a system that "handles as many scenarios as you
+can imagine"; a *scenario pack* is one such scenario in object form — a
+dataset family × device set × constraint profile × evaluation budget, under
+a stable registered name (``edge-tiny-dsp``, ``datacenter-throughput``, ...).
+Packs are deliberately thin: :meth:`ScenarioPack.to_spec` lowers a pack plus
+a list of competing strategies into an ordinary
+:class:`~repro.experiment.spec.ExperimentSpec` whose objective axis is the
+strategy-prefixed form (``"nsga2:codesign"``), so one scenario tournament is
+one experiment grid and inherits checkpoint/resume, the shared evaluation
+store and the service job machinery unchanged.
+
+Like every other extension axis (datasets, strategies, devices, backends,
+objectives) the catalog is an open :class:`~repro.registry.Registry`:
+plugins add packs with :func:`register_scenario`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigurationError
+from ..core.strategy import STRATEGIES
+from ..datasets.registry import DATASETS
+from ..experiment.spec import ExperimentSpec, objective_config_from_spec
+from ..hardware.device import FPGA_DEVICES, GPU_DEVICES
+from ..registry import Registry, normalize_key
+
+__all__ = [
+    "ScenarioPack",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """One named tournament scenario.
+
+    Attributes
+    ----------
+    name:
+        Stable catalog identifier (``ecad arena --scenario <name>``).
+    description:
+        One-line human summary shown by ``ecad arena packs``.
+    datasets:
+        Registered dataset families the scenario spans (every strategy runs
+        on every dataset; metrics aggregate across them).
+    objective:
+        Objective spec for every run (``"codesign"``, ``"accuracy"``, or a
+        ``+``-joined list of registered objective names); strategies are
+        prefixed onto it when the pack is lowered to an experiment grid.
+    constraints:
+        Feasibility constraint expressions (``"dsp_usage<=256"``) defining
+        the scenario's deployment envelope.
+    fpga / gpu:
+        Device-catalogue names fixing the hardware side of the scenario.
+    scale:
+        Synthetic-dataset size scale (kept tiny for tournament budgets).
+    data_seed:
+        Dataset generation seed shared by all runs of the scenario.
+    population_size / max_evaluations / training_epochs:
+        The per-run search budget — matched across strategies, which is what
+        makes tournament rankings honest.
+    target_accuracy:
+        Accuracy level the *evals-to-target* leaderboard column measures
+        against; 0 disables the column for this scenario.
+    overrides:
+        Extra dotted-key configuration overrides applied to every run.
+    """
+
+    name: str
+    description: str
+    datasets: tuple[str, ...]
+    objective: str = "codesign"
+    constraints: tuple[str, ...] = ()
+    fpga: str = "arria10"
+    gpu: str = "titan_x"
+    scale: float = 0.1
+    data_seed: int = 0
+    population_size: int = 6
+    max_evaluations: int = 18
+    training_epochs: int = 2
+    target_accuracy: float = 0.0
+    overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not str(self.name).strip():
+            raise ConfigurationError("scenario pack name must not be empty")
+        if not self.datasets:
+            raise ConfigurationError(
+                f"scenario pack {self.name!r} needs at least one dataset"
+            )
+        for dataset in self.datasets:
+            try:
+                DATASETS.canonical_name(dataset)
+            except KeyError as exc:
+                raise ConfigurationError(str(exc.args[0])) from exc
+        for registry, device in ((FPGA_DEVICES, self.fpga), (GPU_DEVICES, self.gpu)):
+            try:
+                registry.canonical_name(device)
+            except KeyError as exc:
+                raise ConfigurationError(str(exc.args[0])) from exc
+        objective_config_from_spec(self.objective, constraints=self.constraints)
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {self.scale}")
+        for label, value in (
+            ("population_size", self.population_size),
+            ("max_evaluations", self.max_evaluations),
+            ("training_epochs", self.training_epochs),
+        ):
+            if int(value) < 1:
+                raise ConfigurationError(f"{label} must be >= 1, got {value}")
+        if not 0.0 <= self.target_accuracy < 1.0:
+            raise ConfigurationError(
+                f"target_accuracy must be in [0, 1), got {self.target_accuracy}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Filesystem-safe identifier (normalized registry key)."""
+        return normalize_key(self.name)
+
+    def strategy_objectives(self, strategies: tuple[str, ...]) -> tuple[str, ...]:
+        """Strategy-prefixed objective specs, one per competing strategy.
+
+        Strategy names (and aliases) are canonicalized so the grid's run ids
+        are stable no matter how the caller spelled them; unknown names
+        raise :class:`ConfigurationError` carrying the registry's near-miss
+        suggestions.
+        """
+        canonical: list[str] = []
+        for strategy in strategies:
+            try:
+                resolved = STRATEGIES.canonical_name(strategy)
+            except KeyError as exc:
+                raise ConfigurationError(str(exc.args[0])) from exc
+            if resolved not in canonical:
+                canonical.append(resolved)
+        if not canonical:
+            raise ConfigurationError(
+                f"scenario {self.name!r} needs at least one competing strategy"
+            )
+        return tuple(f"{strategy}:{self.objective}" for strategy in canonical)
+
+    def to_spec(
+        self,
+        strategies: tuple[str, ...],
+        seeds: tuple[int, ...] = (0,),
+        *,
+        name: str = "",
+        store_path: str = "",
+        warm_start: int = 0,
+        backend: str = "serial",
+        eval_parallelism: int = 1,
+        run_parallelism: int = 1,
+        output_dir: str = "",
+    ) -> ExperimentSpec:
+        """Lower the pack into one tournament :class:`ExperimentSpec`.
+
+        The grid is datasets × strategy-prefixed objectives × seeds, so
+        every competing strategy sees exactly the same scenario under
+        exactly the same budget, and per-cell checkpoint/resume comes for
+        free from the experiment runner.
+        """
+        overrides = {
+            "population_size": int(self.population_size),
+            "max_evaluations": int(self.max_evaluations),
+            "training_epochs": int(self.training_epochs),
+        }
+        overrides.update(dict(self.overrides))
+        return ExperimentSpec(
+            name=name or f"arena-{self.key}",
+            datasets=tuple(self.datasets),
+            objectives=self.strategy_objectives(tuple(strategies)),
+            seeds=tuple(int(seed) for seed in seeds) or (0,),
+            scale=float(self.scale),
+            data_seed=int(self.data_seed),
+            fpga=self.fpga,
+            gpu=self.gpu,
+            backend=backend,
+            eval_parallelism=int(eval_parallelism),
+            run_parallelism=int(run_parallelism),
+            constraints=tuple(self.constraints),
+            store_path=store_path,
+            warm_start=int(warm_start),
+            overrides=overrides,
+            output_dir=output_dir,
+        )
+
+    # ----------------------------------------------------------------- JSON
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (``ecad arena packs`` rows)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "datasets": list(self.datasets),
+            "objective": self.objective,
+            "constraints": list(self.constraints),
+            "fpga": self.fpga,
+            "gpu": self.gpu,
+            "scale": self.scale,
+            "data_seed": self.data_seed,
+            "population_size": self.population_size,
+            "max_evaluations": self.max_evaluations,
+            "training_epochs": self.training_epochs,
+            "target_accuracy": self.target_accuracy,
+            "overrides": dict(self.overrides),
+        }
+
+
+#: The open scenario catalog; plugins may register additional packs.
+SCENARIOS: Registry[ScenarioPack] = Registry("scenario pack")
+
+
+def register_scenario(pack: ScenarioPack, aliases: tuple[str, ...] = (), overwrite: bool = False) -> ScenarioPack:
+    """Register ``pack`` in the catalog under its own name (and ``aliases``)."""
+    try:
+        SCENARIOS.register(pack.name, pack, aliases=aliases, overwrite=overwrite)
+    except ValueError as exc:
+        raise ConfigurationError(str(exc)) from exc
+    return pack
+
+
+def get_scenario(name: str) -> ScenarioPack:
+    """Resolve a pack by catalog name, with near-miss suggestions on typos."""
+    try:
+        return SCENARIOS.resolve(name)
+    except KeyError as exc:
+        # The registry message already lists what is available and suggests
+        # near-miss names; re-raising it verbatim keeps the hint.
+        raise ConfigurationError(str(exc.args[0])) from exc
+
+
+def available_scenarios() -> list[str]:
+    """Sorted catalog names of every registered scenario pack."""
+    return SCENARIOS.available()
+
+
+# --------------------------------------------------------------- built-ins
+register_scenario(
+    ScenarioPack(
+        name="edge-tiny-dsp",
+        description="DSP-constrained edge deployment: co-design under a hard dsp_usage cap",
+        datasets=("credit_g_like",),
+        objective="codesign",
+        constraints=("dsp_usage<=256",),
+        fpga="arria10",
+        gpu="titan_x",
+        scale=0.08,
+        population_size=6,
+        max_evaluations=18,
+        training_epochs=2,
+        target_accuracy=0.55,
+    )
+)
+
+register_scenario(
+    ScenarioPack(
+        name="datacenter-throughput",
+        description="Throughput-first datacenter serving on the large-fabric Stratix 10",
+        datasets=("har_like",),
+        objective="codesign",
+        fpga="stratix10",
+        gpu="radeon_vii",
+        scale=0.04,
+        population_size=6,
+        max_evaluations=18,
+        training_epochs=2,
+        target_accuracy=0.5,
+    )
+)
+
+register_scenario(
+    ScenarioPack(
+        name="noisy-labels",
+        description="Accuracy-only search on the noisiest dataset family (generalization stress)",
+        datasets=("bioresponse_like",),
+        objective="accuracy",
+        scale=0.06,
+        population_size=6,
+        max_evaluations=18,
+        training_epochs=2,
+        target_accuracy=0.52,
+    )
+)

@@ -34,13 +34,13 @@ from ..core.errors import ConfigurationError, ServiceError
 from ..core.frontier import FrontierArchive
 from ..core.objectives import build_objective_vector
 from ..experiment import ExperimentRunner, ExperimentSpec, StopExperiment
-from ..workers.backends import ExecutionBackend, resolve_backend
+from ..workers.backends import ExecutionBackend, NonOwningBackend, resolve_backend
 from .jobs import JobQueue, JobRecord, deterministic_result_digest
 
 __all__ = ["SharedBackend", "ServiceRuntime", "normalize_job_spec"]
 
 
-class SharedBackend(ExecutionBackend):
+class SharedBackend(NonOwningBackend):
     """A non-owning view of an execution backend.
 
     Every master shuts down the backend it was given when its search ends;
@@ -50,29 +50,14 @@ class SharedBackend(ExecutionBackend):
     """
 
     def __init__(self, inner: ExecutionBackend) -> None:
-        self._inner = inner
+        super().__init__(inner)
         self.name = getattr(inner, "name", "shared")
-
-    def submit(self, function, item):
-        return self._inner.submit(function, item)
-
-    def as_completed(self, futures, timeout=None):
-        return self._inner.as_completed(futures, timeout=timeout)
-
-    def wait_first(self, futures, timeout=None):
-        return self._inner.wait_first(futures, timeout=timeout)
-
-    def map(self, function, items):
-        return self._inner.map(function, items)
-
-    def shutdown(self) -> None:
-        """Deliberate no-op: the runtime owns the inner pool's lifetime."""
 
 
 def normalize_job_spec(body: dict) -> tuple[dict, str]:
     """Turn a ``POST /jobs`` body into a validated ExperimentSpec dict.
 
-    Two shapes are accepted:
+    Three shapes are accepted:
 
     * ``{"spec": {...}}`` — a full experiment grid, verbatim;
     * ``{"run": {"dataset": ..., ...}}`` — single-search shorthand, normalized
@@ -80,7 +65,13 @@ def normalize_job_spec(body: dict) -> tuple[dict, str]:
       grid axes, spec-level keys (``backend``, ``store_path``, ...) pass
       through, and anything else (``population_size``,
       ``optimization.max_latency_us``, ...) lands in the spec's dotted-key
-      configuration ``overrides``.
+      configuration ``overrides``;
+    * ``{"scenario": {"pack": ..., "strategies": [...], "seeds": [...]}}`` —
+      one arena scenario tournament, lowered through
+      :meth:`~repro.scenarios.packs.ScenarioPack.to_spec` into the grid whose
+      objective axis is the strategy-prefixed form; ``store_path``,
+      ``warm_start``, ``eval_parallelism`` and ``run_parallelism`` pass
+      through (the warm service pool replaces the backend either way).
 
     Returns ``(spec_dict, name)``.  Raises :class:`ServiceError` on malformed
     payloads so the HTTP layer can answer 400.
@@ -88,8 +79,50 @@ def normalize_job_spec(body: dict) -> tuple[dict, str]:
     name = str(body.get("name", "") or "")
     spec_body = body.get("spec")
     run_body = body.get("run")
-    if (spec_body is None) == (run_body is None):
-        raise ServiceError("job payload needs exactly one of 'spec' or 'run'")
+    scenario_body = body.get("scenario")
+    provided = [shape for shape in (spec_body, run_body, scenario_body) if shape is not None]
+    if len(provided) != 1:
+        raise ServiceError("job payload needs exactly one of 'spec', 'run' or 'scenario'")
+    if scenario_body is not None:
+        if not isinstance(scenario_body, dict):
+            raise ServiceError("'scenario' must be a JSON object")
+        # Imported lazily: repro.scenarios imports the experiment machinery,
+        # not the service, so the dependency stays one-way.
+        from ..scenarios import get_scenario
+
+        scenario = dict(scenario_body)
+        pack_name = str(scenario.pop("pack", "") or "")
+        if not pack_name:
+            raise ServiceError("'scenario.pack' is required")
+        strategies = tuple(str(s) for s in scenario.pop("strategies", ()) or ())
+        if not strategies:
+            from ..core.strategy import arena_strategies
+
+            strategies = tuple(arena_strategies())
+        seeds = tuple(int(s) for s in scenario.pop("seeds", (0,)) or (0,))
+        passthrough = {
+            key: scenario.pop(key)
+            for key in ("store_path", "warm_start", "eval_parallelism", "run_parallelism")
+            if key in scenario
+        }
+        if scenario:
+            raise ServiceError(
+                f"unknown scenario job key(s): {', '.join(sorted(map(repr, scenario)))}"
+            )
+        try:
+            pack = get_scenario(pack_name)
+            spec = pack.to_spec(
+                strategies,
+                seeds=seeds,
+                name=name or f"arena-{pack.key}",
+                store_path=str(passthrough.get("store_path", "")),
+                warm_start=int(passthrough.get("warm_start", 0)),
+                eval_parallelism=int(passthrough.get("eval_parallelism", 1)),
+                run_parallelism=int(passthrough.get("run_parallelism", 1)),
+            )
+        except ConfigurationError as exc:
+            raise ServiceError(f"invalid scenario job: {exc}") from exc
+        return spec.to_dict(), name or spec.name
     if spec_body is None:
         if not isinstance(run_body, dict):
             raise ServiceError("'run' must be a JSON object")

@@ -39,6 +39,7 @@ __all__ = [
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "NonOwningBackend",
     "register_backend",
     "resolve_backend",
     "available_backends",
@@ -174,6 +175,41 @@ class ProcessPoolBackend(_ExecutorBackend):
         return ProcessPoolExecutor(max_workers=self.max_workers)
 
 
+class NonOwningBackend(ExecutionBackend):
+    """Delegates to a shared backend but never shuts it down.
+
+    Searches treat their backend as owned and call ``shutdown`` when they
+    finish.  When several runs share one pool (the arena runner, the job
+    service), each run gets a ``NonOwningBackend`` wrapper instead: work is
+    delegated to the real pool, ``shutdown`` is a no-op, and whoever created
+    the pool remains responsible for tearing it down.
+    """
+
+    name = "non_owning"
+
+    def __init__(self, inner: ExecutionBackend) -> None:
+        self.inner = inner
+
+    def submit(self, function: Callable[[RequestT], ResultT], item: RequestT) -> "Future[ResultT]":
+        return self.inner.submit(function, item)
+
+    def as_completed(
+        self, futures: Iterable["Future[ResultT]"], timeout: float | None = None
+    ) -> Iterator["Future[ResultT]"]:
+        return self.inner.as_completed(futures, timeout=timeout)
+
+    def wait_first(
+        self, futures: Iterable["Future[ResultT]"], timeout: float | None = None
+    ) -> tuple[set["Future[ResultT]"], set["Future[ResultT]"]]:
+        return self.inner.wait_first(futures, timeout=timeout)
+
+    def map(self, function: Callable[[RequestT], ResultT], items: Sequence[RequestT]) -> list[ResultT]:
+        return self.inner.map(function, items)
+
+    def shutdown(self) -> None:
+        """Intentionally a no-op: the shared pool's owner shuts it down."""
+
+
 register_backend = BACKENDS.register
 
 BACKENDS.register("serial", lambda max_workers=1: SerialBackend(), aliases=("sync", "none"))
@@ -206,7 +242,7 @@ def resolve_backend(
     try:
         factory = BACKENDS.resolve(str(backend))
     except KeyError as exc:
-        raise ValueError(
-            f"unknown execution backend {backend!r}; use one of {', '.join(available_backends())}"
-        ) from exc
+        # The registry message already lists what is available and suggests
+        # near-miss names; re-raising it verbatim keeps the hint.
+        raise ValueError(str(exc.args[0])) from exc
     return factory(max_workers=max_workers)

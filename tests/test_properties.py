@@ -221,3 +221,112 @@ class TestHardwareModelProperties:
         assert 0 < metrics.efficiency <= 1
         assert metrics.effective_gflops <= metrics.potential_gflops * (1 + 1e-9)
         assert metrics.potential_gflops <= config.peak_gflops(ARRIA10_GX1150) + 1e-9
+
+
+class TestArenaProperties:
+    """Arena leaderboard and metric invariants (see tests/test_arena.py)."""
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_leaderboard_ordering_independent_of_insertion_order(self, data, tmp_path_factory):
+        from repro.scenarios import Leaderboard
+
+        entries = data.draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["nsga2", "random", "evolutionary"]),
+                    st.sampled_from(["s0", "s1"]),
+                    st.integers(min_value=0, max_value=2),
+                    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                ),
+                min_size=1,
+                max_size=8,
+                unique_by=lambda e: (e[0], e[1], e[2]),
+            )
+        )
+        shuffled = data.draw(st.permutations(entries))
+        base = tmp_path_factory.mktemp("lb")
+        with Leaderboard(base / "a.sqlite") as board:
+            for strategy, scenario, seed, hv in entries:
+                board.record(strategy, scenario, seed, hypervolume=hv)
+            first = board.rows()
+        with Leaderboard(base / "b.sqlite") as board:
+            for strategy, scenario, seed, hv in shuffled:
+                board.record(strategy, scenario, seed, hypervolume=hv)
+            second = board.rows()
+        assert first == second
+        # Standings sort is total: scenario asc, then hypervolume desc,
+        # ties broken deterministically by (strategy, seed).
+        keys = [
+            (row["scenario"], -row["hypervolume"], row["strategy"], row["seed"])
+            for row in first
+        ]
+        assert keys == sorted(keys)
+
+    @SETTINGS
+    @given(
+        frontier=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+            ),
+            max_size=6,
+        ),
+        target=st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+    )
+    def test_artifact_metrics_finite_and_non_negative(self, frontier, target):
+        import math
+
+        from repro.experiment.artifacts import RunArtifact
+        from repro.scenarios import ScenarioPack, artifact_metrics
+
+        artifact = RunArtifact(
+            run_id="r",
+            dataset="credit_g_like",
+            objective="nsga2:codesign",
+            seed=0,
+            frontier=[
+                {"accuracy": accuracy, "fpga_throughput": throughput}
+                for accuracy, throughput in frontier
+            ],
+            statistics={"models_evaluated": len(frontier)},
+            best_accuracy=max((a for a, _ in frontier), default=0.0),
+        )
+        pack = ScenarioPack(
+            name="property-metrics-pack",
+            description="unregistered scratch pack",
+            datasets=("credit_g_like",),
+            target_accuracy=target,
+        )
+        metrics = artifact_metrics(artifact, pack)
+        assert math.isfinite(metrics["hypervolume"])
+        assert metrics["hypervolume"] >= 0.0
+        assert metrics["evals_to_target"] >= 0
+        assert metrics["frontier_size"] == len(frontier)
+
+    @SETTINGS
+    @given(
+        accuracies=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=20
+        )
+    )
+    def test_frontier_archive_best_accuracy_is_running_max(self, accuracies):
+        from repro.core.candidate import CandidateEvaluation
+        from repro.core.fitness import FitnessObjective
+        from repro.core.frontier import FrontierArchive
+        from repro.core.genome import CoDesignSearchSpace
+
+        space = CoDesignSearchSpace()
+        rng = np.random.default_rng(0)
+        archive = FrontierArchive(objectives=[FitnessObjective.accuracy()])
+        running = 0.0
+        for accuracy in accuracies:
+            evaluation = CandidateEvaluation(
+                genome=space.random_genome(rng), accuracy=accuracy
+            )
+            archive.observe(evaluation)
+            running = max(running, accuracy)
+            assert archive.best_accuracy == running
+        snapshots = archive.snapshots
+        best = [snapshot.best_accuracy for snapshot in snapshots]
+        assert best == sorted(best)
